@@ -1,0 +1,38 @@
+//! Criterion bench regenerating (a slice of) Figure 2: the cost of computing
+//! one ERRev curve point per switching probability γ, at the paper's largest
+//! adversarial resource p = 0.3.
+//!
+//! The measured quantity is the full pipeline behind one plotted point: model
+//! construction, the binary-search / Dinkelbach analysis for our attack, and
+//! both baselines. Use `cargo run -p sm-bench --bin figure2` to print the
+//! actual curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfish_mining::experiments::Figure2Sweep;
+
+fn bench_figure2_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2/point_p0.3");
+    group.sample_size(10);
+    let sweep = Figure2Sweep {
+        attack_grid: if sm_bench::expensive_enabled() {
+            vec![(1, 1), (2, 1), (2, 2), (3, 2)]
+        } else {
+            vec![(1, 1), (2, 1)]
+        },
+        epsilon: 1e-3,
+        ..Figure2Sweep::default()
+    };
+    for gamma in sm_bench::gamma_grid() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gamma{gamma}")),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| sweep.point(0.3, gamma).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_points);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the solver substrate: mean-payoff solvers on the
+//! selfish-mining MDP and the building blocks they rest on. These are ablation
+//! benches for the design choices discussed in DESIGN.md (value iteration vs
+//! policy iteration vs LP; bisection vs Dinkelbach search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfish_mining::{AnalysisProcedure, AttackParams, SelfishMiningModel};
+use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver};
+
+fn model() -> SelfishMiningModel {
+    let params = AttackParams::new(0.3, 0.5, 2, 1, 4).unwrap();
+    SelfishMiningModel::build(&params).unwrap()
+}
+
+fn bench_mean_payoff_methods(c: &mut Criterion) {
+    let model = model();
+    let rewards = model.beta_rewards(0.35).unwrap();
+    let mut group = c.benchmark_group("solver/mean_payoff_d2_f1");
+    for (name, method) in [
+        ("value_iteration", MeanPayoffMethod::ValueIteration { epsilon: 1e-6 }),
+        ("policy_iteration", MeanPayoffMethod::PolicyIteration),
+        ("linear_programming", MeanPayoffMethod::LinearProgramming),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, method| {
+            let solver = MeanPayoffSolver::new(method.clone());
+            b.iter(|| solver.solve(model.mdp(), &rewards).unwrap().gain);
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let model = model();
+    let mut group = c.benchmark_group("solver/search_d2_f1");
+    group.sample_size(10);
+    group.bench_function("bisection", |b| {
+        b.iter(|| {
+            AnalysisProcedure::with_epsilon(1e-3)
+                .solve(&model)
+                .unwrap()
+                .expected_relative_revenue
+        });
+    });
+    group.bench_function("dinkelbach", |b| {
+        b.iter(|| {
+            AnalysisProcedure::with_epsilon(1e-3)
+                .solve_dinkelbach(&model)
+                .unwrap()
+                .strategy_revenue
+        });
+    });
+    group.finish();
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/model_build");
+    for (depth, forks) in [(2usize, 1usize), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{depth}_f{forks}")),
+            &(depth, forks),
+            |b, &(depth, forks)| {
+                b.iter(|| {
+                    let params = AttackParams::new(0.3, 0.5, depth, forks, 4).unwrap();
+                    SelfishMiningModel::build(&params).unwrap().num_states()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mean_payoff_methods,
+    bench_search_strategies,
+    bench_model_construction
+);
+criterion_main!(benches);

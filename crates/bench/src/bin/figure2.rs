@@ -1,0 +1,47 @@
+//! Regenerates Figure 2 of the paper: expected relative revenue as a function
+//! of the adversarial resource, one panel per switching probability γ, for our
+//! attack (several `(d, f)` configurations) and both baselines.
+//!
+//! ```text
+//! cargo run --release -p sm-bench --bin figure2              # all gamma panels
+//! cargo run --release -p sm-bench --bin figure2 -- 0.5       # a single panel
+//! SM_BENCH_EXPENSIVE=1 cargo run --release -p sm-bench --bin figure2   # paper grids
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let epsilon = std::env::var("SM_BENCH_EPSILON")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1e-3);
+    let gammas: Vec<f64> = match std::env::args().nth(1) {
+        Some(arg) => match arg.parse::<f64>() {
+            Ok(gamma) if (0.0..=1.0).contains(&gamma) => vec![gamma],
+            _ => {
+                eprintln!("argument must be a switching probability in [0, 1], got '{arg}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => sm_bench::gamma_grid(),
+    };
+    if !sm_bench::expensive_enabled() {
+        println!(
+            "note: using the coarse p grid and (d,f) up to (2,2); set {}=1 for the paper's full grids\n",
+            sm_bench::EXPENSIVE_ENV
+        );
+    }
+    for gamma in gammas {
+        match sm_bench::figure2(gamma, epsilon) {
+            Ok(panel) => {
+                println!("Figure 2 panel — gamma = {gamma}");
+                println!("{}", panel.rendered);
+            }
+            Err(err) => {
+                eprintln!("figure2 failed for gamma = {gamma}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 1 of the paper: analysis runtimes per attack
+//! configuration at γ = 0.5.
+//!
+//! ```text
+//! cargo run --release -p sm-bench --bin table1
+//! SM_BENCH_EXPENSIVE=1 cargo run --release -p sm-bench --bin table1   # full (d,f) grid
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let epsilon = std::env::var("SM_BENCH_EPSILON")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1e-3);
+    println!(
+        "Table 1 — analysis runtimes (gamma = 0.5, p = 0.3, l = 4, epsilon = {epsilon})"
+    );
+    if !sm_bench::expensive_enabled() {
+        println!(
+            "note: configurations (3,2) and (4,2) are skipped; set {}=1 to include them",
+            sm_bench::EXPENSIVE_ENV
+        );
+    }
+    match sm_bench::table1(epsilon) {
+        Ok(rows) => {
+            print!("{}", sm_bench::render_table1(&rows));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("table1 failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-time longest-chain blockchain simulator.
+//!
+//! The simulator implements the System Model of Section 2.1 of the PODC 2024
+//! selfish-mining paper with explicit blocks: honest miners own a `1 − p`
+//! share of the resource and always extend the tip of the public chain, while
+//! the adversarial coalition owns `p`, may mine on many blocks concurrently
+//! (`(p, k)`-mining, provided by `sm-proofs`), withholds blocks in private
+//! forks and publishes them according to a pluggable
+//! [`AdversaryStrategy`]. Ties between equally long chains are resolved by the
+//! switching probability `γ`.
+//!
+//! The simulator serves as the *empirical cross-check* of the MDP analysis in
+//! the `selfish-mining` crate: the expected relative revenue computed by the
+//! formal procedure must match the Monte-Carlo estimate obtained by running
+//! the corresponding strategy here (see the workspace integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use sm_chain::{HonestStrategy, SimulationConfig, Simulator};
+//!
+//! let config = SimulationConfig { p: 0.3, gamma: 0.5, depth: 2, forks_per_block: 1,
+//!     max_fork_length: 4, steps: 20_000, seed: 7 };
+//! let report = Simulator::new(config).run(&mut HonestStrategy);
+//! // Honest behaviour earns roughly the proportional share.
+//! assert!((report.relative_revenue() - 0.3).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod metrics;
+mod simulator;
+mod strategy;
+
+pub use block::{BlockId, BlockTree, MinerClass};
+pub use metrics::SimulationReport;
+pub use simulator::{SimulationConfig, Simulator};
+pub use strategy::{
+    AdversaryAction, AdversaryStrategy, AdversaryView, HonestStrategy, Sm1Strategy, TableStrategy,
+};

@@ -1,0 +1,464 @@
+//! The discrete-time simulation loop.
+
+use crate::{
+    AdversaryAction, AdversaryStrategy, AdversaryView, BlockId, BlockTree, MinerClass,
+    SimulationReport,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of a simulation run. The parameters mirror the MDP's
+/// [`selfish-mining` attack parameters](https://docs.rs) so that computed
+/// strategies can be replayed faithfully.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Relative resource of the adversary.
+    pub p: f64,
+    /// Switching probability for tie races.
+    pub gamma: f64,
+    /// Attack depth `d`: the adversary only keeps forks rooted at the last `d`
+    /// main-chain blocks.
+    pub depth: usize,
+    /// Fork slots per main-chain block `f`.
+    pub forks_per_block: usize,
+    /// Maximal private fork length `l`.
+    pub max_fork_length: usize,
+    /// Number of discrete time steps to simulate.
+    pub steps: usize,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            p: 0.3,
+            gamma: 0.5,
+            depth: 2,
+            forks_per_block: 1,
+            max_fork_length: 4,
+            steps: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The longest-chain simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimulationConfig,
+}
+
+/// Internal mutable simulation state.
+struct SimulationState {
+    tree: BlockTree,
+    public_tip: BlockId,
+    /// Private forks keyed by their root block; each root has
+    /// `forks_per_block` slots, each a path of adversary blocks.
+    forks: HashMap<BlockId, Vec<Vec<BlockId>>>,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `gamma` lie outside `[0, 1]` or a structural parameter
+    /// is zero.
+    pub fn new(config: SimulationConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.p), "p must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&config.gamma),
+            "gamma must lie in [0, 1]"
+        );
+        assert!(config.depth > 0, "depth must be positive");
+        assert!(config.forks_per_block > 0, "forks_per_block must be positive");
+        assert!(config.max_fork_length > 0, "max_fork_length must be positive");
+        Simulator { config }
+    }
+
+    /// The configuration of this simulator.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the simulation with the given adversary strategy and returns the
+    /// measured report.
+    pub fn run(&self, strategy: &mut dyn AdversaryStrategy) -> SimulationReport {
+        let config = self.config;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut state = SimulationState {
+            tree: BlockTree::new(),
+            public_tip: BlockTree::new().genesis(),
+            forks: HashMap::new(),
+        };
+        state.public_tip = state.tree.genesis();
+
+        for _ in 0..config.steps {
+            let roots = self.window_roots(&state);
+            let slots = self.mining_slots(&state, &roots);
+            let sigma = slots.len() as f64;
+            let denominator = (1.0 - config.p) + config.p * sigma;
+            let adversary_wins = denominator > 0.0
+                && rng.gen_range(0.0..denominator) < config.p * sigma;
+
+            if adversary_wins {
+                // Pick one of the adversary's mining positions uniformly.
+                let (root, slot) = slots[rng.gen_range(0..slots.len())];
+                self.extend_fork(&mut state, root, slot);
+                let view = self.view(&state, &roots, false, true);
+                let action = strategy.decide(&view);
+                self.apply_action(&mut state, &roots, action, None, &mut rng);
+            } else {
+                // Honest block found; it is pending until the adversary reacts.
+                let pending = state.tree.add_block(state.public_tip, MinerClass::Honest);
+                let view = self.view(&state, &roots, true, false);
+                let action = strategy.decide(&view);
+                self.apply_action(&mut state, &roots, action, Some(pending), &mut rng);
+            }
+        }
+
+        let (honest, adversary) =
+            self.stable_ownership_counts(&state.tree, state.public_tip, config.depth);
+        SimulationReport::new(
+            strategy.name().to_string(),
+            config.steps,
+            honest,
+            adversary,
+            state.tree.height(state.public_tip),
+        )
+    }
+
+    /// The main-chain blocks at depths `1..=d` (tip first). Shorter than `d`
+    /// near genesis.
+    fn window_roots(&self, state: &SimulationState) -> Vec<BlockId> {
+        let mut roots = Vec::with_capacity(self.config.depth);
+        let mut current = Some(state.public_tip);
+        for _ in 0..self.config.depth {
+            match current {
+                Some(block) => {
+                    roots.push(block);
+                    current = state.tree.parent(block);
+                }
+                None => break,
+            }
+        }
+        roots
+    }
+
+    /// All positions the adversary currently mines on: every non-empty fork
+    /// (extend it) plus, per root with a free slot, one new fork.
+    fn mining_slots(
+        &self,
+        state: &SimulationState,
+        roots: &[BlockId],
+    ) -> Vec<(BlockId, usize)> {
+        let mut slots = Vec::new();
+        for &root in roots {
+            let fork_slots = state.forks.get(&root);
+            let mut has_empty = false;
+            let mut first_empty = 0;
+            for slot in 0..self.config.forks_per_block {
+                let len = fork_slots
+                    .and_then(|slots| slots.get(slot))
+                    .map_or(0, |chain| chain.len());
+                if len > 0 && len < self.config.max_fork_length {
+                    slots.push((root, slot));
+                } else if len >= self.config.max_fork_length {
+                    // Saturated fork: the adversary still occupies the slot but
+                    // additional proofs are wasted; mirror the MDP by keeping
+                    // the position (its block simply does not extend the fork).
+                    slots.push((root, slot));
+                } else if !has_empty {
+                    has_empty = true;
+                    first_empty = slot;
+                }
+            }
+            if has_empty {
+                slots.push((root, first_empty));
+            }
+        }
+        slots
+    }
+
+    fn extend_fork(&self, state: &mut SimulationState, root: BlockId, slot: usize) {
+        let entry = state
+            .forks
+            .entry(root)
+            .or_insert_with(|| vec![Vec::new(); self.config.forks_per_block]);
+        let chain = &mut entry[slot];
+        if chain.len() >= self.config.max_fork_length {
+            // Saturated: the proof is wasted, mirroring the MDP's min(·, l).
+            return;
+        }
+        let parent = chain.last().copied().unwrap_or(root);
+        let block = state.tree.add_block(parent, MinerClass::Adversary);
+        chain.push(block);
+    }
+
+    fn view(
+        &self,
+        state: &SimulationState,
+        roots: &[BlockId],
+        pending_honest_block: bool,
+        just_mined: bool,
+    ) -> AdversaryView {
+        let fork_lengths = (0..self.config.depth)
+            .map(|depth| {
+                (0..self.config.forks_per_block)
+                    .map(|slot| {
+                        roots
+                            .get(depth)
+                            .and_then(|root| state.forks.get(root))
+                            .and_then(|slots| slots.get(slot))
+                            .map_or(0, |chain| chain.len())
+                    })
+                    .collect()
+            })
+            .collect();
+        // Ownership of the tracked main-chain blocks at depths 1..d−1; blocks
+        // missing near genesis count as honest (the genesis convention).
+        let owners = (0..self.config.depth.saturating_sub(1))
+            .map(|depth| {
+                roots
+                    .get(depth)
+                    .map_or(MinerClass::Honest, |&root| state.tree.owner(root))
+            })
+            .collect();
+        AdversaryView {
+            fork_lengths,
+            owners,
+            pending_honest_block,
+            just_mined,
+        }
+    }
+
+    fn apply_action(
+        &self,
+        state: &mut SimulationState,
+        roots: &[BlockId],
+        action: AdversaryAction,
+        pending: Option<BlockId>,
+        rng: &mut StdRng,
+    ) {
+        match action {
+            AdversaryAction::Wait => {
+                if let Some(pending) = pending {
+                    self.adopt_tip(state, pending);
+                }
+            }
+            AdversaryAction::Release { depth, fork, length } => {
+                match self.peek_release(state, roots, depth, fork, length) {
+                    Some(released_tip) => {
+                        let competes_with_pending = pending.is_some();
+                        // Published chain height vs the public chain height
+                        // (including a pending honest block if any).
+                        let published_height = state.tree.height(released_tip);
+                        let public_height = state.tree.height(state.public_tip)
+                            + u64::from(competes_with_pending);
+                        let accepted = published_height > public_height
+                            || (published_height == public_height
+                                && rng.gen_bool(self.config.gamma));
+                        if accepted {
+                            // Only now split the fork: the released prefix
+                            // becomes public, the remainder re-anchors on the
+                            // new tip.
+                            self.commit_release(state, roots, depth, fork, length);
+                            self.adopt_tip(state, released_tip);
+                        } else if let Some(pending) = pending {
+                            // Race lost: the honest block goes through and the
+                            // adversary keeps its fork (now rooted one block
+                            // deeper), exactly as in the MDP model.
+                            self.adopt_tip(state, pending);
+                        }
+                        // A rejected release against no pending block leaves
+                        // the public tip unchanged.
+                    }
+                    None => {
+                        // Invalid release: treat as Wait.
+                        if let Some(pending) = pending {
+                            self.adopt_tip(state, pending);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates a `(depth, fork, length)` release request and returns the
+    /// block that would become the public tip if the release were adopted,
+    /// without modifying any state.
+    fn peek_release(
+        &self,
+        state: &SimulationState,
+        roots: &[BlockId],
+        depth: usize,
+        fork: usize,
+        length: usize,
+    ) -> Option<BlockId> {
+        if depth == 0 || depth > roots.len() || fork == 0 || fork > self.config.forks_per_block {
+            return None;
+        }
+        let root = roots[depth - 1];
+        let chain = state.forks.get(&root)?.get(fork - 1)?;
+        if length == 0 || length > chain.len() {
+            return None;
+        }
+        Some(chain[length - 1])
+    }
+
+    /// Splits an accepted release off its fork: the released prefix leaves the
+    /// private-fork bookkeeping and the remainder re-anchors on the released
+    /// tip as a fresh private fork.
+    fn commit_release(
+        &self,
+        state: &mut SimulationState,
+        roots: &[BlockId],
+        depth: usize,
+        fork: usize,
+        length: usize,
+    ) {
+        let root = roots[depth - 1];
+        let Some(slots) = state.forks.get_mut(&root) else {
+            return;
+        };
+        let chain = &mut slots[fork - 1];
+        let remainder: Vec<BlockId> = chain.split_off(length);
+        let prefix = std::mem::take(chain);
+        if !remainder.is_empty() {
+            let released_tip = *prefix.last().expect("prefix non-empty");
+            let entry = state
+                .forks
+                .entry(released_tip)
+                .or_insert_with(|| vec![Vec::new(); self.config.forks_per_block]);
+            entry[0] = remainder;
+        }
+    }
+
+    /// Makes `tip` the new public tip and prunes private forks whose roots are
+    /// no longer within the last `d` blocks of the main chain.
+    fn adopt_tip(&self, state: &mut SimulationState, tip: BlockId) {
+        state.public_tip = tip;
+        let window: std::collections::HashSet<BlockId> = {
+            let mut set = std::collections::HashSet::new();
+            let mut current = Some(tip);
+            for _ in 0..self.config.depth {
+                match current {
+                    Some(block) => {
+                        set.insert(block);
+                        current = state.tree.parent(block);
+                    }
+                    None => break,
+                }
+            }
+            set
+        };
+        state.forks.retain(|root, _| window.contains(root));
+    }
+
+    /// Ownership counts over the *stable* part of the main chain (everything
+    /// deeper than the attack window of `d` blocks).
+    fn stable_ownership_counts(
+        &self,
+        tree: &BlockTree,
+        tip: BlockId,
+        depth: usize,
+    ) -> (u64, u64) {
+        let chain = tree.chain_to(tip);
+        let stable_len = chain.len().saturating_sub(depth);
+        let mut honest = 0;
+        let mut adversary = 0;
+        for &block in chain.iter().take(stable_len) {
+            if block == tree.genesis() {
+                continue;
+            }
+            match tree.owner(block) {
+                MinerClass::Honest => honest += 1,
+                MinerClass::Adversary => adversary += 1,
+            }
+        }
+        (honest, adversary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HonestStrategy, Sm1Strategy};
+
+    fn config(p: f64, gamma: f64, steps: usize, seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            p,
+            gamma,
+            depth: 2,
+            forks_per_block: 1,
+            max_fork_length: 4,
+            steps,
+            seed,
+        }
+    }
+
+    #[test]
+    fn honest_strategy_earns_proportional_share() {
+        let report = Simulator::new(config(0.3, 0.5, 60_000, 1)).run(&mut HonestStrategy);
+        let revenue = report.relative_revenue();
+        assert!(
+            (revenue - 0.3).abs() < 0.03,
+            "honest revenue {revenue} should be near 0.3"
+        );
+    }
+
+    #[test]
+    fn zero_resource_adversary_never_wins_blocks() {
+        let report = Simulator::new(config(0.0, 1.0, 5_000, 2)).run(&mut Sm1Strategy);
+        assert_eq!(report.adversary_blocks, 0);
+        assert!(report.honest_blocks > 0);
+    }
+
+    #[test]
+    fn full_resource_adversary_owns_the_chain() {
+        let report = Simulator::new(config(1.0, 0.0, 5_000, 3)).run(&mut HonestStrategy);
+        assert_eq!(report.honest_blocks, 0);
+        assert!(report.adversary_blocks > 0);
+    }
+
+    #[test]
+    fn sm1_with_high_gamma_beats_honest_share() {
+        // With γ = 1 and p = 0.4 the classic attack is clearly profitable.
+        let report = Simulator::new(SimulationConfig {
+            p: 0.4,
+            gamma: 1.0,
+            depth: 2,
+            forks_per_block: 1,
+            max_fork_length: 4,
+            steps: 120_000,
+            seed: 11,
+        })
+        .run(&mut Sm1Strategy);
+        assert!(
+            report.relative_revenue() > 0.42,
+            "sm1 revenue {} should exceed the honest share",
+            report.relative_revenue()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = Simulator::new(config(0.3, 0.5, 10_000, 9)).run(&mut Sm1Strategy);
+        let b = Simulator::new(config(0.3, 0.5, 10_000, 9)).run(&mut Sm1Strategy);
+        assert_eq!(a.honest_blocks, b.honest_blocks);
+        assert_eq!(a.adversary_blocks, b.adversary_blocks);
+        let c = Simulator::new(config(0.3, 0.5, 10_000, 10)).run(&mut Sm1Strategy);
+        assert!(c.honest_blocks != a.honest_blocks || c.adversary_blocks != a.adversary_blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in [0, 1]")]
+    fn invalid_probability_is_rejected() {
+        let _ = Simulator::new(SimulationConfig {
+            p: 1.5,
+            ..SimulationConfig::default()
+        });
+    }
+}

@@ -1,0 +1,300 @@
+//! The formal analysis procedure of Section 3.3 (Algorithm 1).
+//!
+//! Given a precision parameter `ε > 0`, the procedure computes an `ε`-tight
+//! lower bound on the optimal expected relative revenue `ERRev*` together with
+//! a strategy achieving it, by binary-searching over `β ∈ [0, 1]` and solving
+//! the mean-payoff MDP with reward `r_β = r_A − β (r_A + r_H)` at every step
+//! (Theorem 3.1: `MP*_β = 0` iff `β = ERRev*`, and `MP*_β` is monotonically
+//! non-increasing in `β`).
+//!
+//! Besides the paper-faithful bisection, [`AnalysisProcedure::solve_dinkelbach`]
+//! implements a Dinkelbach-style acceleration that converges in far fewer
+//! mean-payoff solves and is used by the benchmark harness as an ablation of
+//! the search strategy; both return the same value up to the precision.
+
+use crate::{SelfishMiningError, SelfishMiningModel};
+use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, PositionalStrategy};
+
+/// Configuration of the analysis procedure.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// The paper's precision parameter `ε`: on termination
+    /// `β_up − β_low < ε` and the returned value is an `ε`-tight lower bound.
+    pub epsilon: f64,
+    /// Mean-payoff solver used for the inner optimisations.
+    pub solver: MeanPayoffMethod,
+    /// Tolerance below which an inner mean payoff is considered zero when the
+    /// certified interval straddles zero (guards the sign test against solver
+    /// precision).
+    pub zero_tolerance: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            epsilon: 1e-3,
+            solver: MeanPayoffMethod::ValueIteration { epsilon: 1e-6 },
+            zero_tolerance: 1e-9,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Creates a configuration with the given `ε` and the default inner
+    /// solver, choosing the inner precision a couple of orders of magnitude
+    /// tighter than `ε`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        AnalysisConfig {
+            epsilon,
+            solver: MeanPayoffMethod::ValueIteration {
+                epsilon: (epsilon * 1e-3).max(1e-9),
+            },
+            ..AnalysisConfig::default()
+        }
+    }
+}
+
+/// Statistics of a single inner mean-payoff solve.
+#[derive(Debug, Clone)]
+pub struct SolveStep {
+    /// The `β` value the MDP was solved for.
+    pub beta: f64,
+    /// The optimal mean payoff `MP*_β` reported by the solver.
+    pub mean_payoff: f64,
+    /// Number of solver iterations.
+    pub iterations: usize,
+}
+
+/// Result of the analysis: the `ε`-tight lower bound on `ERRev*`, the final
+/// bracket, the optimal strategy for `r_{β_low}` and per-step statistics.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// The returned lower bound `ERRev = β_low ∈ [ERRev* − ε, ERRev*]`.
+    pub expected_relative_revenue: f64,
+    /// Exact expected relative revenue of the returned strategy (computed by
+    /// policy evaluation on the induced chain); by Theorem 3.1 this also lies
+    /// in `[ERRev* − ε, ERRev*]`.
+    pub strategy_revenue: f64,
+    /// Final lower end of the binary-search bracket.
+    pub beta_low: f64,
+    /// Final upper end of the binary-search bracket.
+    pub beta_up: f64,
+    /// The `ε`-optimal selfish-mining strategy.
+    pub strategy: PositionalStrategy,
+    /// One entry per inner mean-payoff solve.
+    pub steps: Vec<SolveStep>,
+}
+
+/// The formal analysis procedure (Algorithm 1) and its accelerated variant.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisProcedure {
+    config: AnalysisConfig,
+}
+
+impl AnalysisProcedure {
+    /// Creates a procedure with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        AnalysisProcedure { config }
+    }
+
+    /// Creates a procedure with precision `ε` and default solver choices.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        AnalysisProcedure::new(AnalysisConfig::with_epsilon(epsilon))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Algorithm 1: binary search over `β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::InvalidParameter`] for a non-positive
+    /// `ε` and propagates solver errors.
+    pub fn solve(&self, model: &SelfishMiningModel) -> Result<AnalysisResult, SelfishMiningError> {
+        if !(self.config.epsilon > 0.0) {
+            return Err(SelfishMiningError::InvalidParameter {
+                name: "epsilon",
+                constraint: "must be positive",
+            });
+        }
+        let solver = MeanPayoffSolver::new(self.config.solver.clone());
+        let mut beta_low: f64 = 0.0;
+        let mut beta_up: f64 = 1.0;
+        let mut steps = Vec::new();
+
+        while beta_up - beta_low >= self.config.epsilon {
+            let beta = 0.5 * (beta_low + beta_up);
+            let rewards = model.beta_rewards(beta)?;
+            let result = solver.solve(model.mdp(), &rewards)?;
+            steps.push(SolveStep {
+                beta,
+                mean_payoff: result.gain,
+                iterations: result.iterations,
+            });
+            if result.gain < -self.config.zero_tolerance {
+                beta_up = beta;
+            } else {
+                beta_low = beta;
+            }
+        }
+
+        self.finalize(model, beta_low, beta_up, steps)
+    }
+
+    /// Dinkelbach-style acceleration: instead of bisecting, the next `β` is
+    /// the exact expected relative revenue of the strategy that was optimal
+    /// for the current `β`. The iteration is monotone and converges to
+    /// `ERRev*`; it terminates once consecutive values differ by less than
+    /// `ε` (or the mean payoff at the current `β` is zero).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisProcedure::solve`].
+    pub fn solve_dinkelbach(
+        &self,
+        model: &SelfishMiningModel,
+    ) -> Result<AnalysisResult, SelfishMiningError> {
+        if !(self.config.epsilon > 0.0) {
+            return Err(SelfishMiningError::InvalidParameter {
+                name: "epsilon",
+                constraint: "must be positive",
+            });
+        }
+        let solver = MeanPayoffSolver::new(self.config.solver.clone());
+        let mut beta = 0.0;
+        let mut steps = Vec::new();
+        // ERRev* ≤ 1 and each iteration strictly increases β until the fixed
+        // point, so a small iteration cap suffices.
+        for _ in 0..200 {
+            let rewards = model.beta_rewards(beta)?;
+            let result = solver.solve(model.mdp(), &rewards)?;
+            steps.push(SolveStep {
+                beta,
+                mean_payoff: result.gain,
+                iterations: result.iterations,
+            });
+            let revenue = model.expected_relative_revenue(&result.strategy)?;
+            if (revenue - beta).abs() < self.config.epsilon
+                || result.gain.abs() <= self.config.zero_tolerance
+            {
+                return self.finalize(model, revenue.min(1.0), (revenue + self.config.epsilon).min(1.0), steps);
+            }
+            beta = revenue;
+        }
+        Err(SelfishMiningError::BracketingFailure {
+            beta_low: beta,
+            beta_up: 1.0,
+        })
+    }
+
+    fn finalize(
+        &self,
+        model: &SelfishMiningModel,
+        beta_low: f64,
+        beta_up: f64,
+        steps: Vec<SolveStep>,
+    ) -> Result<AnalysisResult, SelfishMiningError> {
+        if beta_low > beta_up {
+            return Err(SelfishMiningError::BracketingFailure { beta_low, beta_up });
+        }
+        let solver = MeanPayoffSolver::new(self.config.solver.clone());
+        let rewards = model.beta_rewards(beta_low)?;
+        let result = solver.solve(model.mdp(), &rewards)?;
+        let strategy_revenue = model.expected_relative_revenue(&result.strategy)?;
+        Ok(AnalysisResult {
+            expected_relative_revenue: beta_low,
+            strategy_revenue,
+            beta_low,
+            beta_up,
+            strategy: result.strategy,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackParams, SelfishMiningModel};
+
+    fn analyse(p: f64, gamma: f64, d: usize, f: usize, l: usize, eps: f64) -> AnalysisResult {
+        let params = AttackParams::new(p, gamma, d, f, l).unwrap();
+        let model = SelfishMiningModel::build(&params).unwrap();
+        AnalysisProcedure::with_epsilon(eps).solve(&model).unwrap()
+    }
+
+    #[test]
+    fn zero_resource_adversary_earns_nothing() {
+        let result = analyse(0.0, 0.5, 1, 1, 2, 1e-3);
+        assert!(result.expected_relative_revenue < 1e-3);
+        assert!(result.strategy_revenue < 1e-9);
+    }
+
+    #[test]
+    fn revenue_is_at_least_proportional_share() {
+        // Selfish mining can only help: ERRev* ≥ p (the adversary can always
+        // emulate near-honest behaviour by releasing immediately).
+        let result = analyse(0.2, 0.5, 2, 1, 4, 2e-3);
+        assert!(
+            result.strategy_revenue >= 0.2 - 5e-3,
+            "strategy revenue {} should be at least ~p",
+            result.strategy_revenue
+        );
+        // And the lower bound is consistent with the strategy's exact value.
+        assert!(result.expected_relative_revenue <= result.strategy_revenue + 2e-3);
+    }
+
+    #[test]
+    fn bracket_width_respects_epsilon() {
+        let result = analyse(0.3, 0.5, 1, 1, 3, 1e-2);
+        assert!(result.beta_up - result.beta_low < 1e-2);
+        assert!(result.beta_low <= result.beta_up);
+        assert!(!result.steps.is_empty());
+    }
+
+    #[test]
+    fn higher_gamma_does_not_hurt() {
+        let low = analyse(0.3, 0.0, 2, 1, 4, 2e-3);
+        let high = analyse(0.3, 1.0, 2, 1, 4, 2e-3);
+        assert!(
+            high.strategy_revenue >= low.strategy_revenue - 2e-3,
+            "gamma=1 revenue {} should be >= gamma=0 revenue {}",
+            high.strategy_revenue,
+            low.strategy_revenue
+        );
+    }
+
+    #[test]
+    fn dinkelbach_agrees_with_bisection() {
+        let params = AttackParams::new(0.3, 0.5, 2, 1, 4).unwrap();
+        let model = SelfishMiningModel::build(&params).unwrap();
+        let procedure = AnalysisProcedure::with_epsilon(1e-3);
+        let bisect = procedure.solve(&model).unwrap();
+        let dink = procedure.solve_dinkelbach(&model).unwrap();
+        assert!(
+            (bisect.strategy_revenue - dink.strategy_revenue).abs() < 5e-3,
+            "bisection {} vs dinkelbach {}",
+            bisect.strategy_revenue,
+            dink.strategy_revenue
+        );
+        // Dinkelbach needs far fewer inner solves than bisection for small ε.
+        assert!(dink.steps.len() <= bisect.steps.len() + 2);
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let params = AttackParams::new(0.3, 0.5, 1, 1, 2).unwrap();
+        let model = SelfishMiningModel::build(&params).unwrap();
+        let procedure = AnalysisProcedure::new(AnalysisConfig {
+            epsilon: 0.0,
+            ..AnalysisConfig::default()
+        });
+        assert!(matches!(
+            procedure.solve(&model),
+            Err(SelfishMiningError::InvalidParameter { .. })
+        ));
+    }
+}

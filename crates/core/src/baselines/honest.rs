@@ -1,0 +1,61 @@
+//! The honest-mining baseline.
+//!
+//! Baseline (1) of the paper's evaluation: the strategy that only extends the
+//! leading block of the main chain and publishes every block immediately. In
+//! the `(p, k)`-mining system model the honest strategy mines on exactly one
+//! block, so by fairness its expected relative revenue equals its resource
+//! share `p` — there is nothing to optimise, which is why the baseline is a
+//! closed form rather than an MDP solve.
+
+use crate::SelfishMiningError;
+
+/// Expected relative revenue of an adversary that mines honestly with
+/// resource share `p`.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::InvalidParameter`] if `p` lies outside
+/// `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// let revenue = selfish_mining::baselines::honest_relative_revenue(0.25).unwrap();
+/// assert_eq!(revenue, 0.25);
+/// ```
+pub fn honest_relative_revenue(p: f64) -> Result<f64, SelfishMiningError> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(SelfishMiningError::InvalidParameter {
+            name: "p",
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_revenue_equals_resource_share() {
+        for p in [0.0, 0.1, 0.25, 0.3, 0.5, 1.0] {
+            assert_eq!(honest_relative_revenue(p).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_share() {
+        assert!(honest_relative_revenue(-0.1).is_err());
+        assert!(honest_relative_revenue(1.5).is_err());
+        assert!(honest_relative_revenue(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn chain_quality_complement_holds() {
+        // Chain quality = 1 − ERRev (Section 2.2).
+        let p = 0.3;
+        let errev = honest_relative_revenue(p).unwrap();
+        assert!(((1.0 - errev) - 0.7).abs() < 1e-15);
+    }
+}

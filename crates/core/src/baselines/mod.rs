@@ -1,0 +1,22 @@
+//! Baseline strategies used in the experimental evaluation (Section 4).
+//!
+//! The paper compares the computed attack against two baselines:
+//!
+//! 1. **Honest mining** — the strategy that only ever extends the leading
+//!    block of the main chain ([`honest`]).
+//! 2. **Single-tree selfish mining** — the direct extension of the classic
+//!    Eyal–Sirer attack to efficient proof systems: the adversary grows a
+//!    single private *tree* (rather than a chain) on the leading block and
+//!    publishes it when the public chain catches up ([`single_tree`]).
+//!
+//! [`pow_closed_form`] additionally provides the closed-form relative revenue
+//! of the original proof-of-work selfish-mining attack, used as a sanity
+//! anchor for trends in tests and experiments.
+
+pub mod honest;
+pub mod pow_closed_form;
+pub mod single_tree;
+
+pub use honest::honest_relative_revenue;
+pub use pow_closed_form::eyal_sirer_relative_revenue;
+pub use single_tree::{SingleTreeAttack, SingleTreeResult};

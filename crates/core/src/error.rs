@@ -1,0 +1,118 @@
+//! Error type for the selfish-mining model and analysis.
+
+use sm_markov::MarkovError;
+use sm_mdp::MdpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analysing the selfish-mining MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelfishMiningError {
+    /// A model or attack parameter violates its constraint.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// The reachable state space exceeds the configured limit.
+    StateSpaceTooLarge {
+        /// Number of states discovered before giving up.
+        discovered: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An action was applied in a state where it is not available.
+    UnavailableAction {
+        /// Debug rendering of the state.
+        state: String,
+        /// Debug rendering of the action.
+        action: String,
+    },
+    /// The binary search of Algorithm 1 failed to bracket the optimum, which
+    /// indicates an inconsistent solver result.
+    BracketingFailure {
+        /// The lower end of the bracket.
+        beta_low: f64,
+        /// The upper end of the bracket.
+        beta_up: f64,
+    },
+    /// An underlying MDP computation failed.
+    Mdp(MdpError),
+    /// An underlying Markov-chain computation failed.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for SelfishMiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelfishMiningError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter {name} violates constraint: {constraint}")
+            }
+            SelfishMiningError::StateSpaceTooLarge { discovered, limit } => write!(
+                f,
+                "reachable state space exceeds limit ({discovered} discovered, limit {limit})"
+            ),
+            SelfishMiningError::UnavailableAction { state, action } => {
+                write!(f, "action {action} is not available in state {state}")
+            }
+            SelfishMiningError::BracketingFailure { beta_low, beta_up } => write!(
+                f,
+                "binary search failed to bracket the optimum (beta in [{beta_low}, {beta_up}])"
+            ),
+            SelfishMiningError::Mdp(err) => write!(f, "MDP error: {err}"),
+            SelfishMiningError::Markov(err) => write!(f, "markov error: {err}"),
+        }
+    }
+}
+
+impl Error for SelfishMiningError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SelfishMiningError::Mdp(err) => Some(err),
+            SelfishMiningError::Markov(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MdpError> for SelfishMiningError {
+    fn from(err: MdpError) -> Self {
+        SelfishMiningError::Mdp(err)
+    }
+}
+
+impl From<MarkovError> for SelfishMiningError {
+    fn from(err: MarkovError) -> Self {
+        SelfishMiningError::Markov(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let err = SelfishMiningError::StateSpaceTooLarge {
+            discovered: 1000,
+            limit: 500,
+        };
+        assert!(err.to_string().contains("1000"));
+        assert!(err.to_string().contains("500"));
+    }
+
+    #[test]
+    fn conversions_set_source() {
+        let err: SelfishMiningError = MdpError::EmptyModel.into();
+        assert!(Error::source(&err).is_some());
+        let err: SelfishMiningError = MarkovError::EmptyChain.into();
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SelfishMiningError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Experiment drivers regenerating the data behind the paper's evaluation
+//! (Section 4): the runtime table (Table 1) and the expected-relative-revenue
+//! curves (Figure 2).
+//!
+//! The functions here compute *data rows*; the `sm-bench` crate turns them
+//! into printed tables/series and Criterion benchmarks, and `EXPERIMENTS.md`
+//! records the measured outputs next to the paper's reported values.
+
+use crate::baselines::{honest_relative_revenue, SingleTreeAttack};
+use crate::{AnalysisProcedure, AttackParams, SelfishMiningError, SelfishMiningModel};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The `(d, f)` grid evaluated in the paper (with `l = 4` throughout).
+pub const PAPER_ATTACK_GRID: [(usize, usize); 5] = [(1, 1), (2, 1), (2, 2), (3, 2), (4, 2)];
+
+/// The switching probabilities evaluated in the paper's Figure 2.
+pub const PAPER_GAMMA_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One point of a Figure 2 curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Point {
+    /// Adversarial resource share `p`.
+    pub p: f64,
+    /// Switching probability `γ`.
+    pub gamma: f64,
+    /// Expected relative revenue of our attack for each `(d, f)` in
+    /// [`Figure2Sweep::attack_grid`], in the same order.
+    pub attack_revenue: Vec<f64>,
+    /// Expected relative revenue of the honest baseline (= `p`).
+    pub honest_revenue: f64,
+    /// Expected relative revenue of the single-tree baseline.
+    pub single_tree_revenue: f64,
+}
+
+/// Configuration of a Figure 2 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Sweep {
+    /// The `(d, f)` configurations of our attack to evaluate.
+    pub attack_grid: Vec<(usize, usize)>,
+    /// Maximal private fork length `l`.
+    pub max_fork_length: usize,
+    /// Precision `ε` of the analysis.
+    pub epsilon: f64,
+    /// Single-tree baseline tree width.
+    pub single_tree_width: usize,
+    /// Single-tree baseline tree depth.
+    pub single_tree_depth: usize,
+}
+
+impl Default for Figure2Sweep {
+    fn default() -> Self {
+        Figure2Sweep {
+            attack_grid: vec![(1, 1), (2, 1), (2, 2)],
+            max_fork_length: 4,
+            epsilon: 1e-3,
+            single_tree_width: 5,
+            single_tree_depth: 4,
+        }
+    }
+}
+
+impl Figure2Sweep {
+    /// The full grid used by the paper. The `(3, 2)` and `(4, 2)`
+    /// configurations are expensive (minutes to hours); prefer
+    /// [`Figure2Sweep::default`] for interactive use.
+    pub fn paper_grid() -> Self {
+        Figure2Sweep {
+            attack_grid: PAPER_ATTACK_GRID.to_vec(),
+            ..Figure2Sweep::default()
+        }
+    }
+
+    /// Computes one Figure 2 point: our attack on every `(d, f)` of the grid
+    /// plus both baselines, at the given `p` and `γ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and solver errors.
+    pub fn point(&self, p: f64, gamma: f64) -> Result<Figure2Point, SelfishMiningError> {
+        let mut attack_revenue = Vec::with_capacity(self.attack_grid.len());
+        for &(depth, forks) in &self.attack_grid {
+            let params = AttackParams::new(p, gamma, depth, forks, self.max_fork_length)?;
+            let model = SelfishMiningModel::build(&params)?;
+            let result = AnalysisProcedure::with_epsilon(self.epsilon).solve_dinkelbach(&model)?;
+            attack_revenue.push(result.strategy_revenue);
+        }
+        let single_tree = SingleTreeAttack {
+            p,
+            gamma,
+            max_depth: self.single_tree_depth,
+            max_width: self.single_tree_width,
+        }
+        .analyse()?;
+        Ok(Figure2Point {
+            p,
+            gamma,
+            attack_revenue,
+            honest_revenue: honest_relative_revenue(p)?,
+            single_tree_revenue: single_tree.relative_revenue,
+        })
+    }
+
+    /// Computes a whole curve (one Figure 2 panel) for the given `γ` over the
+    /// given values of `p`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Figure2Sweep::point`].
+    pub fn curve(&self, gamma: f64, ps: &[f64]) -> Result<Vec<Figure2Point>, SelfishMiningError> {
+        ps.iter().map(|&p| self.point(p, gamma)).collect()
+    }
+}
+
+/// The values of `p` used by the paper (0 to 0.3 in steps of 0.01).
+pub fn paper_p_grid() -> Vec<f64> {
+    (0..=30).map(|i| i as f64 / 100.0).collect()
+}
+
+/// A coarser `p` grid (steps of 0.05) used by the default benchmark harness to
+/// keep wall-clock times reasonable; the curves' shape is unchanged.
+pub fn coarse_p_grid() -> Vec<f64> {
+    (0..=6).map(|i| i as f64 * 0.05).collect()
+}
+
+/// One row of the runtime table (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Human-readable attack label ("our attack" or "single-tree").
+    pub attack: String,
+    /// Attack depth `d` (0 for the single-tree baseline).
+    pub depth: usize,
+    /// Forking number `f` (tree width for the single-tree baseline).
+    pub forks: usize,
+    /// Number of states of the constructed model.
+    pub num_states: usize,
+    /// Wall-clock time of model construction plus analysis, in seconds.
+    pub seconds: f64,
+    /// The expected relative revenue obtained (not reported in the paper's
+    /// table but useful for cross-checking).
+    pub revenue: f64,
+}
+
+/// Measures one Table 1 row for our attack at `(d, f)` with the given
+/// parameters.
+///
+/// # Errors
+///
+/// Propagates model and solver errors.
+pub fn table1_row(
+    p: f64,
+    gamma: f64,
+    depth: usize,
+    forks: usize,
+    max_fork_length: usize,
+    epsilon: f64,
+) -> Result<Table1Row, SelfishMiningError> {
+    let start = Instant::now();
+    let params = AttackParams::new(p, gamma, depth, forks, max_fork_length)?;
+    let model = SelfishMiningModel::build(&params)?;
+    let result = AnalysisProcedure::with_epsilon(epsilon).solve(&model)?;
+    let elapsed: Duration = start.elapsed();
+    Ok(Table1Row {
+        attack: "our attack".to_string(),
+        depth,
+        forks,
+        num_states: model.num_states(),
+        seconds: elapsed.as_secs_f64(),
+        revenue: result.strategy_revenue,
+    })
+}
+
+/// Measures the single-tree baseline row of Table 1.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn table1_single_tree_row(
+    p: f64,
+    gamma: f64,
+    max_depth: usize,
+    max_width: usize,
+) -> Result<Table1Row, SelfishMiningError> {
+    let start = Instant::now();
+    let result = SingleTreeAttack {
+        p,
+        gamma,
+        max_depth,
+        max_width,
+    }
+    .analyse()?;
+    let elapsed = start.elapsed();
+    Ok(Table1Row {
+        attack: "single-tree selfish mining".to_string(),
+        depth: max_depth,
+        forks: max_width,
+        num_states: result.num_states,
+        seconds: elapsed.as_secs_f64(),
+        revenue: result.relative_revenue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_point_orders_attack_above_baselines_for_d2() {
+        let sweep = Figure2Sweep {
+            attack_grid: vec![(2, 1)],
+            epsilon: 5e-3,
+            ..Figure2Sweep::default()
+        };
+        let point = sweep.point(0.3, 0.5).unwrap();
+        assert_eq!(point.attack_revenue.len(), 1);
+        assert!(
+            point.attack_revenue[0] >= point.honest_revenue - 5e-3,
+            "attack {} vs honest {}",
+            point.attack_revenue[0],
+            point.honest_revenue
+        );
+        assert!((0.0..1.0).contains(&point.single_tree_revenue));
+    }
+
+    #[test]
+    fn curve_is_monotone_in_p_for_small_config() {
+        let sweep = Figure2Sweep {
+            attack_grid: vec![(1, 1)],
+            epsilon: 1e-2,
+            ..Figure2Sweep::default()
+        };
+        let curve = sweep.curve(0.5, &[0.0, 0.15, 0.3]).unwrap();
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].attack_revenue[0] <= curve[1].attack_revenue[0] + 1e-2);
+        assert!(curve[1].attack_revenue[0] <= curve[2].attack_revenue[0] + 1e-2);
+    }
+
+    #[test]
+    fn table1_rows_record_positive_times_and_states() {
+        let row = table1_row(0.3, 0.5, 1, 1, 4, 1e-2).unwrap();
+        assert!(row.num_states > 0);
+        assert!(row.seconds >= 0.0);
+        assert!((0.0..1.0).contains(&row.revenue));
+        let tree = table1_single_tree_row(0.3, 0.5, 4, 5).unwrap();
+        assert!(tree.num_states > 0);
+        assert_eq!(tree.attack, "single-tree selfish mining");
+    }
+
+    #[test]
+    fn p_grids_have_expected_shape() {
+        let fine = paper_p_grid();
+        assert_eq!(fine.len(), 31);
+        assert_eq!(fine[0], 0.0);
+        assert!((fine[30] - 0.3).abs() < 1e-12);
+        let coarse = coarse_p_grid();
+        assert_eq!(coarse.len(), 7);
+        assert!((coarse[6] - 0.3).abs() < 1e-12);
+    }
+}

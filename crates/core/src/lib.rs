@@ -1,0 +1,62 @@
+//! Selfish mining in efficient proof systems blockchains: the MDP model and
+//! the fully automated analysis of
+//! *"Fully Automated Selfish Mining Analysis in Efficient Proof Systems
+//! Blockchains"* (Chatterjee, Ebrahimzadeh, Karrabi, Pietrzak, Yeo, Žikelić —
+//! PODC 2024).
+//!
+//! # What this crate provides
+//!
+//! * [`AttackParams`] — the system-model and attack parameters
+//!   `(p, γ, d, f, l)` of Section 3.2.
+//! * [`SmState`], [`SmAction`], [`available_actions`], [`successors`] — the
+//!   structured state space, action space and probabilistic transition
+//!   function of the selfish-mining MDP.
+//! * [`SelfishMiningModel`] — reachable-state exploration and construction of
+//!   the finite MDP together with the reward structures `r_A` and `r_H` of
+//!   Section 3.3.
+//! * [`AnalysisProcedure`] — Algorithm 1: an `ε`-tight lower bound on the
+//!   optimal expected relative revenue plus an `ε`-optimal strategy, computed
+//!   by binary search over the mean-payoff reward family `r_β` (and a
+//!   Dinkelbach-accelerated variant).
+//! * [`baselines`] — the two baselines of the experimental evaluation
+//!   (honest mining and the single-tree selfish-mining attack) and the
+//!   Eyal–Sirer proof-of-work closed form used as a sanity anchor.
+//! * [`experiments`] — drivers that regenerate the data behind Table 1 and
+//!   Figure 2 of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use selfish_mining::{AnalysisProcedure, AttackParams, SelfishMiningModel};
+//!
+//! # fn main() -> Result<(), selfish_mining::SelfishMiningError> {
+//! // d = 2, f = 1, l = 4 — the smallest configuration in which the attack
+//! // beats both baselines in the paper.
+//! let params = AttackParams::new(0.3, 0.5, 2, 1, 4)?;
+//! let model = SelfishMiningModel::build(&params)?;
+//! let result = AnalysisProcedure::with_epsilon(1e-2).solve(&model)?;
+//! assert!(result.strategy_revenue >= 0.3); // at least the honest share
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod analysis;
+pub mod baselines;
+mod error;
+pub mod experiments;
+mod model;
+mod params;
+mod state;
+mod transition;
+
+pub use action::SmAction;
+pub use analysis::{AnalysisConfig, AnalysisProcedure, AnalysisResult, SolveStep};
+pub use error::SelfishMiningError;
+pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
+pub use params::AttackParams;
+pub use state::{Owner, Phase, SmState};
+pub use transition::{available_actions, successors, BlockRewards, Outcome};

@@ -1,0 +1,383 @@
+//! Construction of the finite MDP from the selfish-mining transition system.
+//!
+//! The builder explores the set of states reachable from the initial state
+//! under *any* strategy (breadth-first over [`crate::available_actions`] and
+//! [`crate::successors`]) and assembles:
+//!
+//! * an [`sm_mdp::Mdp`] whose states are indices into the discovered state
+//!   list,
+//! * the two base reward structures `r_A` (adversarial blocks finalized) and
+//!   `r_H` (honest blocks finalized) of Section 3.3, stored as expected
+//!   per-action rewards, which is all the mean-payoff machinery needs.
+
+use crate::{
+    available_actions, successors, AttackParams, SelfishMiningError, SmAction, SmState,
+};
+use sm_mdp::{Mdp, MdpBuilder, PositionalStrategy, TransitionRewards};
+use std::collections::{HashMap, VecDeque};
+
+/// Default cap on the number of reachable states the builder will enumerate
+/// before giving up. The largest configuration evaluated in the paper
+/// (`d = 4`, `f = 2`, `l = 4`) stays below ten million states.
+pub const DEFAULT_STATE_LIMIT: usize = 12_000_000;
+
+/// The fully constructed selfish-mining MDP together with its reward
+/// structures and the mapping back to structured states.
+#[derive(Debug, Clone)]
+pub struct SelfishMiningModel {
+    params: AttackParams,
+    mdp: Mdp,
+    states: Vec<SmState>,
+    actions: Vec<Vec<SmAction>>,
+    adversary_rewards: TransitionRewards,
+    honest_rewards: TransitionRewards,
+}
+
+impl SelfishMiningModel {
+    /// Builds the model for the given parameters with the default state-space
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::StateSpaceTooLarge`] if the reachable
+    /// state space exceeds the limit, and propagates transition or MDP
+    /// construction errors.
+    pub fn build(params: &AttackParams) -> Result<Self, SelfishMiningError> {
+        Self::build_with_limit(params, DEFAULT_STATE_LIMIT)
+    }
+
+    /// Builds the model with an explicit cap on the number of reachable
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// See [`SelfishMiningModel::build`].
+    pub fn build_with_limit(
+        params: &AttackParams,
+        state_limit: usize,
+    ) -> Result<Self, SelfishMiningError> {
+        params.validate()?;
+        let initial = SmState::initial(params);
+
+        let mut index_of: HashMap<SmState, usize> = HashMap::new();
+        let mut states: Vec<SmState> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        index_of.insert(initial.clone(), 0);
+        states.push(initial);
+        queue.push_back(0);
+
+        // Per-state action lists and their outcome lists (target index,
+        // probability, adversary reward, honest reward).
+        let mut actions: Vec<Vec<SmAction>> = Vec::new();
+        let mut outcomes: Vec<Vec<Vec<(usize, f64, f64, f64)>>> = Vec::new();
+
+        while let Some(index) = queue.pop_front() {
+            let state = states[index].clone();
+            let state_actions = available_actions(params, &state);
+            let mut per_action = Vec::with_capacity(state_actions.len());
+            for action in &state_actions {
+                let outs = successors(params, &state, action)?;
+                let mut entries = Vec::with_capacity(outs.len());
+                for out in outs {
+                    let target = match index_of.get(&out.state) {
+                        Some(&existing) => existing,
+                        None => {
+                            let new_index = states.len();
+                            if new_index >= state_limit {
+                                return Err(SelfishMiningError::StateSpaceTooLarge {
+                                    discovered: new_index + 1,
+                                    limit: state_limit,
+                                });
+                            }
+                            index_of.insert(out.state.clone(), new_index);
+                            states.push(out.state);
+                            queue.push_back(new_index);
+                            new_index
+                        }
+                    };
+                    entries.push((
+                        target,
+                        out.probability,
+                        f64::from(out.rewards.adversary),
+                        f64::from(out.rewards.honest),
+                    ));
+                }
+                per_action.push(entries);
+            }
+            // `actions` and `outcomes` are indexed by discovery order, which is
+            // exactly the BFS pop order (indices are assigned contiguously).
+            debug_assert_eq!(actions.len(), index);
+            actions.push(state_actions);
+            outcomes.push(per_action);
+        }
+
+        // Assemble the MDP and the expected per-action rewards.
+        let num_states = states.len();
+        let mut builder = MdpBuilder::new(num_states);
+        let mut expected_adv: Vec<Vec<f64>> = Vec::with_capacity(num_states);
+        let mut expected_hon: Vec<Vec<f64>> = Vec::with_capacity(num_states);
+        for state_index in 0..num_states {
+            let mut adv_row = Vec::with_capacity(actions[state_index].len());
+            let mut hon_row = Vec::with_capacity(actions[state_index].len());
+            for (action, entries) in actions[state_index]
+                .iter()
+                .zip(&outcomes[state_index])
+            {
+                let transitions: Vec<(usize, f64)> =
+                    entries.iter().map(|&(t, p, _, _)| (t, p)).collect();
+                builder.add_action(state_index, action.name(), transitions)?;
+                adv_row.push(entries.iter().map(|&(_, p, a, _)| p * a).sum());
+                hon_row.push(entries.iter().map(|&(_, p, _, h)| p * h).sum());
+            }
+            expected_adv.push(adv_row);
+            expected_hon.push(hon_row);
+        }
+        let mdp = builder.build(0)?;
+        let adversary_rewards =
+            TransitionRewards::from_fn(&mdp, |s, a, _| expected_adv[s][a]);
+        let honest_rewards = TransitionRewards::from_fn(&mdp, |s, a, _| expected_hon[s][a]);
+
+        Ok(SelfishMiningModel {
+            params: *params,
+            mdp,
+            states,
+            actions,
+            adversary_rewards,
+            honest_rewards,
+        })
+    }
+
+    /// The parameters the model was built for.
+    pub fn params(&self) -> &AttackParams {
+        &self.params
+    }
+
+    /// The underlying MDP.
+    pub fn mdp(&self) -> &Mdp {
+        &self.mdp
+    }
+
+    /// Number of reachable states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The structured state corresponding to an MDP state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn state(&self, index: usize) -> &SmState {
+        &self.states[index]
+    }
+
+    /// The structured action corresponding to an MDP `(state, action)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn action(&self, state: usize, action: usize) -> &SmAction {
+        &self.actions[state][action]
+    }
+
+    /// The actions available in an MDP state, in the same order as the MDP's
+    /// action indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn actions_of(&self, state: usize) -> &[SmAction] {
+        &self.actions[state]
+    }
+
+    /// Reward structure `r_A`: expected number of adversary blocks finalized
+    /// per state-action pair.
+    pub fn adversary_rewards(&self) -> &TransitionRewards {
+        &self.adversary_rewards
+    }
+
+    /// Reward structure `r_H`: expected number of honest blocks finalized per
+    /// state-action pair.
+    pub fn honest_rewards(&self) -> &TransitionRewards {
+        &self.honest_rewards
+    }
+
+    /// The reward structure `r_β = r_A − β · (r_A + r_H)` of Section 3.3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (which cannot occur for structures built by
+    /// this model).
+    pub fn beta_rewards(&self, beta: f64) -> Result<TransitionRewards, SelfishMiningError> {
+        let total = self.adversary_rewards.sum(&self.honest_rewards)?;
+        Ok(self
+            .adversary_rewards
+            .affine_combination(&total, 1.0, -beta)?)
+    }
+
+    /// The expected relative revenue of a *fixed* positional strategy,
+    /// computed from the gains of the induced chain:
+    /// `ERRev(σ) = g_A(σ) / (g_A(σ) + g_H(σ))`.
+    ///
+    /// The gains are evaluated with sparse iterative sweeps
+    /// ([`sm_markov::iterative_gain`]) so that the evaluation scales to the
+    /// larger attack configurations, where dense policy evaluation would be
+    /// prohibitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-evaluation errors.
+    pub fn expected_relative_revenue(
+        &self,
+        strategy: &PositionalStrategy,
+    ) -> Result<f64, SelfishMiningError> {
+        let chain = self.mdp.induced_chain(strategy)?;
+        let r_adv = self
+            .adversary_rewards
+            .strategy_rewards(&self.mdp, strategy)?;
+        let r_hon = self.honest_rewards.strategy_rewards(&self.mdp, strategy)?;
+        let adv = sm_markov::iterative_gain(&chain, &r_adv, 1e-9, 5_000_000)?;
+        let hon = sm_markov::iterative_gain(&chain, &r_hon, 1e-9, 5_000_000)?;
+        if adv + hon <= 0.0 {
+            // Blocks are finalized with positive rate under every strategy
+            // (honest miners alone guarantee it), so this indicates a
+            // numerical problem rather than a legitimate value.
+            return Err(SelfishMiningError::BracketingFailure {
+                beta_low: adv,
+                beta_up: hon,
+            });
+        }
+        Ok(adv / (adv + hon))
+    }
+
+    /// Renders a positional strategy as a list of `(state, action)` pairs in
+    /// the structured vocabulary of the attack, restricted to states where the
+    /// strategy chooses something other than `mine`. Useful for inspecting
+    /// computed attacks.
+    pub fn describe_strategy(&self, strategy: &PositionalStrategy) -> Vec<(String, String)> {
+        (0..self.num_states())
+            .filter_map(|s| {
+                let action_idx = strategy.action(s);
+                let action = self.actions[s].get(action_idx)?;
+                if action.is_release() {
+                    Some((self.states[s].to_string(), action.to_string()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    fn build(p: f64, gamma: f64, d: usize, f: usize, l: usize) -> SelfishMiningModel {
+        let params = AttackParams::new(p, gamma, d, f, l).unwrap();
+        SelfishMiningModel::build(&params).unwrap()
+    }
+
+    #[test]
+    fn smallest_model_has_expected_structure() {
+        let model = build(0.3, 0.5, 1, 1, 2);
+        // States: forks ∈ {0,1,2}, phases ∈ {mining, honest, adversary}; not
+        // every combination is reachable but the model must stay within the
+        // product bound.
+        assert!(model.num_states() <= 9);
+        assert!(model.num_states() >= 5);
+        assert_eq!(model.mdp().initial_state(), 0);
+        assert_eq!(model.state(0), &SmState::initial(model.params()));
+        // Every state's action list matches the MDP's.
+        for s in 0..model.num_states() {
+            assert_eq!(model.actions_of(s).len(), model.mdp().num_actions(s));
+        }
+    }
+
+    #[test]
+    fn model_size_matches_paper_order_of_magnitude_for_small_configs() {
+        let model = build(0.3, 0.5, 2, 1, 4);
+        assert!(model.num_states() < 200, "got {}", model.num_states());
+        let model = build(0.3, 0.5, 2, 2, 4);
+        assert!(model.num_states() < 4000, "got {}", model.num_states());
+    }
+
+    #[test]
+    fn rewards_are_nonnegative_and_bounded_by_l() {
+        let model = build(0.3, 0.5, 2, 2, 3);
+        let mdp = model.mdp();
+        for s in 0..mdp.num_states() {
+            for a in 0..mdp.num_actions(s) {
+                let adv = model.adversary_rewards().expected_reward(mdp, s, a);
+                let hon = model.honest_rewards().expected_reward(mdp, s, a);
+                assert!(adv >= 0.0 && hon >= 0.0);
+                assert!(adv + hon <= model.params().max_fork_length as f64 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let params = AttackParams::new(0.3, 0.5, 2, 2, 4).unwrap();
+        let err = SelfishMiningModel::build_with_limit(&params, 10).unwrap_err();
+        assert!(matches!(err, SelfishMiningError::StateSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn beta_rewards_interpolate_between_extremes() {
+        let model = build(0.3, 0.5, 1, 1, 2);
+        let mdp = model.mdp();
+        let r0 = model.beta_rewards(0.0).unwrap();
+        let r1 = model.beta_rewards(1.0).unwrap();
+        for s in 0..mdp.num_states() {
+            for a in 0..mdp.num_actions(s) {
+                let adv = model.adversary_rewards().expected_reward(mdp, s, a);
+                let hon = model.honest_rewards().expected_reward(mdp, s, a);
+                assert!((r0.expected_reward(mdp, s, a) - adv).abs() < 1e-12);
+                assert!((r1.expected_reward(mdp, s, a) + hon).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn always_mine_strategy_has_revenue_between_zero_and_one() {
+        let model = build(0.25, 0.5, 2, 1, 3);
+        // The all-first-action strategy is "always mine" because `mine` is
+        // always the first available action.
+        let mine_everywhere = PositionalStrategy::uniform_first_action(model.num_states());
+        for s in 0..model.num_states() {
+            assert_eq!(model.action(s, 0), &SmAction::Mine);
+        }
+        let errev = model.expected_relative_revenue(&mine_everywhere).unwrap();
+        assert!((0.0..=1.0).contains(&errev), "errev = {errev}");
+    }
+
+    #[test]
+    fn honest_and_adversary_phases_are_reachable() {
+        let model = build(0.3, 0.5, 2, 1, 3);
+        let mut phases = std::collections::HashSet::new();
+        for s in 0..model.num_states() {
+            phases.insert(model.state(s).phase);
+        }
+        assert!(phases.contains(&Phase::Mining));
+        assert!(phases.contains(&Phase::HonestFound));
+        assert!(phases.contains(&Phase::AdversaryFound));
+    }
+
+    #[test]
+    fn describe_strategy_lists_only_releases() {
+        let model = build(0.3, 0.5, 1, 1, 2);
+        let mut strategy = PositionalStrategy::uniform_first_action(model.num_states());
+        // Force a release wherever one is available.
+        for s in 0..model.num_states() {
+            if model.actions_of(s).len() > 1 {
+                strategy.set_action(s, 1);
+            }
+        }
+        let description = model.describe_strategy(&strategy);
+        assert!(!description.is_empty());
+        assert!(description.iter().all(|(_, a)| a.starts_with("release")));
+    }
+}

@@ -1,0 +1,250 @@
+//! The selfish-mining MDP state `(C, O, type)` of Section 3.2.
+
+use crate::AttackParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Owner of a block on the main chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Owner {
+    /// The block was mined by honest miners.
+    Honest,
+    /// The block was mined by the adversarial coalition.
+    Adversary,
+}
+
+/// The paper's `type` component of a state: whether a proof is still being
+/// computed or a party just produced one.
+///
+/// The reproduction uses the *pre-incorporation* convention for honest blocks:
+/// in [`Phase::HonestFound`] the freshly found honest block is pending and has
+/// not yet been linked into the depth indexing of `C` and `O`. This matches
+/// the attack narrative (the adversary reveals a fork "together with the
+/// occurrence of a freshly mined honest block", racing against it) and is what
+/// makes the `d = f = 1` configuration exhibit the switching-probability
+/// dependence reported in the paper's Figure 2; see DESIGN.md for a discussion
+/// of this modelling choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// All parties are mining (`type = mining`).
+    Mining,
+    /// Honest miners just found a block; it is pending incorporation
+    /// (`type = honest`).
+    HonestFound,
+    /// The adversary just extended one of its private forks
+    /// (`type = adversary`).
+    AdversaryFound,
+}
+
+/// A state of the selfish-mining MDP.
+///
+/// * `forks[(i-1) * f + (j-1)]` is the paper's `C[i, j]`: the length of the
+///   `j`-th private fork rooted at the main-chain block at depth `i`
+///   (depth 1 = tip of the accepted public chain).
+/// * `owners[i-1]` is the paper's `O[i]`: the owner of the main-chain block at
+///   depth `i`, for `i = 1..d−1`.
+/// * `phase` is the paper's `type`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SmState {
+    /// Private-fork lengths, row-major by depth: `d × f` entries in `0..=l`.
+    pub forks: Vec<u8>,
+    /// Owners of the main-chain blocks at depths `1..d−1` (`d − 1` entries).
+    pub owners: Vec<Owner>,
+    /// Mining phase.
+    pub phase: Phase,
+}
+
+impl SmState {
+    /// The initial state `s₀`: no private forks, all tracked blocks honest,
+    /// everyone mining.
+    pub fn initial(params: &AttackParams) -> Self {
+        SmState {
+            forks: vec![0; params.depth * params.forks_per_block],
+            owners: vec![Owner::Honest; params.depth - 1],
+            phase: Phase::Mining,
+        }
+    }
+
+    /// The paper's `C[depth, fork]` with 1-based indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range for the parameters this state
+    /// was built with.
+    pub fn fork_length(&self, params: &AttackParams, depth: usize, fork: usize) -> u8 {
+        assert!(
+            (1..=params.depth).contains(&depth) && (1..=params.forks_per_block).contains(&fork),
+            "fork index ({depth}, {fork}) out of range"
+        );
+        self.forks[(depth - 1) * params.forks_per_block + (fork - 1)]
+    }
+
+    /// Mutable access to `C[depth, fork]` with 1-based indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn fork_length_mut(
+        &mut self,
+        params: &AttackParams,
+        depth: usize,
+        fork: usize,
+    ) -> &mut u8 {
+        assert!(
+            (1..=params.depth).contains(&depth) && (1..=params.forks_per_block).contains(&fork),
+            "fork index ({depth}, {fork}) out of range"
+        );
+        &mut self.forks[(depth - 1) * params.forks_per_block + (fork - 1)]
+    }
+
+    /// Owner of the main-chain block at `depth` (1-based, `depth < d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is out of range.
+    pub fn owner(&self, depth: usize) -> Owner {
+        self.owners[depth - 1]
+    }
+
+    /// The number of block positions the adversary mines on (the paper's `σ`):
+    /// every non-empty private fork is extended, and at every depth with at
+    /// least one empty fork slot a new fork can be started.
+    pub fn mining_slots(&self, params: &AttackParams) -> usize {
+        let f = params.forks_per_block;
+        let mut slots = 0;
+        for depth in 0..params.depth {
+            let row = &self.forks[depth * f..(depth + 1) * f];
+            slots += row.iter().filter(|&&len| len > 0).count();
+            if row.iter().any(|&len| len == 0) {
+                slots += 1;
+            }
+        }
+        slots
+    }
+
+    /// The lowest-index empty fork slot at the given depth (1-based), if any.
+    pub fn first_empty_fork(&self, params: &AttackParams, depth: usize) -> Option<usize> {
+        (1..=params.forks_per_block).find(|&j| self.fork_length(params, depth, j) == 0)
+    }
+
+    /// Total number of withheld (private, unpublished) adversary blocks.
+    pub fn total_private_blocks(&self) -> usize {
+        self.forks.iter().map(|&len| len as usize).sum()
+    }
+
+    /// Whether the state is structurally consistent with the parameters.
+    pub fn is_consistent(&self, params: &AttackParams) -> bool {
+        self.forks.len() == params.depth * params.forks_per_block
+            && self.owners.len() == params.depth - 1
+            && self
+                .forks
+                .iter()
+                .all(|&len| (len as usize) <= params.max_fork_length)
+    }
+}
+
+impl fmt::Display for SmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C={:?} O=[", self.forks)?;
+        for (i, owner) in self.owners.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(
+                f,
+                "{}",
+                match owner {
+                    Owner::Honest => "H",
+                    Owner::Adversary => "A",
+                }
+            )?;
+        }
+        write!(
+            f,
+            "] phase={}",
+            match self.phase {
+                Phase::Mining => "mining",
+                Phase::HonestFound => "honest",
+                Phase::AdversaryFound => "adversary",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(d: usize, f: usize, l: usize) -> AttackParams {
+        AttackParams::new(0.3, 0.5, d, f, l).unwrap()
+    }
+
+    #[test]
+    fn initial_state_shape() {
+        let p = params(3, 2, 4);
+        let s = SmState::initial(&p);
+        assert_eq!(s.forks.len(), 6);
+        assert_eq!(s.owners.len(), 2);
+        assert_eq!(s.phase, Phase::Mining);
+        assert!(s.is_consistent(&p));
+        assert_eq!(s.total_private_blocks(), 0);
+    }
+
+    #[test]
+    fn fork_indexing_is_one_based_row_major() {
+        let p = params(2, 3, 4);
+        let mut s = SmState::initial(&p);
+        *s.fork_length_mut(&p, 2, 3) = 4;
+        assert_eq!(s.fork_length(&p, 2, 3), 4);
+        assert_eq!(s.forks[5], 4);
+        assert_eq!(s.fork_length(&p, 1, 1), 0);
+    }
+
+    #[test]
+    fn mining_slots_counts_nonempty_forks_and_open_depths() {
+        let p = params(2, 2, 4);
+        let mut s = SmState::initial(&p);
+        // All slots empty: one "start a fork" slot per depth.
+        assert_eq!(s.mining_slots(&p), 2);
+        // One fork at depth 1: that fork + the empty slot at depth 1 + depth 2 slot.
+        *s.fork_length_mut(&p, 1, 1) = 2;
+        assert_eq!(s.mining_slots(&p), 3);
+        // Fill both forks at depth 1: two forks + depth 2 slot.
+        *s.fork_length_mut(&p, 1, 2) = 1;
+        assert_eq!(s.mining_slots(&p), 3);
+        // Fill everything: 4 forks, no empty slots.
+        *s.fork_length_mut(&p, 2, 1) = 1;
+        *s.fork_length_mut(&p, 2, 2) = 3;
+        assert_eq!(s.mining_slots(&p), 4);
+    }
+
+    #[test]
+    fn first_empty_fork_finds_lowest_index() {
+        let p = params(1, 3, 4);
+        let mut s = SmState::initial(&p);
+        assert_eq!(s.first_empty_fork(&p, 1), Some(1));
+        *s.fork_length_mut(&p, 1, 1) = 1;
+        assert_eq!(s.first_empty_fork(&p, 1), Some(2));
+        *s.fork_length_mut(&p, 1, 2) = 2;
+        *s.fork_length_mut(&p, 1, 3) = 1;
+        assert_eq!(s.first_empty_fork(&p, 1), None);
+    }
+
+    #[test]
+    fn consistency_detects_overlong_forks() {
+        let p = params(1, 1, 2);
+        let mut s = SmState::initial(&p);
+        assert!(s.is_consistent(&p));
+        s.forks[0] = 3;
+        assert!(!s.is_consistent(&p));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = params(2, 1, 4);
+        let s = SmState::initial(&p);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("phase=mining"));
+        assert!(rendered.contains("O=[H]"));
+    }
+}

@@ -1,0 +1,647 @@
+//! The probabilistic transition function of the selfish-mining MDP
+//! (Section 3.2, "Transition Function") together with the block-finalization
+//! accounting that drives the reward functions of Section 3.3.
+//!
+//! # Modelling conventions
+//!
+//! The reproduction uses the *pre-incorporation* convention for honest blocks
+//! (see [`crate::Phase`]): in a [`Phase::HonestFound`] state the freshly found
+//! honest block is pending and the depth indexing of `C` and `O` still refers
+//! to the accepted public chain without it. A `release(i, j, k)` therefore
+//! competes against the accepted chain *plus the pending block*:
+//!
+//! * `k > i` — the published fork is strictly longer; honest miners switch
+//!   with probability 1.
+//! * `k = i` — the published fork ties with the public chain including the
+//!   pending block; a race happens and honest miners switch with the
+//!   switching probability `γ`.
+//! * `k < i` — the fork is shorter; the action is dominated and not offered.
+//!
+//! In a [`Phase::AdversaryFound`] state there is no pending honest block, so a
+//! release needs `k ≥ i` (strictly longer than the `i − 1` blocks it orphans)
+//! and is accepted with probability 1, as in the paper.
+//!
+//! A block is *final* once it sits at depth ≥ `d` of the accepted chain: no
+//! private fork (which is rooted at depth ≤ `d` and therefore orphans accepted
+//! blocks at depths ≤ `d − 1` only) can ever remove it. The reward functions
+//! `r_A` / `r_H` count adversarial / honest blocks at the moment they cross
+//! that boundary, which matches the paper's "accepted at depth greater than
+//! `d`" accounting up to a constant shift of one step that does not affect any
+//! long-run average.
+
+use crate::{AttackParams, Owner, Phase, SelfishMiningError, SmAction, SmState};
+
+/// Blocks finalized by one MDP transition, split by owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockRewards {
+    /// Number of adversary-owned blocks that became final.
+    pub adversary: u32,
+    /// Number of honest-owned blocks that became final.
+    pub honest: u32,
+}
+
+impl BlockRewards {
+    /// No blocks finalized.
+    pub const ZERO: BlockRewards = BlockRewards {
+        adversary: 0,
+        honest: 0,
+    };
+}
+
+/// A single probabilistic outcome of applying an action in a state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Successor state.
+    pub state: SmState,
+    /// Probability of this outcome (outcomes of one action sum to 1).
+    pub probability: f64,
+    /// Blocks finalized on this outcome.
+    pub rewards: BlockRewards,
+}
+
+/// The set of actions available in `state` (the paper's `A(s)`).
+///
+/// Dominated releases (forks strictly shorter than the public chain they
+/// compete against) are not offered; removing them does not change the optimal
+/// expected relative revenue and keeps the MDP smaller.
+pub fn available_actions(params: &AttackParams, state: &SmState) -> Vec<SmAction> {
+    let mut actions = vec![SmAction::Mine];
+    if state.phase == Phase::Mining {
+        return actions;
+    }
+    for depth in 1..=params.depth {
+        for fork in 1..=params.forks_per_block {
+            let fork_len = state.fork_length(params, depth, fork) as usize;
+            // Minimal useful release length: ties are only possible against a
+            // pending honest block.
+            let min_len = depth;
+            for length in min_len..=fork_len {
+                // In an AdversaryFound state a tie cannot be won (the paper's
+                // "race cannot happen" case), so `length == depth` is only
+                // offered when an honest block is pending... except that for
+                // AdversaryFound the tie would be against the accepted chain
+                // of the same height, where `length == depth` already means
+                // strictly longer by one (no pending block), so it stays.
+                actions.push(SmAction::Release { depth, fork, length });
+            }
+        }
+    }
+    actions
+}
+
+/// Applies `action` in `state` and returns all probabilistic outcomes.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::UnavailableAction`] if the action is not
+/// available in the state (e.g. a release in a `Mining`-phase state or a
+/// release longer than the fork).
+pub fn successors(
+    params: &AttackParams,
+    state: &SmState,
+    action: &SmAction,
+) -> Result<Vec<Outcome>, SelfishMiningError> {
+    match (state.phase, action) {
+        (Phase::Mining, SmAction::Mine) => Ok(mining_outcomes(params, state)),
+        (Phase::Mining, SmAction::Release { .. }) => Err(unavailable(state, action)),
+        (Phase::AdversaryFound, SmAction::Mine) => {
+            let mut next = state.clone();
+            next.phase = Phase::Mining;
+            Ok(vec![Outcome {
+                state: next,
+                probability: 1.0,
+                rewards: BlockRewards::ZERO,
+            }])
+        }
+        (Phase::HonestFound, SmAction::Mine) => {
+            let (next, rewards) = incorporate_pending_honest_block(params, state);
+            Ok(vec![Outcome {
+                state: next,
+                probability: 1.0,
+                rewards,
+            }])
+        }
+        (phase, SmAction::Release { depth, fork, length }) => {
+            release_outcomes(params, state, phase, *depth, *fork, *length)
+        }
+    }
+}
+
+fn unavailable(state: &SmState, action: &SmAction) -> SelfishMiningError {
+    SelfishMiningError::UnavailableAction {
+        state: state.to_string(),
+        action: action.to_string(),
+    }
+}
+
+/// Outcomes of the `mine` action in a `Mining`-phase state: nature decides who
+/// finds the next proof.
+fn mining_outcomes(params: &AttackParams, state: &SmState) -> Vec<Outcome> {
+    let p = params.p;
+    let sigma = state.mining_slots(params) as f64;
+    let denominator = (1.0 - p) + p * sigma;
+    let mut outcomes = Vec::new();
+
+    if denominator <= 0.0 {
+        // p = 0 and no honest resource cannot happen (p ∈ [0,1]); the only
+        // degenerate case is p = 1 with no mining slots, which cannot occur
+        // because every depth always offers at least one slot. Defensive
+        // fallback: stay in place.
+        return vec![Outcome {
+            state: state.clone(),
+            probability: 1.0,
+            rewards: BlockRewards::ZERO,
+        }];
+    }
+
+    let adversary_share = p / denominator;
+    if adversary_share > 0.0 {
+        for depth in 1..=params.depth {
+            // Extend every non-empty fork.
+            for fork in 1..=params.forks_per_block {
+                let len = state.fork_length(params, depth, fork);
+                if len == 0 {
+                    continue;
+                }
+                let mut next = state.clone();
+                *next.fork_length_mut(params, depth, fork) =
+                    len.saturating_add(1).min(params.max_fork_length as u8);
+                next.phase = Phase::AdversaryFound;
+                outcomes.push(Outcome {
+                    state: next,
+                    probability: adversary_share,
+                    rewards: BlockRewards::ZERO,
+                });
+            }
+            // Start one new fork in the lowest-index empty slot, if any.
+            if let Some(fork) = state.first_empty_fork(params, depth) {
+                let mut next = state.clone();
+                *next.fork_length_mut(params, depth, fork) = 1;
+                next.phase = Phase::AdversaryFound;
+                outcomes.push(Outcome {
+                    state: next,
+                    probability: adversary_share,
+                    rewards: BlockRewards::ZERO,
+                });
+            }
+        }
+    }
+
+    let honest_share = (1.0 - p) / denominator;
+    if honest_share > 0.0 {
+        let mut next = state.clone();
+        next.phase = Phase::HonestFound;
+        outcomes.push(Outcome {
+            state: next,
+            probability: honest_share,
+            rewards: BlockRewards::ZERO,
+        });
+    }
+    outcomes
+}
+
+/// Incorporates the pending honest block into the accepted chain: depth
+/// indices shift by one, forks rooted beyond depth `d` are abandoned, and the
+/// block pushed past the finality boundary is rewarded.
+fn incorporate_pending_honest_block(
+    params: &AttackParams,
+    state: &SmState,
+) -> (SmState, BlockRewards) {
+    let d = params.depth;
+    let f = params.forks_per_block;
+    let mut rewards = BlockRewards::ZERO;
+
+    // Finalization: the block leaving the tracked window becomes final. For
+    // d = 1 the pending honest block itself lands at depth d and is final
+    // immediately.
+    if d == 1 {
+        rewards.honest += 1;
+    } else {
+        match state.owners[d - 2] {
+            Owner::Honest => rewards.honest += 1,
+            Owner::Adversary => rewards.adversary += 1,
+        }
+    }
+
+    // Shift owners: the pending honest block enters at depth 1.
+    let mut owners = Vec::with_capacity(d.saturating_sub(1));
+    if d >= 2 {
+        owners.push(Owner::Honest);
+        owners.extend_from_slice(&state.owners[..d - 2]);
+    }
+
+    // Shift forks: fresh empty row at depth 1, previous rows move one deeper,
+    // the row previously at depth d is dropped.
+    let mut forks = vec![0u8; d * f];
+    for depth in 2..=d {
+        let src = (depth - 2) * f;
+        let dst = (depth - 1) * f;
+        forks[dst..dst + f].copy_from_slice(&state.forks[src..src + f]);
+    }
+
+    (
+        SmState {
+            forks,
+            owners,
+            phase: Phase::Mining,
+        },
+        rewards,
+    )
+}
+
+/// Outcomes of a `release(i, j, k)` action.
+fn release_outcomes(
+    params: &AttackParams,
+    state: &SmState,
+    phase: Phase,
+    depth: usize,
+    fork: usize,
+    length: usize,
+) -> Result<Vec<Outcome>, SelfishMiningError> {
+    let action = SmAction::Release { depth, fork, length };
+    if phase == Phase::Mining
+        || depth == 0
+        || depth > params.depth
+        || fork == 0
+        || fork > params.forks_per_block
+        || length == 0
+        || length > state.fork_length(params, depth, fork) as usize
+        || length < depth
+    {
+        return Err(unavailable(state, &action));
+    }
+
+    let (accepted, accept_rewards) = accept_release(params, state, depth, fork, length);
+
+    match phase {
+        Phase::AdversaryFound => {
+            // No pending honest block: `length ≥ depth` means the published
+            // chain is strictly longer than the public one, so it is adopted
+            // with probability 1.
+            Ok(vec![Outcome {
+                state: accepted,
+                probability: 1.0,
+                rewards: accept_rewards,
+            }])
+        }
+        Phase::HonestFound => {
+            if length > depth {
+                // Strictly longer than the public chain including the pending
+                // honest block: adopted with probability 1, the pending block
+                // is orphaned.
+                return Ok(vec![Outcome {
+                    state: accepted,
+                    probability: 1.0,
+                    rewards: accept_rewards,
+                }]);
+            }
+            // Tie (`length == depth`): a race decided by the switching
+            // probability γ. On rejection the pending honest block is
+            // incorporated and the adversary keeps its (shifted) forks.
+            let gamma = params.gamma;
+            let mut outcomes = Vec::with_capacity(2);
+            if gamma > 0.0 {
+                outcomes.push(Outcome {
+                    state: accepted,
+                    probability: gamma,
+                    rewards: accept_rewards,
+                });
+            }
+            if gamma < 1.0 {
+                let (rejected, reject_rewards) = incorporate_pending_honest_block(params, state);
+                outcomes.push(Outcome {
+                    state: rejected,
+                    probability: 1.0 - gamma,
+                    rewards: reject_rewards,
+                });
+            }
+            Ok(outcomes)
+        }
+        Phase::Mining => unreachable!("handled above"),
+    }
+}
+
+/// Applies an accepted release of the first `length` blocks of fork
+/// `(depth, fork)`: the accepted chain loses its top `depth − 1` blocks,
+/// gains `length` adversary blocks, forks re-anchor to their (possibly
+/// deeper) root positions, and every block crossing the finality boundary is
+/// rewarded.
+fn accept_release(
+    params: &AttackParams,
+    state: &SmState,
+    depth: usize,
+    fork: usize,
+    length: usize,
+) -> (SmState, BlockRewards) {
+    let d = params.depth;
+    let f = params.forks_per_block;
+    // Net growth of the accepted chain.
+    let delta = length - (depth - 1);
+    let mut rewards = BlockRewards::ZERO;
+
+    // Newly published adversary blocks that are already final (new depth ≥ d):
+    // the published blocks occupy new depths 1..=length.
+    if length >= d {
+        rewards.adversary += (length - d + 1) as u32;
+    }
+    // Previously accepted blocks pushed past the finality boundary: old depth
+    // m ∈ [depth, d−1] with new depth m + delta ≥ d.
+    if d >= 2 {
+        let lowest_finalized = d.saturating_sub(delta).max(depth);
+        for m in lowest_finalized..=(d - 1) {
+            match state.owners[m - 1] {
+                Owner::Honest => rewards.honest += 1,
+                Owner::Adversary => rewards.adversary += 1,
+            }
+        }
+    }
+
+    // New owner vector.
+    let mut owners = vec![Owner::Adversary; d.saturating_sub(1)];
+    for (idx, owner) in owners.iter_mut().enumerate() {
+        let q = idx + 1; // new depth
+        if q <= length {
+            *owner = Owner::Adversary;
+        } else {
+            // Old block at depth q − delta (guaranteed ≥ `depth` and ≤ d − 2).
+            let m = q - delta;
+            *owner = state.owners[m - 1];
+        }
+    }
+
+    // New fork matrix.
+    let mut forks = vec![0u8; d * f];
+    // Remainder of the released fork re-anchors on the new tip.
+    let remainder = state.fork_length(params, depth, fork) as usize - length;
+    forks[0] = remainder as u8;
+    // Forks rooted at surviving old blocks move `delta` deeper.
+    for old_depth in depth..=d {
+        let new_depth = old_depth + delta;
+        if new_depth > d {
+            break;
+        }
+        let src = (old_depth - 1) * f;
+        let dst = (new_depth - 1) * f;
+        forks[dst..dst + f].copy_from_slice(&state.forks[src..src + f]);
+        if old_depth == depth {
+            // The released fork's slot restarts empty at its root's new depth.
+            forks[dst + (fork - 1)] = 0;
+        }
+    }
+
+    (
+        SmState {
+            forks,
+            owners,
+            phase: Phase::Mining,
+        },
+        rewards,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: f64, gamma: f64, d: usize, f: usize, l: usize) -> AttackParams {
+        AttackParams::new(p, gamma, d, f, l).unwrap()
+    }
+
+    fn probabilities_sum_to_one(outcomes: &[Outcome]) {
+        let sum: f64 = outcomes.iter().map(|o| o.probability).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "probabilities sum to {sum}");
+    }
+
+    #[test]
+    fn mining_state_offers_only_mine() {
+        let p = params(0.3, 0.5, 2, 2, 4);
+        let s = SmState::initial(&p);
+        assert_eq!(available_actions(&p, &s), vec![SmAction::Mine]);
+    }
+
+    #[test]
+    fn mining_outcomes_split_between_parties() {
+        let p = params(0.3, 0.5, 2, 1, 4);
+        let s = SmState::initial(&p);
+        let outs = successors(&p, &s, &SmAction::Mine).unwrap();
+        // Two depths with empty slots + one honest outcome.
+        assert_eq!(outs.len(), 3);
+        probabilities_sum_to_one(&outs);
+        // σ = 2, so each adversarial outcome has probability p / (1 − p + 2p).
+        let expected = 0.3 / (0.7 + 0.6);
+        assert!(outs
+            .iter()
+            .filter(|o| o.state.phase == Phase::AdversaryFound)
+            .all(|o| (o.probability - expected).abs() < 1e-12));
+        let honest = outs
+            .iter()
+            .find(|o| o.state.phase == Phase::HonestFound)
+            .unwrap();
+        assert!((honest.probability - 0.7 / 1.3).abs() < 1e-12);
+        // The adversarial outcomes start forks of length 1.
+        assert!(outs
+            .iter()
+            .filter(|o| o.state.phase == Phase::AdversaryFound)
+            .all(|o| o.state.total_private_blocks() == 1));
+    }
+
+    #[test]
+    fn fork_length_is_capped_at_l() {
+        let p = params(0.5, 0.5, 1, 1, 2);
+        let mut s = SmState::initial(&p);
+        *s.fork_length_mut(&p, 1, 1) = 2;
+        let outs = successors(&p, &s, &SmAction::Mine).unwrap();
+        probabilities_sum_to_one(&outs);
+        for o in &outs {
+            assert!(o.state.fork_length(&p, 1, 1) <= 2);
+        }
+    }
+
+    #[test]
+    fn honest_mine_action_finalizes_deepest_tracked_block() {
+        let p = params(0.3, 0.5, 3, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::HonestFound;
+        s.owners = vec![Owner::Adversary, Owner::Adversary];
+        *s.fork_length_mut(&p, 1, 1) = 2;
+        *s.fork_length_mut(&p, 3, 1) = 1;
+        let outs = successors(&p, &s, &SmAction::Mine).unwrap();
+        assert_eq!(outs.len(), 1);
+        let out = &outs[0];
+        // The block at depth d−1 = 2 (adversary) crossed the boundary.
+        assert_eq!(out.rewards, BlockRewards { adversary: 1, honest: 0 });
+        // Owners shifted with the new honest block on top.
+        assert_eq!(out.state.owners, vec![Owner::Honest, Owner::Adversary]);
+        // Forks shifted one deeper; the fork at depth 3 fell off.
+        assert_eq!(out.state.fork_length(&p, 1, 1), 0);
+        assert_eq!(out.state.fork_length(&p, 2, 1), 2);
+        assert_eq!(out.state.fork_length(&p, 3, 1), 0);
+        assert_eq!(out.state.phase, Phase::Mining);
+    }
+
+    #[test]
+    fn honest_mine_action_with_depth_one_finalizes_the_pending_block() {
+        let p = params(0.3, 0.5, 1, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::HonestFound;
+        *s.fork_length_mut(&p, 1, 1) = 1;
+        let outs = successors(&p, &s, &SmAction::Mine).unwrap();
+        assert_eq!(outs[0].rewards, BlockRewards { adversary: 0, honest: 1 });
+        // The withheld fork is abandoned (its root moved beyond the window).
+        assert_eq!(outs[0].state.total_private_blocks(), 0);
+    }
+
+    #[test]
+    fn tie_release_races_with_switching_probability() {
+        // Classic SM1 race at d = 1: one withheld block vs the pending honest
+        // block.
+        let p = params(0.3, 0.25, 1, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::HonestFound;
+        *s.fork_length_mut(&p, 1, 1) = 1;
+        let action = SmAction::Release { depth: 1, fork: 1, length: 1 };
+        assert!(available_actions(&p, &s).contains(&action));
+        let outs = successors(&p, &s, &action).unwrap();
+        assert_eq!(outs.len(), 2);
+        probabilities_sum_to_one(&outs);
+        let accept = outs.iter().find(|o| o.probability == 0.25).unwrap();
+        let reject = outs.iter().find(|o| o.probability == 0.75).unwrap();
+        // Accepted: the adversary block is final (d = 1), honest pending block orphaned.
+        assert_eq!(accept.rewards, BlockRewards { adversary: 1, honest: 0 });
+        // Rejected: the pending honest block is final.
+        assert_eq!(reject.rewards, BlockRewards { adversary: 0, honest: 1 });
+    }
+
+    #[test]
+    fn strictly_longer_release_is_always_accepted() {
+        let p = params(0.3, 0.0, 2, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::HonestFound;
+        s.owners = vec![Owner::Honest];
+        *s.fork_length_mut(&p, 2, 1) = 3;
+        // Fork rooted at depth 2, releasing 3 > depth blocks: orphans the
+        // block at depth 1 and the pending honest block, even though γ = 0.
+        let action = SmAction::Release { depth: 2, fork: 1, length: 3 };
+        let outs = successors(&p, &s, &action).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].probability, 1.0);
+        // delta = 3 − 1 = 2. New adversary blocks at depths 1..3: those at
+        // depth ≥ 2 are final → 2 adversary blocks. The orphaned honest block
+        // at old depth 1 is never rewarded.
+        assert_eq!(outs[0].rewards, BlockRewards { adversary: 2, honest: 0 });
+        // The new tracked owner (depth 1) is the adversary.
+        assert_eq!(outs[0].state.owners, vec![Owner::Adversary]);
+        assert_eq!(outs[0].state.phase, Phase::Mining);
+    }
+
+    #[test]
+    fn adversary_found_release_needs_strictly_longer_fork() {
+        let p = params(0.3, 0.5, 2, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::AdversaryFound;
+        *s.fork_length_mut(&p, 2, 1) = 1;
+        // length 1 < depth 2: dominated, not available.
+        let actions = available_actions(&p, &s);
+        assert!(!actions.contains(&SmAction::Release { depth: 2, fork: 1, length: 1 }));
+        // With a length-2 fork the release becomes available and wins surely.
+        *s.fork_length_mut(&p, 2, 1) = 2;
+        let action = SmAction::Release { depth: 2, fork: 1, length: 2 };
+        assert!(available_actions(&p, &s).contains(&action));
+        let outs = successors(&p, &s, &action).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].probability, 1.0);
+    }
+
+    #[test]
+    fn release_remainder_reanchors_on_new_tip() {
+        let p = params(0.3, 0.5, 2, 2, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::AdversaryFound;
+        s.owners = vec![Owner::Honest];
+        *s.fork_length_mut(&p, 1, 1) = 4;
+        *s.fork_length_mut(&p, 1, 2) = 2;
+        // Release 2 of the 4 blocks of fork (1,1): the remaining 2 blocks
+        // re-anchor as a fork on the new tip.
+        let action = SmAction::Release { depth: 1, fork: 1, length: 2 };
+        let outs = successors(&p, &s, &action).unwrap();
+        let next = &outs[0].state;
+        assert_eq!(next.fork_length(&p, 1, 1), 2, "remainder fork");
+        // delta = 2: the old depth-1 root would move to depth 3 > d, so the
+        // sibling fork (1,2) is abandoned.
+        assert_eq!(next.fork_length(&p, 2, 1), 0);
+        assert_eq!(next.fork_length(&p, 2, 2), 0);
+        // The new tracked block (depth 1) is an adversary block. Final blocks:
+        // one released adversary block lands at depth ≥ d = 2, and the old
+        // honest tip (the fork's root) is pushed to depth 3 ≥ d.
+        assert_eq!(outs[0].rewards, BlockRewards { adversary: 1, honest: 1 });
+        assert_eq!(next.owners, vec![Owner::Adversary]);
+    }
+
+    #[test]
+    fn release_with_unit_growth_keeps_sibling_forks() {
+        let p = params(0.3, 0.5, 3, 2, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::AdversaryFound;
+        s.owners = vec![Owner::Honest, Owner::Adversary];
+        *s.fork_length_mut(&p, 2, 1) = 2;
+        *s.fork_length_mut(&p, 2, 2) = 1;
+        *s.fork_length_mut(&p, 3, 1) = 1;
+        // Release both blocks of fork (2,1): delta = 1.
+        let action = SmAction::Release { depth: 2, fork: 1, length: 2 };
+        let outs = successors(&p, &s, &action).unwrap();
+        let next = &outs[0].state;
+        // Old depth-2 root moves to depth 3: sibling fork (2,2) survives there,
+        // and the released slot restarts empty.
+        assert_eq!(next.fork_length(&p, 3, 1), 0);
+        assert_eq!(next.fork_length(&p, 3, 2), 1);
+        // Old depth-3 fork would move to depth 4 > d: abandoned.
+        // New depths 1..2 are the published blocks: remainder 0 at depth 1.
+        assert_eq!(next.fork_length(&p, 1, 1), 0);
+        assert_eq!(next.fork_length(&p, 2, 1), 0);
+        // Owners: depths 1..2 adversary (published), delta = 1 so the old
+        // depth-2 owner... is now at depth 3 which is ≥ d: it crossed the
+        // boundary and was rewarded.
+        assert_eq!(next.owners, vec![Owner::Adversary, Owner::Adversary]);
+        assert_eq!(outs[0].rewards, BlockRewards { adversary: 1, honest: 0 });
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_across_random_states() {
+        // Deterministic sweep over a slice of the state space.
+        let p = params(0.35, 0.4, 2, 2, 3);
+        for a in 0..=3u8 {
+            for b in 0..=3u8 {
+                for c in 0..=3u8 {
+                    for owner in [Owner::Honest, Owner::Adversary] {
+                        for phase in [Phase::Mining, Phase::HonestFound, Phase::AdversaryFound] {
+                            let s = SmState {
+                                forks: vec![a, b, c, 0],
+                                owners: vec![owner],
+                                phase,
+                            };
+                            for action in available_actions(&p, &s) {
+                                let outs = successors(&p, &s, &action).unwrap();
+                                probabilities_sum_to_one(&outs);
+                                for o in &outs {
+                                    assert!(o.state.is_consistent(&p));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn release_actions_rejected_in_wrong_phase_or_length() {
+        let p = params(0.3, 0.5, 2, 1, 4);
+        let s = SmState::initial(&p);
+        let release = SmAction::Release { depth: 1, fork: 1, length: 1 };
+        assert!(successors(&p, &s, &release).is_err());
+        let mut s2 = s.clone();
+        s2.phase = Phase::AdversaryFound;
+        // Fork is empty: length 1 exceeds it.
+        assert!(successors(&p, &s2, &release).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! LU decomposition with partial pivoting and linear-system solving.
+//!
+//! Policy evaluation in mean-payoff MDPs (the gain/bias equations used by
+//! Howard policy iteration in `sm-mdp`) reduces to solving moderate-size dense
+//! linear systems; this module provides the factorisation used for that.
+
+use crate::{DenseMatrix, LinalgError};
+
+/// An LU factorisation `P·A = L·U` of a square matrix with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use sm_linalg::{DenseMatrix, LuDecomposition};
+///
+/// # fn main() -> Result<(), sm_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strictly lower, unit diagonal implicit) and U (upper) factors.
+    lu: DenseMatrix,
+    /// Row permutation applied to the input matrix.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    perm_sign: f64,
+}
+
+/// Pivot entries smaller than this in absolute value are treated as zero.
+const PIVOT_TOLERANCE: f64 = 1e-12;
+
+impl LuDecomposition {
+    /// Factorises the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square and
+    /// [`LinalgError::SingularMatrix`] if a pivot smaller than the internal
+    /// tolerance is encountered.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for col in 0..n {
+            // Find the pivot row: largest absolute value in this column at or
+            // below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for row in (col + 1)..n {
+                let v = lu.get(row, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < PIVOT_TOLERANCE {
+                return Err(LinalgError::SingularMatrix);
+            }
+            if pivot_row != col {
+                swap_rows(&mut lu, pivot_row, col);
+                perm.swap(pivot_row, col);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(col, col);
+            for row in (col + 1)..n {
+                let factor = lu.get(row, col) / pivot;
+                lu.set(row, col, factor);
+                for k in (col + 1)..n {
+                    let v = lu.get(row, k) - factor * lu.get(col, k);
+                    lu.set(row, k, v);
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "lu solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Computes the inverse matrix by solving against the identity columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve`].
+    pub fn inverse(&self) -> Result<DenseMatrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        for col in 0..n {
+            unit[col] = 1.0;
+            let x = self.solve(&unit)?;
+            for row in 0..n {
+                inv.set(row, col, x[row]);
+            }
+            unit[col] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for col in 0..m.cols() {
+        let va = m.get(a, col);
+        let vb = m.get(b, col);
+        m.set(a, col, vb);
+        m.set(b, col, va);
+    }
+}
+
+/// Solves the square linear system `A x = b` with LU decomposition and partial
+/// pivoting. This is a convenience wrapper around [`LuDecomposition`].
+///
+/// # Errors
+///
+/// Returns an error if `A` is not square, is singular, or the dimensions of
+/// `A` and `b` do not match.
+pub fn solve_linear_system(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_two_by_two() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve_linear_system(&a, &[3.0, 4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve_linear_system(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(
+            LuDecomposition::new(&a).unwrap_err(),
+            LinalgError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn rejects_non_square_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_triangular_matrix_is_product_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 1.0],
+            vec![0.0, 0.0, 4.0],
+        ])
+        .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_accounts_for_permutation_sign() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 6.0, 1.0],
+            vec![2.0, 5.0, 3.0],
+        ])
+        .unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.multiply(&inv).unwrap();
+        assert!(prod.approx_eq(&DenseMatrix::identity(3)));
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let a = DenseMatrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_is_small_on_moderate_system() {
+        // Deterministic pseudo-random matrix: diagonal dominance keeps it
+        // well-conditioned without needing an RNG.
+        let n = 20;
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n {
+                let v = ((i * 31 + j * 17 + 7) % 13) as f64 / 13.0;
+                row.push(if i == j { v + (n as f64) } else { v });
+            }
+            rows.push(row);
+        }
+        let a = DenseMatrix::from_rows(&rows).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve_linear_system(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!(crate::max_abs_diff(&ax, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The transition matrix of a Markov chain induced by a positional strategy in
+//! the selfish-mining MDP is extremely sparse (each state has at most a few
+//! dozen successors out of potentially hundreds of thousands of states), so
+//! the Markov-chain routines in `sm-markov` operate on this type.
+
+use crate::{DenseMatrix, LinalgError};
+
+/// A `(row, col, value)` entry used to assemble a [`CsrMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Value stored at `(row, col)`.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Convenience constructor.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// A compressed sparse row matrix of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use sm_linalg::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), sm_linalg::LinalgError> {
+/// let m = CsrMatrix::from_triplets(2, 2, &[
+///     Triplet::new(0, 0, 0.5),
+///     Triplet::new(0, 1, 0.5),
+///     Triplet::new(1, 1, 1.0),
+/// ])?;
+/// assert_eq!(m.matvec(&[1.0, 2.0])?, vec![1.5, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values aligned with `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from triplets. Duplicate `(row, col)` entries are
+    /// summed. Entries equal to zero are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] if any triplet lies outside
+    /// the `rows x cols` shape and [`LinalgError::InvalidValue`] if a value is
+    /// not finite.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, LinalgError> {
+        for t in triplets {
+            if t.row >= rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: t.row,
+                    len: rows,
+                });
+            }
+            if t.col >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: t.col,
+                    len: cols,
+                });
+            }
+            if !t.value.is_finite() {
+                return Err(LinalgError::InvalidValue {
+                    context: "sparse matrix entry",
+                });
+            }
+        }
+        // Count entries per row, then bucket and merge duplicates.
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for t in triplets {
+            per_row[t.row].push((t.col, t.value));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for row in per_row.iter_mut() {
+            row.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let col = row[i].0;
+                let mut sum = 0.0;
+                while i < row.len() && row[i].0 == col {
+                    sum += row[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    col_idx.push(col);
+                    values.push(sum);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds the CSR representation of a dense matrix, dropping zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                let v = dense.get(i, j);
+                if v != 0.0 {
+                    triplets.push(Triplet::new(i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+            .expect("dense matrix indices are always in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicitly stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns the column indices and values of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        assert!(row < self.rows, "row index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (&self.col_idx[start..end], &self.values[start..end])
+    }
+
+    /// Iterates over all stored `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| Triplet::new(r, c, v))
+        })
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "sparse matvec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `Aᵀ * x`, i.e. left multiplication
+    /// `xᵀ A` — the operation used by power iteration on row-stochastic
+    /// transition matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.rows()`.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "sparse transpose matvec",
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out[c] += v * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts to a dense matrix. Intended for small matrices (tests,
+    /// policy-evaluation systems), not for full MDP transition relations.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut dense = DenseMatrix::zeros(self.rows, self.cols);
+        for t in self.iter() {
+            dense.set(t.row, t.col, t.value);
+        }
+        dense
+    }
+
+    /// Checks whether the matrix is row-stochastic: all entries non-negative
+    /// and every row sums to 1 within `tol`.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.rows).all(|i| {
+            let (_, vals) = self.row(i);
+            vals.iter().all(|&v| v >= -tol) && (vals.iter().sum::<f64>() - 1.0).abs() <= tol
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 0.5),
+                Triplet::new(0, 2, 0.5),
+                Triplet::new(1, 1, 1.0),
+                Triplet::new(2, 0, 0.25),
+                Triplet::new(2, 1, 0.25),
+                Triplet::new(2, 2, 0.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates_and_drops_zeros() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            2,
+            &[
+                Triplet::new(0, 0, 0.25),
+                Triplet::new(0, 0, 0.75),
+                Triplet::new(0, 1, 0.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds_and_nan() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(1, 1, &[Triplet::new(1, 0, 1.0)]),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, f64::NAN)]),
+            Err(LinalgError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let sparse = m.matvec(&x).unwrap();
+        let dense = m.to_dense().matvec(&x).unwrap();
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_dense_transpose() {
+        let m = sample();
+        let x = vec![0.2, 0.3, 0.5];
+        let sparse = m.transpose_matvec(&x).unwrap();
+        let dense = m.to_dense().transpose().matvec(&x).unwrap();
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn row_view_is_sorted_by_column() {
+        let m = sample();
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(vals, &[0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn stochastic_check_detects_bad_rows() {
+        assert!(sample().is_row_stochastic(1e-12));
+        let bad =
+            CsrMatrix::from_triplets(1, 2, &[Triplet::new(0, 0, 0.4), Triplet::new(0, 1, 0.4)])
+                .unwrap();
+        assert!(!bad.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn dense_roundtrip_preserves_entries() {
+        let m = sample();
+        let roundtrip = CsrMatrix::from_dense(&m.to_dense());
+        assert_eq!(m, roundtrip);
+    }
+
+    #[test]
+    fn iter_yields_all_nonzeros() {
+        let m = sample();
+        assert_eq!(m.iter().count(), m.nnz());
+        assert!(m.iter().all(|t| t.value != 0.0));
+    }
+
+    #[test]
+    fn matvec_dimension_checks() {
+        let m = sample();
+        assert!(m.matvec(&[1.0, 2.0]).is_err());
+        assert!(m.transpose_matvec(&[1.0, 2.0]).is_err());
+    }
+}

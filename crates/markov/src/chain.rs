@@ -1,0 +1,241 @@
+//! The [`MarkovChain`] type: a validated row-stochastic transition structure.
+
+use crate::{
+    HittingAnalysis, MarkovError, StationaryDistribution, StationaryMethod,
+    StronglyConnectedComponents, STOCHASTIC_TOLERANCE,
+};
+use sm_linalg::{CsrMatrix, Triplet};
+
+/// A finite, discrete-time Markov chain stored as a sparse transition matrix.
+///
+/// Rows are validated on construction: every probability must be finite and
+/// non-negative and every row must sum to 1 within [`STOCHASTIC_TOLERANCE`].
+///
+/// # Example
+///
+/// ```
+/// use sm_markov::MarkovChain;
+///
+/// # fn main() -> Result<(), sm_markov::MarkovError> {
+/// let chain = MarkovChain::from_rows(vec![
+///     vec![(1, 1.0)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ])?;
+/// assert_eq!(chain.num_states(), 2);
+/// assert!(chain.is_irreducible());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    transitions: CsrMatrix,
+}
+
+impl MarkovChain {
+    /// Builds a chain from per-state transition lists `(target, probability)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any probability is invalid, any target state is out
+    /// of range, a row does not sum to 1, or the chain is empty.
+    pub fn from_rows(rows: Vec<Vec<(usize, f64)>>) -> Result<Self, MarkovError> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        let mut triplets = Vec::new();
+        for (state, row) in rows.iter().enumerate() {
+            let mut sum = 0.0;
+            for &(target, prob) in row {
+                if target >= n {
+                    return Err(MarkovError::InvalidTargetState {
+                        from: state,
+                        to: target,
+                        num_states: n,
+                    });
+                }
+                if !prob.is_finite() || prob < -STOCHASTIC_TOLERANCE {
+                    return Err(MarkovError::InvalidProbability {
+                        state,
+                        probability: prob,
+                    });
+                }
+                sum += prob;
+                if prob > 0.0 {
+                    triplets.push(Triplet::new(state, target, prob));
+                }
+            }
+            if (sum - 1.0).abs() > STOCHASTIC_TOLERANCE {
+                return Err(MarkovError::InvalidDistribution { state, sum });
+            }
+        }
+        let transitions = CsrMatrix::from_triplets(n, n, &triplets)?;
+        Ok(MarkovChain { transitions })
+    }
+
+    /// Builds a chain directly from a sparse matrix, validating stochasticity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] if some row does not sum
+    /// to 1 or has negative entries, or [`MarkovError::EmptyChain`] for a 0x0
+    /// matrix.
+    pub fn from_matrix(transitions: CsrMatrix) -> Result<Self, MarkovError> {
+        if transitions.rows() == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        for state in 0..transitions.rows() {
+            let (_, vals) = transitions.row(state);
+            let sum: f64 = vals.iter().sum();
+            if (sum - 1.0).abs() > STOCHASTIC_TOLERANCE || vals.iter().any(|&v| v < 0.0) {
+                return Err(MarkovError::InvalidDistribution { state, sum });
+            }
+        }
+        Ok(MarkovChain { transitions })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.rows()
+    }
+
+    /// Transition probability from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state index is out of bounds.
+    pub fn probability(&self, from: usize, to: usize) -> f64 {
+        self.transitions.get(from, to)
+    }
+
+    /// Successors of a state as parallel slices of targets and probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn successors(&self, state: usize) -> (&[usize], &[f64]) {
+        self.transitions.row(state)
+    }
+
+    /// Borrow of the underlying sparse transition matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.transitions
+    }
+
+    /// One step of the distribution evolution: `mu' = mu · P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `distribution.len()` differs from the state count.
+    pub fn step_distribution(&self, distribution: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        Ok(self.transitions.transpose_matvec(distribution)?)
+    }
+
+    /// SCC decomposition and state classification for this chain.
+    pub fn classify(&self) -> StronglyConnectedComponents {
+        StronglyConnectedComponents::of_chain(self)
+    }
+
+    /// Whether the chain consists of a single closed communicating class.
+    pub fn is_irreducible(&self) -> bool {
+        let scc = self.classify();
+        scc.num_components() == 1
+    }
+
+    /// Whether every state belongs to some recurrent class that is reachable
+    /// from every state (unichain condition: exactly one recurrent class).
+    pub fn is_unichain(&self) -> bool {
+        self.classify().recurrent_classes().len() == 1
+    }
+
+    /// Stationary distribution of an irreducible chain (or, more generally, a
+    /// unichain — transient states receive probability 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NotIrreducible`] if the chain has more than one
+    /// recurrent class, and propagates numerical errors from the solver.
+    pub fn stationary_distribution(&self) -> Result<Vec<f64>, MarkovError> {
+        let solver = StationaryDistribution::new(StationaryMethod::LinearSolve);
+        solver.unichain_distribution(self)
+    }
+
+    /// Hitting analysis (hitting probabilities / expected hitting times) for a
+    /// target set of states.
+    pub fn hitting_analysis(&self, targets: &[usize]) -> Result<HittingAnalysis, MarkovError> {
+        HittingAnalysis::new(self, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_row_sums() {
+        let err = MarkovChain::from_rows(vec![vec![(0, 0.5)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidDistribution { .. }));
+    }
+
+    #[test]
+    fn validates_targets_and_probabilities() {
+        let err = MarkovChain::from_rows(vec![vec![(3, 1.0)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidTargetState { .. }));
+        let err = MarkovChain::from_rows(vec![vec![(0, f64::NAN)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidProbability { .. }));
+        let err = MarkovChain::from_rows(vec![vec![(0, -0.5), (0, 1.5)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        assert_eq!(
+            MarkovChain::from_rows(vec![]).unwrap_err(),
+            MarkovError::EmptyChain
+        );
+    }
+
+    #[test]
+    fn accepts_duplicate_targets_that_sum_to_one() {
+        let chain = MarkovChain::from_rows(vec![vec![(0, 0.25), (0, 0.75)]]).unwrap();
+        assert_eq!(chain.probability(0, 0), 1.0);
+    }
+
+    #[test]
+    fn step_distribution_preserves_mass() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.7), (1, 0.3)],
+            vec![(0, 0.6), (1, 0.4)],
+        ])
+        .unwrap();
+        let mu = chain.step_distribution(&[0.5, 0.5]).unwrap();
+        assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((mu[0] - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irreducibility_detection() {
+        let irreducible = MarkovChain::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(0, 1.0)],
+        ])
+        .unwrap();
+        assert!(irreducible.is_irreducible());
+
+        let absorbing = MarkovChain::from_rows(vec![
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(1, 1.0)],
+        ])
+        .unwrap();
+        assert!(!absorbing.is_irreducible());
+        assert!(absorbing.is_unichain());
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        let good = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 1.0)]).unwrap();
+        assert!(MarkovChain::from_matrix(good).is_ok());
+        let bad = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 0.7)]).unwrap();
+        assert!(MarkovChain::from_matrix(bad).is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! Long-run average (gain) and transient reward computations.
+
+use crate::{MarkovChain, MarkovError, StateClass, StationaryDistribution, StationaryMethod};
+use sm_linalg::{solve_linear_system, DenseMatrix};
+
+/// Long-run average reward (gain) of every state of a chain under a per-state
+/// reward vector.
+///
+/// For a state inside a recurrent class `R` the gain is `Σ_{s∈R} π_R(s) r(s)`
+/// where `π_R` is the stationary distribution of the class. For a transient
+/// state the gain is the absorption-probability-weighted average of the gains
+/// of the recurrent classes it can reach.
+///
+/// This is the exact quantity needed to evaluate a positional MDP strategy
+/// under the mean-payoff objective, so `sm-mdp`'s policy iteration delegates
+/// here.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::RewardDimensionMismatch`] if the reward vector does
+/// not match the number of states, and propagates solver failures.
+///
+/// # Example
+///
+/// ```
+/// use sm_markov::{long_run_average_reward, MarkovChain};
+///
+/// # fn main() -> Result<(), sm_markov::MarkovError> {
+/// let chain = MarkovChain::from_rows(vec![
+///     vec![(0, 0.5), (1, 0.5)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ])?;
+/// let gain = long_run_average_reward(&chain, &[1.0, 0.0])?;
+/// assert!((gain[0] - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn long_run_average_reward(
+    chain: &MarkovChain,
+    rewards: &[f64],
+) -> Result<Vec<f64>, MarkovError> {
+    let n = chain.num_states();
+    if rewards.len() != n {
+        return Err(MarkovError::RewardDimensionMismatch {
+            expected: n,
+            actual: rewards.len(),
+        });
+    }
+    let scc = chain.classify();
+    let recurrent_classes = scc.recurrent_classes();
+    let solver = StationaryDistribution::new(StationaryMethod::LinearSolve);
+
+    // Gain of each recurrent class.
+    let mut class_gain = Vec::with_capacity(recurrent_classes.len());
+    for class in &recurrent_classes {
+        let pi = solver.class_distribution(chain, class)?;
+        let gain: f64 = class
+            .iter()
+            .zip(&pi)
+            .map(|(&s, &p)| p * rewards[s])
+            .sum();
+        class_gain.push(gain);
+    }
+
+    let classes = scc.state_classes();
+    let mut gain = vec![0.0; n];
+    for (s, class) in classes.iter().enumerate() {
+        if let StateClass::Recurrent { class } = class {
+            gain[s] = class_gain[*class];
+        }
+    }
+
+    // Transient states: gain(s) = Σ_t P(s,t) gain(t), i.e. solve
+    // (I - P_TT) g_T = P_TR g_R over the transient block.
+    let transient = scc.transient_states();
+    if !transient.is_empty() {
+        let m = transient.len();
+        let mut local = vec![usize::MAX; n];
+        for (i, &s) in transient.iter().enumerate() {
+            local[s] = i;
+        }
+        let mut a = DenseMatrix::identity(m);
+        let mut b = vec![0.0; m];
+        for (i, &s) in transient.iter().enumerate() {
+            let (succ, probs) = chain.successors(s);
+            for (&t, &p) in succ.iter().zip(probs) {
+                if local[t] == usize::MAX {
+                    b[i] += p * gain[t];
+                } else {
+                    let j = local[t];
+                    a.set(i, j, a.get(i, j) - p);
+                }
+            }
+        }
+        let g = solve_linear_system(&a, &b)?;
+        for (i, &s) in transient.iter().enumerate() {
+            gain[s] = g[i];
+        }
+    }
+    Ok(gain)
+}
+
+/// Long-run average reward (gain) of a *unichain* Markov chain, computed with
+/// sparse relative value iteration instead of the dense linear solves used by
+/// [`long_run_average_reward`].
+///
+/// This is the method of choice for large chains (tens of thousands of
+/// states), where assembling and factorising dense systems is prohibitive: a
+/// sweep touches every transition once, and the span of the per-sweep
+/// increments certifies the result to within `epsilon`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::RewardDimensionMismatch`] for a malformed reward
+/// vector and [`MarkovError::ConvergenceFailure`] if the span has not dropped
+/// below `epsilon` after `max_iterations` sweeps (e.g. because the chain is
+/// not unichain and therefore has no single gain).
+///
+/// # Example
+///
+/// ```
+/// use sm_markov::{iterative_gain, MarkovChain};
+///
+/// # fn main() -> Result<(), sm_markov::MarkovError> {
+/// let chain = MarkovChain::from_rows(vec![
+///     vec![(0, 0.5), (1, 0.5)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ])?;
+/// let gain = iterative_gain(&chain, &[1.0, 0.0], 1e-10, 100_000)?;
+/// assert!((gain - 0.5).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn iterative_gain(
+    chain: &MarkovChain,
+    rewards: &[f64],
+    epsilon: f64,
+    max_iterations: usize,
+) -> Result<f64, MarkovError> {
+    let n = chain.num_states();
+    if rewards.len() != n {
+        return Err(MarkovError::RewardDimensionMismatch {
+            expected: n,
+            actual: rewards.len(),
+        });
+    }
+    // Lazy (aperiodicity) transformation with τ = 0.9: same stationary
+    // distribution and gain, guaranteed convergence of the span.
+    let tau = 0.9;
+    let mut h = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iterations {
+        let mut min_delta = f64::INFINITY;
+        let mut max_delta = f64::NEG_INFINITY;
+        for s in 0..n {
+            let (targets, probs) = chain.successors(s);
+            let mut value = rewards[s] + (1.0 - tau) * h[s];
+            for (&t, &p) in targets.iter().zip(probs) {
+                value += tau * p * h[t];
+            }
+            let delta = value - h[s];
+            min_delta = min_delta.min(delta);
+            max_delta = max_delta.max(delta);
+            next[s] = value;
+        }
+        let offset = next[0];
+        for s in 0..n {
+            h[s] = next[s] - offset;
+        }
+        if max_delta - min_delta < epsilon {
+            return Ok(0.5 * (min_delta + max_delta));
+        }
+    }
+    Err(MarkovError::ConvergenceFailure {
+        method: "iterative gain",
+        iterations: max_iterations,
+    })
+}
+
+/// Total expected reward accumulated before absorption into a target set,
+/// starting from each state. Rewards are collected in every non-target state
+/// visited (including the start), targets collect nothing.
+///
+/// States that do not reach the target set with probability 1 get
+/// `f64::INFINITY` (the accumulated reward need not converge there).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::RewardDimensionMismatch`] on a malformed reward
+/// vector, [`MarkovError::EmptyChain`] for an empty target set, and
+/// propagates solver failures.
+pub fn total_expected_reward_until_absorption(
+    chain: &MarkovChain,
+    rewards: &[f64],
+    targets: &[usize],
+) -> Result<Vec<f64>, MarkovError> {
+    let n = chain.num_states();
+    if rewards.len() != n {
+        return Err(MarkovError::RewardDimensionMismatch {
+            expected: n,
+            actual: rewards.len(),
+        });
+    }
+    let hitting = chain.hitting_analysis(targets)?;
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t] = true;
+    }
+    let certain: Vec<usize> = (0..n)
+        .filter(|&s| !is_target[s] && hitting.probability(s) > 1.0 - 1e-9)
+        .collect();
+    let mut local = vec![usize::MAX; n];
+    for (i, &s) in certain.iter().enumerate() {
+        local[s] = i;
+    }
+    let mut out = vec![f64::INFINITY; n];
+    for &t in targets {
+        out[t] = 0.0;
+    }
+    if certain.is_empty() {
+        return Ok(out);
+    }
+    let m = certain.len();
+    let mut a = DenseMatrix::identity(m);
+    let mut b = vec![0.0; m];
+    for (i, &s) in certain.iter().enumerate() {
+        b[i] = rewards[s];
+        let (succ, probs) = chain.successors(s);
+        for (&t, &p) in succ.iter().zip(probs) {
+            if is_target[t] {
+                continue;
+            }
+            let j = local[t];
+            if j != usize::MAX {
+                a.set(i, j, a.get(i, j) - p);
+            }
+        }
+    }
+    let x = solve_linear_system(&a, &b)?;
+    for (i, &s) in certain.iter().enumerate() {
+        out[s] = x[i];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterative_gain_matches_exact_gain() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.7), (1, 0.3)],
+            vec![(0, 0.6), (1, 0.4)],
+        ])
+        .unwrap();
+        let rewards = [3.0, 0.0];
+        let exact = long_run_average_reward(&chain, &rewards).unwrap()[0];
+        let iterative = iterative_gain(&chain, &rewards, 1e-10, 200_000).unwrap();
+        assert!((exact - iterative).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iterative_gain_handles_periodic_chains() {
+        let chain = MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
+        let gain = iterative_gain(&chain, &[1.0, 0.0], 1e-10, 200_000).unwrap();
+        assert!((gain - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iterative_gain_validates_inputs_and_budget() {
+        let chain = MarkovChain::from_rows(vec![vec![(0, 1.0)]]).unwrap();
+        assert!(matches!(
+            iterative_gain(&chain, &[1.0, 2.0], 1e-8, 100),
+            Err(MarkovError::RewardDimensionMismatch { .. })
+        ));
+        // A multichain has state-dependent gains, so the span never closes.
+        let multichain = MarkovChain::from_rows(vec![vec![(0, 1.0)], vec![(1, 1.0)]]).unwrap();
+        assert!(matches!(
+            iterative_gain(&multichain, &[0.0, 1.0], 1e-12, 50),
+            Err(MarkovError::ConvergenceFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn gain_of_irreducible_chain_is_stationary_average() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.7), (1, 0.3)],
+            vec![(0, 0.6), (1, 0.4)],
+        ])
+        .unwrap();
+        // Stationary distribution is (2/3, 1/3).
+        let gain = long_run_average_reward(&chain, &[3.0, 0.0]).unwrap();
+        assert!((gain[0] - 2.0).abs() < 1e-9);
+        assert!((gain[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_distinguishes_multiple_recurrent_classes() {
+        // 0 splits evenly to two absorbing states with rewards 0 and 10.
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap();
+        let gain = long_run_average_reward(&chain, &[0.0, 0.0, 10.0]).unwrap();
+        assert!((gain[1] - 0.0).abs() < 1e-12);
+        assert!((gain[2] - 10.0).abs() < 1e-12);
+        assert!((gain[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_reward_length() {
+        let chain = MarkovChain::from_rows(vec![vec![(0, 1.0)]]).unwrap();
+        assert!(matches!(
+            long_run_average_reward(&chain, &[1.0, 2.0]),
+            Err(MarkovError::RewardDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn absorption_reward_counts_visits() {
+        // 0 -> 1 -> 2(absorbing), reward 1 per non-target state visited.
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap();
+        let total =
+            total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
+        assert!((total[0] - 2.0).abs() < 1e-10);
+        assert!((total[1] - 1.0).abs() < 1e-10);
+        assert_eq!(total[2], 0.0);
+    }
+
+    #[test]
+    fn absorption_reward_infinite_when_absorption_uncertain() {
+        // State 0 can fall into absorbing state 1 (never reaching target 2).
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap();
+        let total =
+            total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
+        assert!(total[0].is_infinite());
+    }
+
+    #[test]
+    fn geometric_absorption_reward() {
+        // Collect reward 2 per step, absorb with probability 1/4 each step:
+        // expected total reward 2 * 4 = 8.
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.75), (1, 0.25)],
+            vec![(1, 1.0)],
+        ])
+        .unwrap();
+        let total = total_expected_reward_until_absorption(&chain, &[2.0, 0.0], &[1]).unwrap();
+        assert!((total[0] - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,319 @@
+//! Stationary distributions of finite Markov chains.
+
+use crate::{MarkovChain, MarkovError};
+use sm_linalg::{solve_linear_system, DenseMatrix};
+
+/// Method used to compute a stationary distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StationaryMethod {
+    /// Direct linear solve of `π (P - I) = 0`, `Σ π = 1` restricted to the
+    /// recurrent class. Exact up to floating point, cubic in the class size.
+    LinearSolve,
+    /// Power iteration on the lazy chain `(P + I) / 2` (lazification removes
+    /// periodicity without changing the stationary distribution). Linear in
+    /// the number of transitions per sweep; suited to large sparse chains.
+    PowerIteration {
+        /// Maximum number of sweeps.
+        max_iterations: usize,
+        /// L1 convergence threshold between successive iterates.
+        tolerance: f64,
+    },
+}
+
+impl Default for StationaryMethod {
+    fn default() -> Self {
+        StationaryMethod::PowerIteration {
+            max_iterations: 100_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Computes stationary distributions of recurrent classes.
+///
+/// # Example
+///
+/// ```
+/// use sm_markov::{MarkovChain, StationaryDistribution, StationaryMethod};
+///
+/// # fn main() -> Result<(), sm_markov::MarkovError> {
+/// let chain = MarkovChain::from_rows(vec![
+///     vec![(0, 0.9), (1, 0.1)],
+///     vec![(0, 0.5), (1, 0.5)],
+/// ])?;
+/// let solver = StationaryDistribution::new(StationaryMethod::LinearSolve);
+/// let pi = solver.unichain_distribution(&chain)?;
+/// assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StationaryDistribution {
+    method: StationaryMethod,
+}
+
+impl StationaryDistribution {
+    /// Creates a solver using the given method.
+    pub fn new(method: StationaryMethod) -> Self {
+        StationaryDistribution { method }
+    }
+
+    /// Stationary distribution of a unichain (single recurrent class) over the
+    /// *full* state space: transient states get probability 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NotIrreducible`] if the chain has more than one
+    /// recurrent class, and propagates solver failures.
+    pub fn unichain_distribution(&self, chain: &MarkovChain) -> Result<Vec<f64>, MarkovError> {
+        let scc = chain.classify();
+        let recurrent = scc.recurrent_classes();
+        if recurrent.len() != 1 {
+            return Err(MarkovError::NotIrreducible);
+        }
+        let class = recurrent[0];
+        let class_pi = self.class_distribution(chain, class)?;
+        let mut pi = vec![0.0; chain.num_states()];
+        for (&state, &p) in class.iter().zip(&class_pi) {
+            pi[state] = p;
+        }
+        Ok(pi)
+    }
+
+    /// Stationary distribution *within* a recurrent class, returned in the
+    /// order of `class_states`.
+    ///
+    /// The caller is responsible for passing the states of a closed
+    /// communicating class (as produced by
+    /// [`crate::StronglyConnectedComponents::recurrent_classes`]); transitions
+    /// leaving the set are treated as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidTargetState`] if a transition leaves the
+    /// class, [`MarkovError::ConvergenceFailure`] if power iteration does not
+    /// converge, and propagates linear-algebra errors.
+    pub fn class_distribution(
+        &self,
+        chain: &MarkovChain,
+        class_states: &[usize],
+    ) -> Result<Vec<f64>, MarkovError> {
+        let m = class_states.len();
+        if m == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        // Local index of every class state.
+        let mut local = vec![usize::MAX; chain.num_states()];
+        for (i, &s) in class_states.iter().enumerate() {
+            local[s] = i;
+        }
+        // Local transition rows, verifying closedness.
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        for &s in class_states {
+            let (targets, probs) = chain.successors(s);
+            let mut row = Vec::with_capacity(targets.len());
+            for (&t, &p) in targets.iter().zip(probs) {
+                if local[t] == usize::MAX {
+                    return Err(MarkovError::InvalidTargetState {
+                        from: s,
+                        to: t,
+                        num_states: chain.num_states(),
+                    });
+                }
+                row.push((local[t], p));
+            }
+            rows.push(row);
+        }
+        match self.method {
+            StationaryMethod::LinearSolve => Self::solve_direct(&rows),
+            StationaryMethod::PowerIteration {
+                max_iterations,
+                tolerance,
+            } => Self::solve_power(&rows, max_iterations, tolerance),
+        }
+    }
+
+    /// Direct solve: unknowns π, equations `π P = π` with the last equation
+    /// replaced by the normalisation `Σ π = 1`.
+    fn solve_direct(rows: &[Vec<(usize, f64)>]) -> Result<Vec<f64>, MarkovError> {
+        let m = rows.len();
+        // Build (P^T - I) as a dense matrix.
+        let mut a = DenseMatrix::zeros(m, m);
+        for (from, row) in rows.iter().enumerate() {
+            for &(to, p) in row {
+                a.set(to, from, a.get(to, from) + p);
+            }
+        }
+        for i in 0..m {
+            a.set(i, i, a.get(i, i) - 1.0);
+        }
+        // Replace the last row with the normalisation constraint.
+        for j in 0..m {
+            a.set(m - 1, j, 1.0);
+        }
+        let mut b = vec![0.0; m];
+        b[m - 1] = 1.0;
+        let mut pi = solve_linear_system(&a, &b)?;
+        // Numerical clean-up: clamp tiny negatives and renormalise.
+        for p in pi.iter_mut() {
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+        }
+        let sum: f64 = pi.iter().sum();
+        if sum <= 0.0 {
+            return Err(MarkovError::ConvergenceFailure {
+                method: "stationary linear solve",
+                iterations: 1,
+            });
+        }
+        for p in pi.iter_mut() {
+            *p /= sum;
+        }
+        Ok(pi)
+    }
+
+    /// Power iteration on the lazy chain `(P + I) / 2`.
+    fn solve_power(
+        rows: &[Vec<(usize, f64)>],
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<Vec<f64>, MarkovError> {
+        let m = rows.len();
+        let mut pi = vec![1.0 / m as f64; m];
+        let mut next = vec![0.0; m];
+        for iteration in 0..max_iterations {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            for (from, row) in rows.iter().enumerate() {
+                let mass = pi[from];
+                // Lazy step: half the mass stays.
+                next[from] += 0.5 * mass;
+                for &(to, p) in row {
+                    next[to] += 0.5 * mass * p;
+                }
+            }
+            let diff: f64 = pi
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            std::mem::swap(&mut pi, &mut next);
+            if diff < tolerance {
+                let sum: f64 = pi.iter().sum();
+                for p in pi.iter_mut() {
+                    *p /= sum;
+                }
+                return Ok(pi);
+            }
+            let _ = iteration;
+        }
+        Err(MarkovError::ConvergenceFailure {
+            method: "stationary power iteration",
+            iterations: max_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> MarkovChain {
+        MarkovChain::from_rows(vec![
+            vec![(0, 0.7), (1, 0.3)],
+            vec![(0, 0.6), (1, 0.4)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn linear_solve_matches_hand_computation() {
+        let solver = StationaryDistribution::new(StationaryMethod::LinearSolve);
+        let pi = solver.unichain_distribution(&two_state()).unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-10);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_linear_solve() {
+        let direct = StationaryDistribution::new(StationaryMethod::LinearSolve)
+            .unichain_distribution(&two_state())
+            .unwrap();
+        let power = StationaryDistribution::new(StationaryMethod::default())
+            .unichain_distribution(&two_state())
+            .unwrap();
+        for (a, b) in direct.iter().zip(&power) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn periodic_chain_is_handled_by_lazification() {
+        // A deterministic 2-cycle has period 2; the lazy chain still converges
+        // to the uniform stationary distribution.
+        let chain = MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
+        let pi = StationaryDistribution::new(StationaryMethod::default())
+            .unichain_distribution(&chain)
+            .unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-8);
+        assert!((pi[1] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn transient_states_receive_zero_probability() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(1, 0.2), (2, 0.8)],
+            vec![(1, 0.7), (2, 0.3)],
+        ])
+        .unwrap();
+        let pi = StationaryDistribution::new(StationaryMethod::LinearSolve)
+            .unichain_distribution(&chain)
+            .unwrap();
+        assert_eq!(pi[0], 0.0);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multichain_is_rejected() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+        ])
+        .unwrap();
+        let err = StationaryDistribution::new(StationaryMethod::LinearSolve)
+            .unichain_distribution(&chain)
+            .unwrap_err();
+        assert_eq!(err, MarkovError::NotIrreducible);
+    }
+
+    #[test]
+    fn class_distribution_rejects_open_sets() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(1, 1.0)],
+        ])
+        .unwrap();
+        // {0} is not closed: it leaks to 1.
+        let err = StationaryDistribution::new(StationaryMethod::LinearSolve)
+            .class_distribution(&chain, &[0])
+            .unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidTargetState { .. }));
+    }
+
+    #[test]
+    fn stationary_is_fixed_point_of_step() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.2), (1, 0.5), (2, 0.3)],
+            vec![(0, 0.4), (1, 0.1), (2, 0.5)],
+            vec![(0, 0.3), (1, 0.3), (2, 0.4)],
+        ])
+        .unwrap();
+        let pi = chain.stationary_distribution().unwrap();
+        let stepped = chain.step_distribution(&pi).unwrap();
+        for (a, b) in pi.iter().zip(&stepped) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

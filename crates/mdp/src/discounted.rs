@@ -1,0 +1,210 @@
+//! Discounted-reward value iteration.
+//!
+//! The selfish-mining analysis itself uses mean-payoff objectives, but a
+//! discounted solver is useful in two places: as a vanishing-discount sanity
+//! check of the mean-payoff solvers (for discount factors close to 1,
+//! `(1 − γ) · V_γ(s) → g*`), and as a building block for ablation experiments
+//! on alternative adversary objectives (short-horizon revenue).
+
+use crate::{Mdp, MdpError, PositionalStrategy, TransitionRewards};
+
+/// Result of a discounted value-iteration run.
+#[derive(Debug, Clone)]
+pub struct DiscountedResult {
+    /// Optimal discounted value per state.
+    pub values: Vec<f64>,
+    /// Greedy optimal strategy.
+    pub strategy: PositionalStrategy,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+}
+
+/// Standard value iteration for the expected total discounted reward
+/// objective `E[Σ γⁿ rₙ]`.
+///
+/// # Example
+///
+/// ```
+/// use sm_mdp::{DiscountedValueIteration, MdpBuilder, TransitionRewards};
+///
+/// # fn main() -> Result<(), sm_mdp::MdpError> {
+/// let mut b = MdpBuilder::new(1);
+/// b.add_action(0, "loop", vec![(0, 1.0)])?;
+/// let mdp = b.build(0)?;
+/// let rewards = TransitionRewards::from_fn(&mdp, |_, _, _| 1.0);
+/// let result = DiscountedValueIteration::new(0.5).solve(&mdp, &rewards)?;
+/// assert!((result.values[0] - 2.0).abs() < 1e-6); // geometric series 1/(1-0.5)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscountedValueIteration {
+    /// Discount factor γ ∈ [0, 1).
+    pub discount: f64,
+    /// Convergence threshold on the sup-norm difference of successive iterates.
+    pub epsilon: f64,
+    /// Maximum number of sweeps.
+    pub max_iterations: usize,
+}
+
+impl DiscountedValueIteration {
+    /// Creates a solver with the given discount factor and default precision.
+    pub fn new(discount: f64) -> Self {
+        DiscountedValueIteration {
+            discount,
+            epsilon: 1e-10,
+            max_iterations: 1_000_000,
+        }
+    }
+
+    /// Runs value iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] if the discount factor is not in
+    /// `[0, 1)` or the precision is not positive,
+    /// [`MdpError::RewardShapeMismatch`] for mismatched rewards, and
+    /// [`MdpError::ConvergenceFailure`] if the iteration budget is exhausted.
+    pub fn solve(
+        &self,
+        mdp: &Mdp,
+        rewards: &TransitionRewards,
+    ) -> Result<DiscountedResult, MdpError> {
+        if !(0.0..1.0).contains(&self.discount) {
+            return Err(MdpError::InvalidParameter {
+                name: "discount",
+                constraint: "must lie in [0, 1)",
+            });
+        }
+        if !(self.epsilon > 0.0) {
+            return Err(MdpError::InvalidParameter {
+                name: "epsilon",
+                constraint: "must be positive",
+            });
+        }
+        if !rewards.matches(mdp) {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: "rewards do not match MDP shape".to_string(),
+            });
+        }
+        let n = mdp.num_states();
+        let expected: Vec<Vec<f64>> = (0..n)
+            .map(|s| {
+                (0..mdp.num_actions(s))
+                    .map(|a| rewards.expected_reward(mdp, s, a))
+                    .collect()
+            })
+            .collect();
+        let mut values = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut best_action = vec![0usize; n];
+        for iteration in 1..=self.max_iterations {
+            let mut max_diff: f64 = 0.0;
+            for s in 0..n {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_a = 0;
+                for a in 0..mdp.num_actions(s) {
+                    let mut value = expected[s][a];
+                    for &(t, p) in mdp.transitions(s, a) {
+                        value += self.discount * p * values[t];
+                    }
+                    if value > best {
+                        best = value;
+                        best_a = a;
+                    }
+                }
+                next[s] = best;
+                best_action[s] = best_a;
+                max_diff = max_diff.max((best - values[s]).abs());
+            }
+            std::mem::swap(&mut values, &mut next);
+            if max_diff < self.epsilon {
+                return Ok(DiscountedResult {
+                    values,
+                    strategy: PositionalStrategy::new(best_action),
+                    iterations: iteration,
+                });
+            }
+        }
+        Err(MdpError::ConvergenceFailure {
+            method: "discounted value iteration",
+            iterations: self.max_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MdpBuilder, RelativeValueIteration};
+
+    #[test]
+    fn geometric_series_value() {
+        let mut b = MdpBuilder::new(1);
+        b.add_action(0, "loop", vec![(0, 1.0)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        let r = TransitionRewards::from_fn(&mdp, |_, _, _| 3.0);
+        let out = DiscountedValueIteration::new(0.9).solve(&mdp, &r).unwrap();
+        assert!((out.values[0] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefers_immediate_reward_with_low_discount() {
+        // Action "now" yields 1 then loops with 0; action "later" yields 0 now
+        // and 10 next step, then loops with 0. With a very low discount the
+        // immediate reward wins; with a high discount the delayed one wins.
+        let mut b = MdpBuilder::new(3);
+        b.add_action(0, "now", vec![(2, 1.0)]).unwrap();
+        b.add_action(0, "later", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "collect", vec![(2, 1.0)]).unwrap();
+        b.add_action(2, "sink", vec![(2, 1.0)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        let r = TransitionRewards::from_fn(&mdp, |s, a, _| match (s, a) {
+            (0, 0) => 1.0,
+            (1, 0) => 10.0,
+            _ => 0.0,
+        });
+        let myopic = DiscountedValueIteration::new(0.01).solve(&mdp, &r).unwrap();
+        assert_eq!(myopic.strategy.action(0), 0);
+        let patient = DiscountedValueIteration::new(0.9).solve(&mdp, &r).unwrap();
+        assert_eq!(patient.strategy.action(0), 1);
+    }
+
+    #[test]
+    fn vanishing_discount_approaches_mean_payoff() {
+        let mut b = MdpBuilder::new(2);
+        b.add_action(0, "a", vec![(0, 0.75), (1, 0.25)]).unwrap();
+        b.add_action(1, "b", vec![(0, 1.0)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        let r = TransitionRewards::from_fn(&mdp, |s, _, t| if s == 0 && t == 0 { 2.0 } else { 0.0 });
+        let gain = RelativeValueIteration::with_epsilon(1e-10)
+            .solve(&mdp, &r)
+            .unwrap()
+            .gain;
+        let discount = 0.9999;
+        let discounted = DiscountedValueIteration::new(discount)
+            .solve(&mdp, &r)
+            .unwrap();
+        let normalized = (1.0 - discount) * discounted.values[0];
+        assert!(
+            (normalized - gain).abs() < 1e-3,
+            "vanishing discount {normalized} vs gain {gain}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_discount() {
+        let mut b = MdpBuilder::new(1);
+        b.add_action(0, "loop", vec![(0, 1.0)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        let r = TransitionRewards::zeros(&mdp);
+        assert!(matches!(
+            DiscountedValueIteration::new(1.0).solve(&mdp, &r),
+            Err(MdpError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            DiscountedValueIteration::new(-0.1).solve(&mdp, &r),
+            Err(MdpError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Error type for MDP construction and solving.
+
+use sm_linalg::LinalgError;
+use sm_markov::MarkovError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving an MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// A state index is out of range.
+    InvalidState {
+        /// The offending state index.
+        state: usize,
+        /// The number of states in the MDP.
+        num_states: usize,
+    },
+    /// A transition distribution does not sum to 1 or contains invalid values.
+    InvalidDistribution {
+        /// State the action belongs to.
+        state: usize,
+        /// Name of the offending action.
+        action: String,
+        /// Sum of the provided probabilities.
+        sum: f64,
+    },
+    /// A state has no available action (the MDP would deadlock).
+    NoActions {
+        /// The deadlocking state.
+        state: usize,
+    },
+    /// An action index is out of range for the given state.
+    InvalidAction {
+        /// The state.
+        state: usize,
+        /// The requested action index.
+        action: usize,
+        /// The number of actions available in the state.
+        available: usize,
+    },
+    /// A reward structure does not match the MDP shape.
+    RewardShapeMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// An iterative solver failed to converge within its budget.
+    ConvergenceFailure {
+        /// The solver that failed.
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The MDP is empty.
+    EmptyModel,
+    /// An invalid parameter was supplied to a solver.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        constraint: &'static str,
+    },
+    /// An underlying Markov-chain computation failed.
+    Markov(MarkovError),
+    /// An underlying linear-algebra computation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::InvalidState { state, num_states } => {
+                write!(f, "state {state} out of range (num states {num_states})")
+            }
+            MdpError::InvalidDistribution { state, action, sum } => write!(
+                f,
+                "action '{action}' in state {state} has probabilities summing to {sum}"
+            ),
+            MdpError::NoActions { state } => write!(f, "state {state} has no actions"),
+            MdpError::InvalidAction {
+                state,
+                action,
+                available,
+            } => write!(
+                f,
+                "action index {action} invalid in state {state} ({available} available)"
+            ),
+            MdpError::RewardShapeMismatch { detail } => {
+                write!(f, "reward shape mismatch: {detail}")
+            }
+            MdpError::ConvergenceFailure { method, iterations } => {
+                write!(f, "{method} did not converge after {iterations} iterations")
+            }
+            MdpError::EmptyModel => write!(f, "MDP has no states"),
+            MdpError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter {name} violates constraint: {constraint}")
+            }
+            MdpError::Markov(err) => write!(f, "markov error: {err}"),
+            MdpError::Linalg(err) => write!(f, "linear algebra error: {err}"),
+        }
+    }
+}
+
+impl Error for MdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MdpError::Markov(err) => Some(err),
+            MdpError::Linalg(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for MdpError {
+    fn from(err: MarkovError) -> Self {
+        MdpError::Markov(err)
+    }
+}
+
+impl From<LinalgError> for MdpError {
+    fn from(err: LinalgError) -> Self {
+        MdpError::Linalg(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let err = MdpError::InvalidDistribution {
+            state: 2,
+            action: "mine".to_string(),
+            sum: 0.9,
+        };
+        let s = err.to_string();
+        assert!(s.contains("mine") && s.contains('2') && s.contains("0.9"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let err: MdpError = MarkovError::EmptyChain.into();
+        assert!(Error::source(&err).is_some());
+        let err: MdpError = LinalgError::SingularMatrix.into();
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MdpError>();
+    }
+}

@@ -1,0 +1,74 @@
+//! Finite-state Markov decision processes and mean-payoff solvers.
+//!
+//! The PODC 2024 selfish-mining analysis reduces the expected-relative-revenue
+//! objective to a family of *mean-payoff* MDP problems and solves each of them
+//! with an off-the-shelf probabilistic model checker (Storm). This crate is
+//! the reproduction's replacement for that model checker. It provides:
+//!
+//! * [`Mdp`] / [`MdpBuilder`] — the finite MDP `(S, A, P, s₀)` of Section 2.3,
+//!   with validated probabilistic transition functions.
+//! * [`TransitionRewards`] — reward functions `r : S × A × S → ℝ`, and the
+//!   linear combinations needed for the paper's `r_β = r_A − β(r_A + r_H)`.
+//! * [`PositionalStrategy`] — memoryless deterministic strategies, which are
+//!   sufficient for mean-payoff optimality (Puterman, Thm. 9.1.8).
+//! * Solvers for the *maximal mean payoff*:
+//!   [`RelativeValueIteration`] (sparse, scales to the large selfish-mining
+//!   models), [`PolicyIteration`] (Howard's algorithm, exact via linear
+//!   solves) and [`LinearProgrammingSolver`] (gain LP over the `sm-linalg`
+//!   simplex), plus [`DiscountedValueIteration`] for discounted objectives.
+//! * [`MeanPayoffSolver`] — a façade that picks a solver and returns a
+//!   [`MeanPayoffResult`] with certified lower/upper bounds on the optimal
+//!   gain together with an optimal (up to the requested precision) strategy.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_mdp::{MdpBuilder, MeanPayoffSolver, TransitionRewards};
+//!
+//! # fn main() -> Result<(), sm_mdp::MdpError> {
+//! // A two-state MDP: in state 0 the action `stay` earns 1 and loops,
+//! // the action `leave` earns 0 and moves to state 1, from which the only
+//! // action returns to 0 earning 0.5. Optimal mean payoff is 1 (keep staying).
+//! let mut builder = MdpBuilder::new(2);
+//! builder.add_action(0, "stay", vec![(0, 1.0)])?;
+//! builder.add_action(0, "leave", vec![(1, 1.0)])?;
+//! builder.add_action(1, "back", vec![(0, 1.0)])?;
+//! let mdp = builder.build(0)?;
+//! let rewards = TransitionRewards::from_fn(&mdp, |state, action, _target| {
+//!     match (state, mdp.action_name(state, action)) {
+//!         (0, "stay") => 1.0,
+//!         (1, _) => 0.5,
+//!         _ => 0.0,
+//!     }
+//! });
+//! let result = MeanPayoffSolver::default().solve(&mdp, &rewards)?;
+//! assert!((result.gain - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod discounted;
+mod error;
+mod lp;
+mod model;
+mod policy_iteration;
+mod rewards;
+mod solver;
+mod strategy;
+mod value_iteration;
+
+pub use discounted::{DiscountedResult, DiscountedValueIteration};
+pub use error::MdpError;
+pub use lp::LinearProgrammingSolver;
+pub use model::{ActionRef, Mdp, MdpBuilder};
+pub use policy_iteration::{PolicyEvaluation, PolicyIteration};
+pub use rewards::TransitionRewards;
+pub use solver::{MeanPayoffMethod, MeanPayoffResult, MeanPayoffSolver};
+pub use strategy::PositionalStrategy;
+pub use value_iteration::{RelativeValueIteration, ValueIterationOutcome};
+
+/// Tolerance used when validating transition probability distributions.
+pub const PROBABILITY_TOLERANCE: f64 = 1e-9;

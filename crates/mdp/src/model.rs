@@ -1,0 +1,451 @@
+//! The MDP model `(S, A, P, s₀)` and its builder.
+
+use crate::{MdpError, PositionalStrategy, PROBABILITY_TOLERANCE};
+use sm_markov::MarkovChain;
+
+/// A reference to an action available in a particular state: the pair of a
+/// state index and the index of the action within that state's action list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActionRef {
+    /// The state in which the action is available.
+    pub state: usize,
+    /// Index of the action within the state's list of available actions.
+    pub action: usize,
+}
+
+/// One action available in a state: a human-readable name and a probability
+/// distribution over successor states.
+#[derive(Debug, Clone, PartialEq)]
+struct Action {
+    name: String,
+    /// Successor states and probabilities; probabilities sum to 1.
+    transitions: Vec<(usize, f64)>,
+}
+
+/// A finite-state Markov decision process.
+///
+/// States are `0..num_states()`. Every state has one or more named actions;
+/// each action carries a validated probability distribution over successors.
+/// Rewards are *not* stored in the model — they are supplied separately as
+/// [`crate::TransitionRewards`], which is what lets the selfish-mining
+/// analysis reuse one model for the whole `r_β` family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mdp {
+    states: Vec<Vec<Action>>,
+    initial_state: usize,
+}
+
+impl Mdp {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The initial state `s₀`.
+    pub fn initial_state(&self) -> usize {
+        self.initial_state
+    }
+
+    /// Number of actions available in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn num_actions(&self, state: usize) -> usize {
+        self.states[state].len()
+    }
+
+    /// Total number of state-action pairs.
+    pub fn num_state_action_pairs(&self) -> usize {
+        self.states.iter().map(|a| a.len()).sum()
+    }
+
+    /// Total number of transitions (successor entries over all state-action pairs).
+    pub fn num_transitions(&self) -> usize {
+        self.states
+            .iter()
+            .flat_map(|actions| actions.iter())
+            .map(|a| a.transitions.len())
+            .sum()
+    }
+
+    /// Name of the `action`-th action of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn action_name(&self, state: usize, action: usize) -> &str {
+        &self.states[state][action].name
+    }
+
+    /// The transition distribution of the `action`-th action of `state`, as a
+    /// slice of `(successor, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn transitions(&self, state: usize, action: usize) -> &[(usize, f64)] {
+        &self.states[state][action].transitions
+    }
+
+    /// Iterates over all state-action pairs of the model.
+    pub fn action_refs(&self) -> impl Iterator<Item = ActionRef> + '_ {
+        self.states.iter().enumerate().flat_map(|(state, actions)| {
+            (0..actions.len()).map(move |action| ActionRef { state, action })
+        })
+    }
+
+    /// Finds the index of an action by name in the given state.
+    pub fn find_action(&self, state: usize, name: &str) -> Option<usize> {
+        self.states
+            .get(state)?
+            .iter()
+            .position(|a| a.name == name)
+    }
+
+    /// The Markov chain induced by a positional strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidAction`] if the strategy selects an action
+    /// that does not exist, or a shape error if the strategy does not cover
+    /// every state.
+    pub fn induced_chain(&self, strategy: &PositionalStrategy) -> Result<MarkovChain, MdpError> {
+        if strategy.num_states() != self.num_states() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "strategy covers {} states, MDP has {}",
+                    strategy.num_states(),
+                    self.num_states()
+                ),
+            });
+        }
+        let mut rows = Vec::with_capacity(self.num_states());
+        for state in 0..self.num_states() {
+            let action = strategy.action(state);
+            if action >= self.num_actions(state) {
+                return Err(MdpError::InvalidAction {
+                    state,
+                    action,
+                    available: self.num_actions(state),
+                });
+            }
+            rows.push(self.transitions(state, action).to_vec());
+        }
+        Ok(MarkovChain::from_rows(rows)?)
+    }
+
+    /// Checks basic sanity of the model: every state has at least one action
+    /// and every distribution sums to 1. The builder enforces this already;
+    /// the method exists so deserialized or hand-assembled models can be
+    /// re-validated cheaply.
+    pub fn validate(&self) -> Result<(), MdpError> {
+        if self.states.is_empty() {
+            return Err(MdpError::EmptyModel);
+        }
+        for (state, actions) in self.states.iter().enumerate() {
+            if actions.is_empty() {
+                return Err(MdpError::NoActions { state });
+            }
+            for action in actions {
+                let sum: f64 = action.transitions.iter().map(|&(_, p)| p).sum();
+                if (sum - 1.0).abs() > PROBABILITY_TOLERANCE
+                    || action.transitions.iter().any(|&(_, p)| p < 0.0)
+                {
+                    return Err(MdpError::InvalidDistribution {
+                        state,
+                        action: action.name.clone(),
+                        sum,
+                    });
+                }
+                if let Some(&(target, _)) = action
+                    .transitions
+                    .iter()
+                    .find(|&&(t, _)| t >= self.states.len())
+                {
+                    return Err(MdpError::InvalidState {
+                        state: target,
+                        num_states: self.states.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// States reachable from the initial state under *some* strategy
+    /// (i.e. following any action), in breadth-first order.
+    pub fn reachable_states(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.num_states()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.initial_state] = true;
+        queue.push_back(self.initial_state);
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for action in &self.states[s] {
+                for &(t, p) in &action.transitions {
+                    if p > 0.0 && !seen[t] {
+                        seen[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Incremental builder for [`Mdp`].
+///
+/// # Example
+///
+/// ```
+/// use sm_mdp::MdpBuilder;
+///
+/// # fn main() -> Result<(), sm_mdp::MdpError> {
+/// let mut builder = MdpBuilder::new(2);
+/// builder.add_action(0, "a", vec![(0, 0.5), (1, 0.5)])?;
+/// builder.add_action(1, "b", vec![(0, 1.0)])?;
+/// let mdp = builder.build(0)?;
+/// assert_eq!(mdp.num_states(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MdpBuilder {
+    states: Vec<Vec<Action>>,
+}
+
+impl MdpBuilder {
+    /// Creates a builder for an MDP with `num_states` states and no actions.
+    pub fn new(num_states: usize) -> Self {
+        MdpBuilder {
+            states: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Number of states of the model under construction.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Appends a fresh state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.states.push(Vec::new());
+        self.states.len() - 1
+    }
+
+    /// Adds an action to `state` with the given successor distribution, given
+    /// as `(target, probability)` pairs (duplicate targets are allowed and
+    /// summed). Returns the index of the new action within the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the state or a target is out of range, or if the
+    /// probabilities are invalid / do not sum to 1.
+    pub fn add_action(
+        &mut self,
+        state: usize,
+        name: impl Into<String>,
+        transitions: Vec<(usize, f64)>,
+    ) -> Result<usize, MdpError> {
+        let name = name.into();
+        let num_states = self.states.len();
+        if state >= num_states {
+            return Err(MdpError::InvalidState {
+                state,
+                num_states,
+            });
+        }
+        let mut sum = 0.0;
+        for &(target, p) in &transitions {
+            if target >= num_states {
+                return Err(MdpError::InvalidState {
+                    state: target,
+                    num_states,
+                });
+            }
+            if !p.is_finite() || p < 0.0 {
+                return Err(MdpError::InvalidDistribution {
+                    state,
+                    action: name,
+                    sum: p,
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
+            return Err(MdpError::InvalidDistribution { state, action: name, sum });
+        }
+        // Merge duplicate targets so downstream consumers see one entry per successor.
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(transitions.len());
+        let mut sorted = transitions;
+        sorted.sort_by_key(|&(t, _)| t);
+        for (target, p) in sorted {
+            if p == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if last.0 == target => last.1 += p,
+                _ => merged.push((target, p)),
+            }
+        }
+        self.states[state].push(Action {
+            name,
+            transitions: merged,
+        });
+        Ok(self.states[state].len() - 1)
+    }
+
+    /// Finalises the model with the given initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is empty, the initial state is out of
+    /// range, or some state has no actions.
+    pub fn build(self, initial_state: usize) -> Result<Mdp, MdpError> {
+        if self.states.is_empty() {
+            return Err(MdpError::EmptyModel);
+        }
+        if initial_state >= self.states.len() {
+            return Err(MdpError::InvalidState {
+                state: initial_state,
+                num_states: self.states.len(),
+            });
+        }
+        if let Some(state) = self.states.iter().position(|a| a.is_empty()) {
+            return Err(MdpError::NoActions { state });
+        }
+        let mdp = Mdp {
+            states: self.states,
+            initial_state,
+        };
+        mdp.validate()?;
+        Ok(mdp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_mdp() -> Mdp {
+        let mut b = MdpBuilder::new(2);
+        b.add_action(0, "stay", vec![(0, 1.0)]).unwrap();
+        b.add_action(0, "go", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "loop", vec![(0, 0.25), (1, 0.75)]).unwrap();
+        b.build(0).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let mdp = two_state_mdp();
+        assert_eq!(mdp.num_states(), 2);
+        assert_eq!(mdp.num_actions(0), 2);
+        assert_eq!(mdp.num_actions(1), 1);
+        assert_eq!(mdp.num_state_action_pairs(), 3);
+        assert_eq!(mdp.num_transitions(), 4);
+        assert_eq!(mdp.action_name(0, 1), "go");
+        assert_eq!(mdp.find_action(1, "loop"), Some(0));
+        assert_eq!(mdp.find_action(1, "missing"), None);
+        assert_eq!(mdp.initial_state(), 0);
+        assert!(mdp.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_distributions() {
+        let mut b = MdpBuilder::new(1);
+        assert!(matches!(
+            b.add_action(0, "bad", vec![(0, 0.5)]),
+            Err(MdpError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            b.add_action(0, "nan", vec![(0, f64::NAN)]),
+            Err(MdpError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            b.add_action(0, "oob", vec![(5, 1.0)]),
+            Err(MdpError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            b.add_action(3, "nostate", vec![(0, 1.0)]),
+            Err(MdpError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_deadlocks_and_bad_initial_state() {
+        let b = MdpBuilder::new(1);
+        assert!(matches!(b.build(0), Err(MdpError::NoActions { state: 0 })));
+
+        let mut b = MdpBuilder::new(1);
+        b.add_action(0, "a", vec![(0, 1.0)]).unwrap();
+        assert!(matches!(b.build(3), Err(MdpError::InvalidState { .. })));
+
+        let b = MdpBuilder::new(0);
+        assert!(matches!(b.build(0), Err(MdpError::EmptyModel)));
+    }
+
+    #[test]
+    fn duplicate_targets_are_merged() {
+        let mut b = MdpBuilder::new(1);
+        b.add_action(0, "a", vec![(0, 0.25), (0, 0.75)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        assert_eq!(mdp.transitions(0, 0), &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn induced_chain_follows_strategy() {
+        let mdp = two_state_mdp();
+        let stay = PositionalStrategy::new(vec![0, 0]);
+        let chain = mdp.induced_chain(&stay).unwrap();
+        assert_eq!(chain.probability(0, 0), 1.0);
+
+        let go = PositionalStrategy::new(vec![1, 0]);
+        let chain = mdp.induced_chain(&go).unwrap();
+        assert_eq!(chain.probability(0, 1), 1.0);
+        assert_eq!(chain.probability(1, 0), 0.25);
+    }
+
+    #[test]
+    fn induced_chain_rejects_invalid_strategy() {
+        let mdp = two_state_mdp();
+        let bad_action = PositionalStrategy::new(vec![5, 0]);
+        assert!(matches!(
+            mdp.induced_chain(&bad_action),
+            Err(MdpError::InvalidAction { .. })
+        ));
+        let bad_len = PositionalStrategy::new(vec![0]);
+        assert!(mdp.induced_chain(&bad_len).is_err());
+    }
+
+    #[test]
+    fn reachable_states_from_initial() {
+        let mut b = MdpBuilder::new(3);
+        b.add_action(0, "a", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "b", vec![(1, 1.0)]).unwrap();
+        b.add_action(2, "c", vec![(2, 1.0)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        assert_eq!(mdp.reachable_states(), vec![0, 1]);
+    }
+
+    #[test]
+    fn add_state_extends_the_model() {
+        let mut b = MdpBuilder::new(1);
+        let s1 = b.add_state();
+        assert_eq!(s1, 1);
+        b.add_action(0, "a", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "b", vec![(0, 1.0)]).unwrap();
+        assert_eq!(b.build(0).unwrap().num_states(), 2);
+    }
+
+    #[test]
+    fn action_refs_enumerates_all_pairs() {
+        let mdp = two_state_mdp();
+        let refs: Vec<ActionRef> = mdp.action_refs().collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0], ActionRef { state: 0, action: 0 });
+        assert_eq!(refs[2], ActionRef { state: 1, action: 0 });
+    }
+}

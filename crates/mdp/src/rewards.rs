@@ -1,0 +1,273 @@
+//! Reward functions `r : S × A × S → ℝ` aligned with an MDP's transitions.
+
+use crate::{Mdp, MdpError, PositionalStrategy};
+
+/// A reward function over state-action-successor triples, stored aligned with
+/// the transition lists of a particular [`Mdp`].
+///
+/// The selfish-mining analysis needs two base reward functions (`r_A` counting
+/// adversarial finalized blocks and `r_H` counting honest finalized blocks)
+/// and, inside the binary search of Algorithm 1, the combination
+/// `r_β = r_A − β · (r_A + r_H)`. [`TransitionRewards::affine_combination`]
+/// builds exactly that without touching the model again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionRewards {
+    /// `per[state][action][transition_index]`, aligned with
+    /// `Mdp::transitions(state, action)`.
+    per: Vec<Vec<Vec<f64>>>,
+}
+
+impl TransitionRewards {
+    /// Builds rewards by evaluating `f(state, action, successor)` on every
+    /// transition of the MDP.
+    pub fn from_fn(mdp: &Mdp, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let per = (0..mdp.num_states())
+            .map(|state| {
+                (0..mdp.num_actions(state))
+                    .map(|action| {
+                        mdp.transitions(state, action)
+                            .iter()
+                            .map(|&(target, _)| f(state, action, target))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        TransitionRewards { per }
+    }
+
+    /// Builds an all-zero reward structure for the given MDP.
+    pub fn zeros(mdp: &Mdp) -> Self {
+        Self::from_fn(mdp, |_, _, _| 0.0)
+    }
+
+    /// The reward of the `transition_index`-th successor of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn reward(&self, state: usize, action: usize, transition_index: usize) -> f64 {
+        self.per[state][action][transition_index]
+    }
+
+    /// Mutable access to a single transition reward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn reward_mut(&mut self, state: usize, action: usize, transition_index: usize) -> &mut f64 {
+        &mut self.per[state][action][transition_index]
+    }
+
+    /// Expected one-step reward of taking `action` in `state`:
+    /// `Σ_{s'} P(s'|s,a) · r(s,a,s')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds or the reward structure does
+    /// not match the MDP.
+    pub fn expected_reward(&self, mdp: &Mdp, state: usize, action: usize) -> f64 {
+        mdp.transitions(state, action)
+            .iter()
+            .zip(&self.per[state][action])
+            .map(|(&(_, p), &r)| p * r)
+            .sum()
+    }
+
+    /// Per-state expected rewards under a positional strategy, the reward
+    /// vector of the induced Markov chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the strategy shape does not match the MDP.
+    pub fn strategy_rewards(
+        &self,
+        mdp: &Mdp,
+        strategy: &PositionalStrategy,
+    ) -> Result<Vec<f64>, MdpError> {
+        if strategy.num_states() != mdp.num_states() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "strategy covers {} states, MDP has {}",
+                    strategy.num_states(),
+                    mdp.num_states()
+                ),
+            });
+        }
+        if !self.matches(mdp) {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: "rewards do not match MDP shape".to_string(),
+            });
+        }
+        (0..mdp.num_states())
+            .map(|state| {
+                let action = strategy.action(state);
+                if action >= mdp.num_actions(state) {
+                    return Err(MdpError::InvalidAction {
+                        state,
+                        action,
+                        available: mdp.num_actions(state),
+                    });
+                }
+                Ok(self.expected_reward(mdp, state, action))
+            })
+            .collect()
+    }
+
+    /// Builds the affine combination `alpha · self + beta · other` (entry-wise
+    /// over all transitions). Used to form the paper's `r_β`:
+    /// `r_β = 1·r_A − β·(r_A + r_H)`, i.e.
+    /// `r_A.affine_combination(&r_total, 1.0, -beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::RewardShapeMismatch`] if the two structures are not
+    /// aligned with the same MDP shape.
+    pub fn affine_combination(
+        &self,
+        other: &TransitionRewards,
+        alpha: f64,
+        beta: f64,
+    ) -> Result<TransitionRewards, MdpError> {
+        if !self.same_shape(other) {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: "affine combination of differently-shaped rewards".to_string(),
+            });
+        }
+        let per = self
+            .per
+            .iter()
+            .zip(&other.per)
+            .map(|(sa, oa)| {
+                sa.iter()
+                    .zip(oa)
+                    .map(|(sr, or)| {
+                        sr.iter()
+                            .zip(or)
+                            .map(|(&a, &b)| alpha * a + beta * b)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(TransitionRewards { per })
+    }
+
+    /// Entry-wise sum, a convenience wrapper around
+    /// [`TransitionRewards::affine_combination`] with coefficients 1, 1.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransitionRewards::affine_combination`].
+    pub fn sum(&self, other: &TransitionRewards) -> Result<TransitionRewards, MdpError> {
+        self.affine_combination(other, 1.0, 1.0)
+    }
+
+    /// Checks whether the reward structure matches the shape of `mdp`.
+    pub fn matches(&self, mdp: &Mdp) -> bool {
+        self.per.len() == mdp.num_states()
+            && self.per.iter().enumerate().all(|(state, actions)| {
+                actions.len() == mdp.num_actions(state)
+                    && actions.iter().enumerate().all(|(action, rewards)| {
+                        rewards.len() == mdp.transitions(state, action).len()
+                    })
+            })
+    }
+
+    /// Largest absolute reward value, used by solvers to bound value ranges.
+    pub fn max_abs(&self) -> f64 {
+        self.per
+            .iter()
+            .flatten()
+            .flatten()
+            .fold(0.0, |acc: f64, &v| acc.max(v.abs()))
+    }
+
+    fn same_shape(&self, other: &TransitionRewards) -> bool {
+        self.per.len() == other.per.len()
+            && self.per.iter().zip(&other.per).all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.len() == y.len())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MdpBuilder;
+
+    fn mdp() -> Mdp {
+        let mut b = MdpBuilder::new(2);
+        b.add_action(0, "a", vec![(0, 0.5), (1, 0.5)]).unwrap();
+        b.add_action(0, "b", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "c", vec![(0, 1.0)]).unwrap();
+        b.build(0).unwrap()
+    }
+
+    #[test]
+    fn from_fn_aligns_with_transitions() {
+        let mdp = mdp();
+        let r = TransitionRewards::from_fn(&mdp, |_, _, target| target as f64);
+        assert_eq!(r.reward(0, 0, 0), 0.0);
+        assert_eq!(r.reward(0, 0, 1), 1.0);
+        assert_eq!(r.reward(0, 1, 0), 1.0);
+        assert!(r.matches(&mdp));
+    }
+
+    #[test]
+    fn expected_reward_weights_by_probability() {
+        let mdp = mdp();
+        let r = TransitionRewards::from_fn(&mdp, |_, _, target| target as f64 * 2.0);
+        assert!((r.expected_reward(&mdp, 0, 0) - 1.0).abs() < 1e-15);
+        assert!((r.expected_reward(&mdp, 0, 1) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strategy_rewards_follow_choices() {
+        let mdp = mdp();
+        let r = TransitionRewards::from_fn(&mdp, |_, action, _| action as f64);
+        let sigma = PositionalStrategy::new(vec![1, 0]);
+        let rewards = r.strategy_rewards(&mdp, &sigma).unwrap();
+        assert_eq!(rewards, vec![1.0, 0.0]);
+        let bad = PositionalStrategy::new(vec![7, 0]);
+        assert!(r.strategy_rewards(&mdp, &bad).is_err());
+        let short = PositionalStrategy::new(vec![0]);
+        assert!(r.strategy_rewards(&mdp, &short).is_err());
+    }
+
+    #[test]
+    fn affine_combination_matches_manual_computation() {
+        let mdp = mdp();
+        let ra = TransitionRewards::from_fn(&mdp, |_, _, _| 1.0);
+        let rh = TransitionRewards::from_fn(&mdp, |_, _, target| if target == 1 { 1.0 } else { 0.0 });
+        let total = ra.sum(&rh).unwrap();
+        let beta = 0.25;
+        let r_beta = ra.affine_combination(&total, 1.0, -beta).unwrap();
+        // On a transition to state 1: 1 - 0.25 * (1 + 1) = 0.5
+        assert!((r_beta.reward(0, 1, 0) - 0.5).abs() < 1e-15);
+        // On a transition to state 0: 1 - 0.25 * (1 + 0) = 0.75
+        assert!((r_beta.reward(0, 0, 0) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zeros_and_max_abs() {
+        let mdp = mdp();
+        let z = TransitionRewards::zeros(&mdp);
+        assert_eq!(z.max_abs(), 0.0);
+        let mut r = z.clone();
+        *r.reward_mut(1, 0, 0) = -3.5;
+        assert_eq!(r.max_abs(), 3.5);
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let mdp = mdp();
+        let mut other_builder = MdpBuilder::new(1);
+        other_builder.add_action(0, "x", vec![(0, 1.0)]).unwrap();
+        let other = other_builder.build(0).unwrap();
+        let ra = TransitionRewards::zeros(&mdp);
+        let rb = TransitionRewards::zeros(&other);
+        assert!(ra.affine_combination(&rb, 1.0, 1.0).is_err());
+        assert!(!rb.matches(&mdp));
+    }
+}

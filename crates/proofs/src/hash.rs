@@ -1,0 +1,125 @@
+//! A small, deterministic, non-cryptographic hash used by the simulated proof
+//! systems.
+//!
+//! The reproduction deliberately avoids external cryptography crates: the
+//! analysis only needs *deterministic pseudo-randomness* to derive challenges
+//! and simulate lotteries, not collision resistance. The implementation is a
+//! 256-bit construction built from four independently-keyed FNV-1a streams
+//! followed by an avalanche mix, which is plenty for driving simulations.
+
+/// A 256-bit digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Interprets the first 8 bytes as a big-endian integer, handy for
+    /// threshold comparisons in lottery simulations.
+    pub fn leading_u64(&self) -> u64 {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.0[..8]);
+        u64::from_be_bytes(bytes)
+    }
+
+    /// Maps the digest to a float uniformly distributed in `[0, 1)`.
+    pub fn as_unit_interval(&self) -> f64 {
+        self.leading_u64() as f64 / (u64::MAX as f64 + 1.0)
+    }
+
+    /// Hex rendering of the digest.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x00000100000001b3;
+
+fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &byte in data {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ceb9fe1a85ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Hashes a byte string into a [`Digest`].
+///
+/// # Example
+///
+/// ```
+/// let a = sm_proofs::hash_bytes(b"block");
+/// let b = sm_proofs::hash_bytes(b"block");
+/// let c = sm_proofs::hash_bytes(b"other");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn hash_bytes(data: &[u8]) -> Digest {
+    let mut out = [0u8; 32];
+    for lane in 0..4u64 {
+        let word = avalanche(fnv1a(lane.wrapping_add(1), data));
+        out[(lane as usize) * 8..(lane as usize + 1) * 8].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+/// Hashes the concatenation of several byte strings, with length prefixes so
+/// that `("ab", "c")` and `("a", "bc")` hash differently.
+pub fn hash_concat(parts: &[&[u8]]) -> Digest {
+    let mut buffer = Vec::with_capacity(parts.iter().map(|p| p.len() + 8).sum());
+    for part in parts {
+        buffer.extend_from_slice(&(part.len() as u64).to_be_bytes());
+        buffer.extend_from_slice(part);
+    }
+    hash_bytes(&buffer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_and_collision_free_on_small_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..1000 {
+            let digest = hash_bytes(&i.to_be_bytes());
+            assert!(seen.insert(digest), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn concat_length_prefixing_prevents_ambiguity() {
+        assert_ne!(hash_concat(&[b"ab", b"c"]), hash_concat(&[b"a", b"bc"]));
+        assert_eq!(hash_concat(&[b"ab", b"c"]), hash_concat(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn unit_interval_mapping_is_in_range_and_spread_out() {
+        let mut values = Vec::new();
+        for i in 0u32..256 {
+            let v = hash_bytes(&i.to_be_bytes()).as_unit_interval();
+            assert!((0.0..1.0).contains(&v));
+            values.push(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - 0.5).abs() < 0.1, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn hex_rendering_has_expected_length() {
+        assert_eq!(hash_bytes(b"x").to_hex().len(), 64);
+        assert_eq!(Digest::ZERO.leading_u64(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The `(p, k)`-mining abstraction of Section 2.1.
+//!
+//! Block production in every efficient proof system considered by the paper
+//! reduces to a lottery: at each discrete time step, a miner that owns a
+//! fraction `p` of the resource and works on `k` candidate blocks wins with
+//! probability proportional to `p · k`. [`MiningLottery`] implements that
+//! lottery over an arbitrary set of participants and is the probabilistic core
+//! of the `sm-chain` simulator.
+
+use rand::Rng;
+
+/// Identifier of a miner participating in the lottery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MinerId(pub usize);
+
+/// Which efficient proof system a participant represents. The kind determines
+/// the default bound on how many blocks the participant can extend at once
+/// (the paper's `k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProofSystemKind {
+    /// Proof of work: `k = 1` (work on one block at a time).
+    ProofOfWork,
+    /// Proof of stake: `k = ∞` (extending a block is free).
+    ProofOfStake,
+    /// Proof of space: `k = ∞` for lookups, but each response is tied to a plot.
+    ProofOfSpace,
+    /// Proof of space and time: `k` bounded by the number of VDFs.
+    ProofOfSpaceTime {
+        /// Number of VDFs the participant runs.
+        vdfs: usize,
+    },
+}
+
+impl ProofSystemKind {
+    /// The bound `k` on concurrently extendable blocks implied by the proof
+    /// system (`usize::MAX` stands in for the paper's `k = ∞`).
+    pub fn max_parallel_blocks(&self) -> usize {
+        match self {
+            ProofSystemKind::ProofOfWork => 1,
+            ProofSystemKind::ProofOfStake | ProofSystemKind::ProofOfSpace => usize::MAX,
+            ProofSystemKind::ProofOfSpaceTime { vdfs } => *vdfs,
+        }
+    }
+}
+
+/// One participant of the lottery: a resource share and the number of blocks
+/// it currently tries to extend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceAllocation {
+    /// The participant's identifier.
+    pub miner: MinerId,
+    /// Fraction of the global resource the participant owns, in `[0, 1]`.
+    pub share: f64,
+    /// Number of blocks the participant currently mines on (the effective `k`
+    /// for this step; already clamped by the proof system's bound).
+    pub parallel_blocks: usize,
+}
+
+impl ResourceAllocation {
+    /// The participant's lottery weight `share · parallel_blocks`.
+    pub fn weight(&self) -> f64 {
+        self.share * self.parallel_blocks as f64
+    }
+}
+
+/// Outcome of one lottery draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WinnerKind {
+    /// A participant won and gets to produce the next block; the index is the
+    /// block slot (in `0..parallel_blocks`) the proof was found for.
+    Winner {
+        /// The winning participant.
+        miner: MinerId,
+        /// Which of the participant's candidate blocks the proof extends.
+        slot: usize,
+    },
+    /// No proof was found this step (only possible when the total weight is
+    /// zero).
+    Nobody,
+}
+
+/// The `(p, k)`-mining lottery.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sm_proofs::{MinerId, MiningLottery, ResourceAllocation};
+///
+/// let lottery = MiningLottery::new(vec![
+///     ResourceAllocation { miner: MinerId(0), share: 0.3, parallel_blocks: 2 },
+///     ResourceAllocation { miner: MinerId(1), share: 0.7, parallel_blocks: 1 },
+/// ]);
+/// // Adversary weight 0.6, honest weight 0.7.
+/// assert!((lottery.win_probability(MinerId(0)) - 0.6 / 1.3).abs() < 1e-12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let outcome = lottery.draw(&mut rng);
+/// assert!(!matches!(outcome, sm_proofs::WinnerKind::Nobody));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningLottery {
+    participants: Vec<ResourceAllocation>,
+}
+
+impl MiningLottery {
+    /// Creates a lottery over the given participants.
+    pub fn new(participants: Vec<ResourceAllocation>) -> Self {
+        MiningLottery { participants }
+    }
+
+    /// The participants of the lottery.
+    pub fn participants(&self) -> &[ResourceAllocation] {
+        &self.participants
+    }
+
+    /// Total lottery weight `Σ share · parallel_blocks`.
+    pub fn total_weight(&self) -> f64 {
+        self.participants.iter().map(|p| p.weight()).sum()
+    }
+
+    /// Probability that the given miner wins the next draw.
+    pub fn win_probability(&self, miner: MinerId) -> f64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.participants
+            .iter()
+            .filter(|p| p.miner == miner)
+            .map(|p| p.weight())
+            .sum::<f64>()
+            / total
+    }
+
+    /// Draws the winner of the next block.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> WinnerKind {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return WinnerKind::Nobody;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        for participant in &self.participants {
+            let weight = participant.weight();
+            if weight <= 0.0 {
+                continue;
+            }
+            if target < weight {
+                // Uniformly attribute the proof to one of the participant's
+                // candidate blocks.
+                let per_slot = participant.share;
+                let slot = if per_slot > 0.0 {
+                    ((target / per_slot) as usize).min(participant.parallel_blocks - 1)
+                } else {
+                    0
+                };
+                return WinnerKind::Winner {
+                    miner: participant.miner,
+                    slot,
+                };
+            }
+            target -= weight;
+        }
+        // Floating-point edge: attribute to the last positive-weight participant.
+        let last = self
+            .participants
+            .iter()
+            .rev()
+            .find(|p| p.weight() > 0.0)
+            .expect("total weight is positive");
+        WinnerKind::Winner {
+            miner: last.miner,
+            slot: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proof_system_bounds_match_the_paper() {
+        assert_eq!(ProofSystemKind::ProofOfWork.max_parallel_blocks(), 1);
+        assert_eq!(
+            ProofSystemKind::ProofOfStake.max_parallel_blocks(),
+            usize::MAX
+        );
+        assert_eq!(
+            ProofSystemKind::ProofOfSpaceTime { vdfs: 3 }.max_parallel_blocks(),
+            3
+        );
+    }
+
+    #[test]
+    fn win_probability_matches_paper_formula() {
+        // Adversary with share p mining on σ blocks, honest miners with 1 − p
+        // on one block: P(adversary) = pσ / (1 − p + pσ).
+        let p = 0.3;
+        let sigma = 4;
+        let lottery = MiningLottery::new(vec![
+            ResourceAllocation { miner: MinerId(0), share: p, parallel_blocks: sigma },
+            ResourceAllocation { miner: MinerId(1), share: 1.0 - p, parallel_blocks: 1 },
+        ]);
+        let expected = p * sigma as f64 / (1.0 - p + p * sigma as f64);
+        assert!((lottery.win_probability(MinerId(0)) - expected).abs() < 1e-12);
+        assert!((lottery.win_probability(MinerId(1)) - (1.0 - expected)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_probabilities() {
+        let lottery = MiningLottery::new(vec![
+            ResourceAllocation { miner: MinerId(0), share: 0.25, parallel_blocks: 2 },
+            ResourceAllocation { miner: MinerId(1), share: 0.75, parallel_blocks: 1 },
+        ]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut wins = 0;
+        for _ in 0..trials {
+            if let WinnerKind::Winner { miner, .. } = lottery.draw(&mut rng) {
+                if miner == MinerId(0) {
+                    wins += 1;
+                }
+            }
+        }
+        let empirical = wins as f64 / trials as f64;
+        let expected = lottery.win_probability(MinerId(0));
+        assert!(
+            (empirical - expected).abs() < 0.02,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_lottery_has_no_winner() {
+        let lottery = MiningLottery::new(vec![ResourceAllocation {
+            miner: MinerId(0),
+            share: 0.0,
+            parallel_blocks: 5,
+        }]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(lottery.draw(&mut rng), WinnerKind::Nobody);
+        assert_eq!(lottery.win_probability(MinerId(0)), 0.0);
+    }
+
+    #[test]
+    fn slots_are_attributed_within_bounds() {
+        let lottery = MiningLottery::new(vec![ResourceAllocation {
+            miner: MinerId(0),
+            share: 0.5,
+            parallel_blocks: 3,
+        }]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            match lottery.draw(&mut rng) {
+                WinnerKind::Winner { slot, .. } => assert!(slot < 3),
+                WinnerKind::Nobody => panic!("positive weight must produce a winner"),
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Parameter sweep: how the optimal expected relative revenue changes with the
+//! adversarial resource `p` and the switching probability `γ` — a scaled-down,
+//! quickly-running version of the paper's Figure 2.
+//!
+//! ```text
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use selfish_mining::experiments::Figure2Sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = Figure2Sweep {
+        attack_grid: vec![(1, 1), (2, 1)],
+        epsilon: 1e-3,
+        ..Figure2Sweep::default()
+    };
+    let ps = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+    for gamma in [0.0, 0.5, 1.0] {
+        println!("gamma = {gamma}");
+        println!(
+            "{:>6} {:>9} {:>12} {:>11} {:>11}",
+            "p", "honest", "single-tree", "d=1,f=1", "d=2,f=1"
+        );
+        for point in sweep.curve(gamma, &ps)? {
+            println!(
+                "{:>6.2} {:>9.4} {:>12.4} {:>11.4} {:>11.4}",
+                point.p,
+                point.honest_revenue,
+                point.single_tree_revenue,
+                point.attack_revenue[0],
+                point.attack_revenue[1]
+            );
+        }
+        println!();
+    }
+    println!("(use `cargo run -p sm-bench --bin figure2` for the full figure reproduction)");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the reproduction of *"Fully Automated Selfish Mining
+//! Analysis in Efficient Proof Systems Blockchains"* (PODC 2024).
+//!
+//! This crate re-exports the workspace members under one roof so that the
+//! examples and integration tests can depend on a single package:
+//!
+//! * [`linalg`] — dense/sparse linear algebra, LU and a simplex LP solver.
+//! * [`markov`] — Markov-chain analysis (SCCs, stationary distributions,
+//!   long-run averages, hitting analysis).
+//! * [`mdp`] — finite MDPs and mean-payoff solvers.
+//! * [`proofs`] — simulated efficient proof systems (PoW, PoStake, PoSpace,
+//!   VDF, PoST) and the `(p, k)`-mining abstraction.
+//! * [`chain`] — the discrete-time longest-chain blockchain simulator.
+//! * [`selfish_mining`] — the paper's selfish-mining MDP, the Algorithm 1
+//!   analysis procedure and the baselines.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the reproduction
+//! of every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use sm_chain as chain;
+pub use sm_linalg as linalg;
+pub use sm_markov as markov;
+pub use sm_mdp as mdp;
+pub use sm_proofs as proofs;
+
+pub use selfish_mining;

