@@ -4,12 +4,215 @@
 //! policy iteration vs LP; bisection vs Dinkelbach search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use selfish_mining::{AnalysisProcedure, AttackParams, SelfishMiningModel};
-use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver};
+use selfish_mining::{
+    available_actions, successors, AnalysisProcedure, AttackParams, SelfishMiningModel, SmState,
+};
+use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, RelativeValueIteration};
+use std::collections::{HashMap, VecDeque};
 
 fn model() -> SelfishMiningModel {
     let params = AttackParams::new(0.3, 0.5, 2, 1, 4).unwrap();
     SelfishMiningModel::build(&params).unwrap()
+}
+
+/// The seed's pre-CSR MDP representation, reproduced verbatim for the
+/// before/after benchmark: one heap-allocated `Vec<(usize, f64)>` transition
+/// list per named action, nested per state — the layout the flat arena
+/// replaced. Kept self-contained in this bench so the comparison measures the
+/// *actual* old representation, not today's builders in disguise.
+struct LegacyAction {
+    #[allow(dead_code)]
+    name: String,
+    transitions: Vec<(usize, f64)>,
+}
+
+struct LegacyMdp {
+    states: Vec<Vec<LegacyAction>>,
+}
+
+/// The seed's construction pipeline: BFS staging every outcome into nested
+/// `Vec<Vec<Vec<…>>>` buffers, then a second pass assembling the nested-`Vec`
+/// model and per-action expected rewards. `SelfishMiningModel::build` streams
+/// straight into the CSR arena instead.
+#[allow(clippy::type_complexity)]
+fn legacy_nested_build(params: &AttackParams) -> (LegacyMdp, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let initial = SmState::initial(params);
+    let mut index_of: HashMap<SmState, usize> = HashMap::new();
+    let mut states: Vec<SmState> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    index_of.insert(initial.clone(), 0);
+    states.push(initial);
+    queue.push_back(0);
+
+    let mut actions_per_state: Vec<Vec<String>> = Vec::new();
+    let mut outcomes: Vec<Vec<Vec<(usize, f64, f64, f64)>>> = Vec::new();
+    while let Some(index) = queue.pop_front() {
+        let state = states[index].clone();
+        let state_actions = available_actions(params, &state);
+        let mut per_action = Vec::with_capacity(state_actions.len());
+        for action in &state_actions {
+            let outs = successors(params, &state, action).unwrap();
+            let mut entries = Vec::with_capacity(outs.len());
+            for out in outs {
+                let target = match index_of.get(&out.state) {
+                    Some(&existing) => existing,
+                    None => {
+                        let new_index = states.len();
+                        index_of.insert(out.state.clone(), new_index);
+                        states.push(out.state);
+                        queue.push_back(new_index);
+                        new_index
+                    }
+                };
+                entries.push((
+                    target,
+                    out.probability,
+                    f64::from(out.rewards.adversary),
+                    f64::from(out.rewards.honest),
+                ));
+            }
+            per_action.push(entries);
+        }
+        actions_per_state.push(state_actions.iter().map(|a| a.name()).collect());
+        outcomes.push(per_action);
+    }
+
+    let num_states = states.len();
+    let mut model_states: Vec<Vec<LegacyAction>> = Vec::with_capacity(num_states);
+    let mut expected_adv: Vec<Vec<f64>> = Vec::with_capacity(num_states);
+    let mut expected_hon: Vec<Vec<f64>> = Vec::with_capacity(num_states);
+    for state_index in 0..num_states {
+        let mut actions = Vec::new();
+        let mut adv_row = Vec::new();
+        let mut hon_row = Vec::new();
+        for (name, entries) in actions_per_state[state_index]
+            .iter()
+            .zip(&outcomes[state_index])
+        {
+            // Sort-and-merge duplicate targets, as the seed's MdpBuilder did.
+            let mut transitions: Vec<(usize, f64)> =
+                entries.iter().map(|&(t, p, _, _)| (t, p)).collect();
+            transitions.sort_by_key(|&(t, _)| t);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(transitions.len());
+            for (target, p) in transitions {
+                match merged.last_mut() {
+                    Some(last) if last.0 == target => last.1 += p,
+                    _ => merged.push((target, p)),
+                }
+            }
+            actions.push(LegacyAction {
+                name: name.clone(),
+                transitions: merged,
+            });
+            adv_row.push(entries.iter().map(|&(_, p, a, _)| p * a).sum());
+            hon_row.push(entries.iter().map(|&(_, p, _, h)| p * h).sum());
+        }
+        model_states.push(actions);
+        expected_adv.push(adv_row);
+        expected_hon.push(hon_row);
+    }
+    (
+        LegacyMdp {
+            states: model_states,
+        },
+        expected_adv,
+        expected_hon,
+    )
+}
+
+/// The seed's relative-value-iteration inner loop, verbatim over the nested
+/// representation: per-state action `Vec`s, per-action transition `Vec`s,
+/// pointer-chasing through both on every sweep.
+fn legacy_rvi(mdp: &LegacyMdp, expected: &[Vec<f64>], epsilon: f64) -> f64 {
+    let n = mdp.states.len();
+    let tau = 0.95;
+    let mut h = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    let mut best_action = vec![0usize; n];
+    let reference = 0;
+    for _ in 1..=2_000_000usize {
+        let mut min_delta = f64::INFINITY;
+        let mut max_delta = f64::NEG_INFINITY;
+        for s in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_a = 0;
+            for (a, action) in mdp.states[s].iter().enumerate() {
+                let mut value = expected[s][a];
+                for &(t, p) in &action.transitions {
+                    value += p * h[t] * tau;
+                }
+                value += (1.0 - tau) * h[s];
+                if value > best {
+                    best = value;
+                    best_a = a;
+                }
+            }
+            next[s] = best;
+            best_action[s] = best_a;
+            let delta = best - h[s];
+            min_delta = min_delta.min(delta);
+            max_delta = max_delta.max(delta);
+        }
+        let offset = next[reference];
+        for s in 0..n {
+            h[s] = next[s] - offset;
+        }
+        if max_delta - min_delta < epsilon {
+            // Keep the strategy bookkeeping observable so the optimizer
+            // cannot elide it (the real solver returns the strategy too).
+            criterion::black_box(&best_action);
+            return 0.5 * (min_delta + max_delta);
+        }
+    }
+    panic!("legacy RVI failed to converge");
+}
+
+/// Before/after of the tentpole refactor: model construction plus one
+/// relative-value-iteration solve of `r_β = r_A − β(r_A + r_H)`, through the
+/// seed's nested-`Vec` pipeline (staging copy, nested model, pointer-chasing
+/// sweep) vs. today's streamed flat CSR arena.
+fn bench_construction_plus_vi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr/build_plus_vi");
+    group.sample_size(10);
+    let beta = 0.35;
+    for (depth, forks) in [(2usize, 1usize), (2, 2)] {
+        let params = AttackParams::new(0.3, 0.5, depth, forks, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("nested_legacy_d{depth}_f{forks}")),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let (mdp, adv, hon) = legacy_nested_build(params);
+                    let expected_beta: Vec<Vec<f64>> = adv
+                        .iter()
+                        .zip(&hon)
+                        .map(|(ar, hr)| {
+                            ar.iter()
+                                .zip(hr)
+                                .map(|(&a, &h)| a - beta * (a + h))
+                                .collect()
+                        })
+                        .collect();
+                    legacy_rvi(&mdp, &expected_beta, 1e-6)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("csr_stream_d{depth}_f{forks}")),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let model = SelfishMiningModel::build(params).unwrap();
+                    let rewards = model.beta_rewards(beta).unwrap();
+                    RelativeValueIteration::with_epsilon(1e-6)
+                        .solve(model.mdp(), &rewards)
+                        .unwrap()
+                        .gain
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_mean_payoff_methods(c: &mut Criterion) {
@@ -17,7 +220,10 @@ fn bench_mean_payoff_methods(c: &mut Criterion) {
     let rewards = model.beta_rewards(0.35).unwrap();
     let mut group = c.benchmark_group("solver/mean_payoff_d2_f1");
     for (name, method) in [
-        ("value_iteration", MeanPayoffMethod::ValueIteration { epsilon: 1e-6 }),
+        (
+            "value_iteration",
+            MeanPayoffMethod::ValueIteration { epsilon: 1e-6 },
+        ),
         ("policy_iteration", MeanPayoffMethod::PolicyIteration),
         ("linear_programming", MeanPayoffMethod::LinearProgramming),
     ] {
@@ -73,6 +279,7 @@ criterion_group!(
     benches,
     bench_mean_payoff_methods,
     bench_search_strategies,
-    bench_model_construction
+    bench_model_construction,
+    bench_construction_plus_vi
 );
 criterion_main!(benches);

@@ -13,9 +13,7 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1e-3);
-    println!(
-        "Table 1 — analysis runtimes (gamma = 0.5, p = 0.3, l = 4, epsilon = {epsilon})"
-    );
+    println!("Table 1 — analysis runtimes (gamma = 0.5, p = 0.3, l = 4, epsilon = {epsilon})");
     if !sm_bench::expensive_enabled() {
         println!(
             "note: configurations (3,2) and (4,2) are skipped; set {}=1 to include them",

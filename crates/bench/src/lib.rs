@@ -29,7 +29,7 @@ pub const EXPENSIVE_ENV: &str = "SM_BENCH_EXPENSIVE";
 
 /// Whether the expensive configurations are enabled for this process.
 pub fn expensive_enabled() -> bool {
-    std::env::var(EXPENSIVE_ENV).map_or(false, |v| !v.is_empty() && v != "0")
+    std::env::var(EXPENSIVE_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// The `(d, f)` grid to run: the paper's full grid when expensive mode is on,

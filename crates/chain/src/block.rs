@@ -1,13 +1,11 @@
 //! Blocks and the block tree.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a block within a [`BlockTree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub usize);
 
 /// Who produced a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MinerClass {
     /// Produced by the honest miners.
     Honest,
@@ -15,7 +13,7 @@ pub enum MinerClass {
     Adversary,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct BlockRecord {
     parent: Option<BlockId>,
     owner: MinerClass,
@@ -36,7 +34,7 @@ struct BlockRecord {
 /// assert_eq!(tree.height(b), 2);
 /// assert!(tree.is_ancestor(genesis, b));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockTree {
     blocks: Vec<BlockRecord>,
 }

@@ -1,10 +1,8 @@
 //! Measurement of chain quality and relative revenue.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a simulation run: block counts over the stable part of the main
 /// chain and the derived fairness metrics of Section 2.2 of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Name of the adversary strategy that was simulated.
     pub strategy: String,
@@ -70,7 +68,13 @@ mod tests {
     use super::*;
 
     fn report(honest: u64, adversary: u64) -> SimulationReport {
-        SimulationReport::new("test".to_string(), 100, honest, adversary, honest + adversary)
+        SimulationReport::new(
+            "test".to_string(),
+            100,
+            honest,
+            adversary,
+            honest + adversary,
+        )
     }
 
     #[test]

@@ -73,8 +73,14 @@ impl Simulator {
             "gamma must lie in [0, 1]"
         );
         assert!(config.depth > 0, "depth must be positive");
-        assert!(config.forks_per_block > 0, "forks_per_block must be positive");
-        assert!(config.max_fork_length > 0, "max_fork_length must be positive");
+        assert!(
+            config.forks_per_block > 0,
+            "forks_per_block must be positive"
+        );
+        assert!(
+            config.max_fork_length > 0,
+            "max_fork_length must be positive"
+        );
         Simulator { config }
     }
 
@@ -100,8 +106,8 @@ impl Simulator {
             let slots = self.mining_slots(&state, &roots);
             let sigma = slots.len() as f64;
             let denominator = (1.0 - config.p) + config.p * sigma;
-            let adversary_wins = denominator > 0.0
-                && rng.gen_range(0.0..denominator) < config.p * sigma;
+            let adversary_wins =
+                denominator > 0.0 && rng.gen_range(0.0..denominator) < config.p * sigma;
 
             if adversary_wins {
                 // Pick one of the adversary's mining positions uniformly.
@@ -149,11 +155,7 @@ impl Simulator {
 
     /// All positions the adversary currently mines on: every non-empty fork
     /// (extend it) plus, per root with a free slot, one new fork.
-    fn mining_slots(
-        &self,
-        state: &SimulationState,
-        roots: &[BlockId],
-    ) -> Vec<(BlockId, usize)> {
+    fn mining_slots(&self, state: &SimulationState, roots: &[BlockId]) -> Vec<(BlockId, usize)> {
         let mut slots = Vec::new();
         for &root in roots {
             let fork_slots = state.forks.get(&root);
@@ -248,15 +250,19 @@ impl Simulator {
                     self.adopt_tip(state, pending);
                 }
             }
-            AdversaryAction::Release { depth, fork, length } => {
+            AdversaryAction::Release {
+                depth,
+                fork,
+                length,
+            } => {
                 match self.peek_release(state, roots, depth, fork, length) {
                     Some(released_tip) => {
                         let competes_with_pending = pending.is_some();
                         // Published chain height vs the public chain height
                         // (including a pending honest block if any).
                         let published_height = state.tree.height(released_tip);
-                        let public_height = state.tree.height(state.public_tip)
-                            + u64::from(competes_with_pending);
+                        let public_height =
+                            state.tree.height(state.public_tip) + u64::from(competes_with_pending);
                         let accepted = published_height > public_height
                             || (published_height == public_height
                                 && rng.gen_bool(self.config.gamma));
@@ -359,12 +365,7 @@ impl Simulator {
 
     /// Ownership counts over the *stable* part of the main chain (everything
     /// deeper than the attack window of `d` blocks).
-    fn stable_ownership_counts(
-        &self,
-        tree: &BlockTree,
-        tip: BlockId,
-        depth: usize,
-    ) -> (u64, u64) {
+    fn stable_ownership_counts(&self, tree: &BlockTree, tip: BlockId, depth: usize) -> (u64, u64) {
         let chain = tree.chain_to(tip);
         let stable_len = chain.len().saturating_sub(depth);
         let mut honest = 0;

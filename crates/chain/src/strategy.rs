@@ -1,14 +1,13 @@
 //! Adversary strategies for the chain simulator.
 
 use crate::MinerClass;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The adversary's view of the simulation at a decision point, expressed in
 /// the same vocabulary as the selfish-mining MDP state: private fork lengths
 /// per (depth, slot), ownership of the tracked main-chain blocks, and whether
 /// a freshly found honest block is pending.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AdversaryView {
     /// `fork_lengths[i][j]` is the length of the `j`-th private fork rooted at
     /// the main-chain block at depth `i + 1`.
@@ -30,7 +29,7 @@ impl AdversaryView {
 }
 
 /// A decision of the adversary at a decision point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdversaryAction {
     /// Keep all forks private and continue mining.
     Wait,
@@ -107,14 +106,26 @@ impl AdversaryStrategy for Sm1Strategy {
         match lead {
             0 => AdversaryAction::Wait,
             // Tie race against the pending honest block.
-            1 => AdversaryAction::Release { depth: 1, fork: 1, length: 1 },
+            1 => AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 1,
+            },
             // Lead of two: publish everything and win outright.
-            2 => AdversaryAction::Release { depth: 1, fork: 1, length: 2 },
+            2 => AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 2,
+            },
             // Large lead: publish just enough to stay ahead by one... the
             // classic strategy publishes one block; within the simulator's
             // fork abstraction publishing a strict prefix keeps the remainder
             // private, which matches the original attack.
-            _ => AdversaryAction::Release { depth: 1, fork: 1, length: 2 },
+            _ => AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 2,
+            },
         }
     }
 
@@ -190,25 +201,52 @@ mod tests {
     fn honest_strategy_publishes_immediately() {
         let mut honest = HonestStrategy;
         let action = honest.decide(&view(vec![vec![1]], false, true));
-        assert_eq!(action, AdversaryAction::Release { depth: 1, fork: 1, length: 1 });
-        assert_eq!(honest.decide(&view(vec![vec![0]], false, true)), AdversaryAction::Wait);
-        assert_eq!(honest.decide(&view(vec![vec![1]], true, false)), AdversaryAction::Wait);
+        assert_eq!(
+            action,
+            AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 1
+            }
+        );
+        assert_eq!(
+            honest.decide(&view(vec![vec![0]], false, true)),
+            AdversaryAction::Wait
+        );
+        assert_eq!(
+            honest.decide(&view(vec![vec![1]], true, false)),
+            AdversaryAction::Wait
+        );
         assert_eq!(honest.name(), "honest");
     }
 
     #[test]
     fn sm1_races_on_tie_and_publishes_on_lead_two() {
         let mut sm1 = Sm1Strategy;
-        assert_eq!(sm1.decide(&view(vec![vec![0]], true, false)), AdversaryAction::Wait);
+        assert_eq!(
+            sm1.decide(&view(vec![vec![0]], true, false)),
+            AdversaryAction::Wait
+        );
         assert_eq!(
             sm1.decide(&view(vec![vec![1]], true, false)),
-            AdversaryAction::Release { depth: 1, fork: 1, length: 1 }
+            AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 1
+            }
         );
         assert_eq!(
             sm1.decide(&view(vec![vec![2]], true, false)),
-            AdversaryAction::Release { depth: 1, fork: 1, length: 2 }
+            AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 2
+            }
         );
-        assert_eq!(sm1.decide(&view(vec![vec![3]], false, false)), AdversaryAction::Wait);
+        assert_eq!(
+            sm1.decide(&view(vec![vec![3]], false, false)),
+            AdversaryAction::Wait
+        );
     }
 
     #[test]
@@ -216,13 +254,27 @@ mod tests {
         let mut table = TableStrategy::new("from-mdp");
         assert!(table.is_empty());
         let v = view(vec![vec![2]], true, false);
-        table.insert(v.clone(), AdversaryAction::Release { depth: 1, fork: 1, length: 2 });
+        table.insert(
+            v.clone(),
+            AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 2,
+            },
+        );
         assert_eq!(table.len(), 1);
         assert_eq!(
             table.decide(&v),
-            AdversaryAction::Release { depth: 1, fork: 1, length: 2 }
+            AdversaryAction::Release {
+                depth: 1,
+                fork: 1,
+                length: 2
+            }
         );
-        assert_eq!(table.decide(&view(vec![vec![4]], true, false)), AdversaryAction::Wait);
+        assert_eq!(
+            table.decide(&view(vec![vec![4]], true, false)),
+            AdversaryAction::Wait
+        );
         assert_eq!(table.name(), "from-mdp");
     }
 

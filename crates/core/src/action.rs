@@ -1,10 +1,9 @@
 //! Adversary actions of the selfish-mining MDP.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An action of the adversary (Section 3.2, "Actions").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SmAction {
     /// Keep mining: do not publish anything.
     Mine,
@@ -30,7 +29,11 @@ impl SmAction {
     pub fn name(&self) -> String {
         match self {
             SmAction::Mine => "mine".to_string(),
-            SmAction::Release { depth, fork, length } => {
+            SmAction::Release {
+                depth,
+                fork,
+                length,
+            } => {
                 format!("release({depth},{fork},{length})")
             }
         }

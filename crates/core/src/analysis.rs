@@ -114,7 +114,7 @@ impl AnalysisProcedure {
     /// Returns [`SelfishMiningError::InvalidParameter`] for a non-positive
     /// `ε` and propagates solver errors.
     pub fn solve(&self, model: &SelfishMiningModel) -> Result<AnalysisResult, SelfishMiningError> {
-        if !(self.config.epsilon > 0.0) {
+        if self.config.epsilon.is_nan() || self.config.epsilon <= 0.0 {
             return Err(SelfishMiningError::InvalidParameter {
                 name: "epsilon",
                 constraint: "must be positive",
@@ -157,7 +157,7 @@ impl AnalysisProcedure {
         &self,
         model: &SelfishMiningModel,
     ) -> Result<AnalysisResult, SelfishMiningError> {
-        if !(self.config.epsilon > 0.0) {
+        if self.config.epsilon.is_nan() || self.config.epsilon <= 0.0 {
             return Err(SelfishMiningError::InvalidParameter {
                 name: "epsilon",
                 constraint: "must be positive",
@@ -180,7 +180,12 @@ impl AnalysisProcedure {
             if (revenue - beta).abs() < self.config.epsilon
                 || result.gain.abs() <= self.config.zero_tolerance
             {
-                return self.finalize(model, revenue.min(1.0), (revenue + self.config.epsilon).min(1.0), steps);
+                return self.finalize(
+                    model,
+                    revenue.min(1.0),
+                    (revenue + self.config.epsilon).min(1.0),
+                    steps,
+                );
             }
             beta = revenue;
         }

@@ -71,8 +71,7 @@ pub fn profitability_threshold(gamma: f64) -> Result<f64, SelfishMiningError> {
             constraint: "must lie in [0, 1]",
         });
     }
-    let advantage =
-        |p: f64| eyal_sirer_relative_revenue(p, gamma).expect("p in range") - p;
+    let advantage = |p: f64| eyal_sirer_relative_revenue(p, gamma).expect("p in range") - p;
     let mut lo = 1e-6;
     let mut hi = 0.5 - 1e-6;
     // The advantage is negative at p → 0 and positive at p → 1/2 for every γ.

@@ -78,7 +78,11 @@ impl TreeState {
         let mut slots = 0;
         for q in 0..self.nodes.len() {
             if (self.nodes[q] as usize) < max_width {
-                let parents = if q == 0 { 1 } else { self.nodes[q - 1] as usize };
+                let parents = if q == 0 {
+                    1
+                } else {
+                    self.nodes[q - 1] as usize
+                };
                 slots += parents;
             }
         }
@@ -124,9 +128,9 @@ impl SingleTreeAttack {
         let mut honest_reward: Vec<f64> = Vec::new();
 
         let intern = |state: TreeState,
-                          states: &mut Vec<TreeState>,
-                          index_of: &mut HashMap<TreeState, usize>,
-                          queue: &mut Vec<usize>| {
+                      states: &mut Vec<TreeState>,
+                      index_of: &mut HashMap<TreeState, usize>,
+                      queue: &mut Vec<usize>| {
             if let Some(&idx) = index_of.get(&state) {
                 return idx;
             }
@@ -331,17 +335,37 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        assert!(SingleTreeAttack { p: 1.0, gamma: 0.5, max_depth: 4, max_width: 5 }
-            .analyse()
-            .is_err());
-        assert!(SingleTreeAttack { p: 0.3, gamma: -0.1, max_depth: 4, max_width: 5 }
-            .analyse()
-            .is_err());
-        assert!(SingleTreeAttack { p: 0.3, gamma: 0.5, max_depth: 0, max_width: 5 }
-            .analyse()
-            .is_err());
-        assert!(SingleTreeAttack { p: 0.3, gamma: 0.5, max_depth: 4, max_width: 0 }
-            .analyse()
-            .is_err());
+        assert!(SingleTreeAttack {
+            p: 1.0,
+            gamma: 0.5,
+            max_depth: 4,
+            max_width: 5
+        }
+        .analyse()
+        .is_err());
+        assert!(SingleTreeAttack {
+            p: 0.3,
+            gamma: -0.1,
+            max_depth: 4,
+            max_width: 5
+        }
+        .analyse()
+        .is_err());
+        assert!(SingleTreeAttack {
+            p: 0.3,
+            gamma: 0.5,
+            max_depth: 0,
+            max_width: 5
+        }
+        .analyse()
+        .is_err());
+        assert!(SingleTreeAttack {
+            p: 0.3,
+            gamma: 0.5,
+            max_depth: 4,
+            max_width: 0
+        }
+        .analyse()
+        .is_err());
     }
 }

@@ -8,7 +8,6 @@
 
 use crate::baselines::{honest_relative_revenue, SingleTreeAttack};
 use crate::{AnalysisProcedure, AttackParams, SelfishMiningError, SelfishMiningModel};
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// The `(d, f)` grid evaluated in the paper (with `l = 4` throughout).
@@ -18,7 +17,7 @@ pub const PAPER_ATTACK_GRID: [(usize, usize); 5] = [(1, 1), (2, 1), (2, 2), (3, 
 pub const PAPER_GAMMA_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 /// One point of a Figure 2 curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure2Point {
     /// Adversarial resource share `p`.
     pub p: f64,
@@ -34,7 +33,7 @@ pub struct Figure2Point {
 }
 
 /// Configuration of a Figure 2 sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure2Sweep {
     /// The `(d, f)` configurations of our attack to evaluate.
     pub attack_grid: Vec<(usize, usize)>,
@@ -124,7 +123,7 @@ pub fn coarse_p_grid() -> Vec<f64> {
 }
 
 /// One row of the runtime table (Table 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Human-readable attack label ("our attack" or "single-tree").
     pub attack: String,

@@ -5,15 +5,15 @@
 //! [`crate::successors`]) and assembles:
 //!
 //! * an [`sm_mdp::Mdp`] whose states are indices into the discovered state
-//!   list,
+//!   list — BFS discoveries are streamed straight into the flat CSR arena
+//!   ([`sm_mdp::CsrMdpBuilder`]) with no intermediate nested staging,
 //! * the two base reward structures `r_A` (adversarial blocks finalized) and
 //!   `r_H` (honest blocks finalized) of Section 3.3, stored as expected
-//!   per-action rewards, which is all the mean-payoff machinery needs.
+//!   per-action rewards in flat buffers aligned with the same arena, which is
+//!   all the mean-payoff machinery needs.
 
-use crate::{
-    available_actions, successors, AttackParams, SelfishMiningError, SmAction, SmState,
-};
-use sm_mdp::{Mdp, MdpBuilder, PositionalStrategy, TransitionRewards};
+use crate::{available_actions, successors, AttackParams, SelfishMiningError, SmAction, SmState};
+use sm_mdp::{CsrMdpBuilder, Mdp, PositionalStrategy, TransitionRewards};
 use std::collections::{HashMap, VecDeque};
 
 /// Default cap on the number of reachable states the builder will enumerate
@@ -67,18 +67,27 @@ impl SelfishMiningModel {
         states.push(initial);
         queue.push_back(0);
 
-        // Per-state action lists and their outcome lists (target index,
-        // probability, adversary reward, honest reward).
+        // BFS pops states in index order, which is exactly the append order
+        // the streaming CSR builder wants: every discovered action goes
+        // straight into the flat arena, with the expected per-action block
+        // counts accumulated alongside in flat per-pair buffers. There is no
+        // intermediate nested outcome staging.
+        let mut builder = CsrMdpBuilder::new();
         let mut actions: Vec<Vec<SmAction>> = Vec::new();
-        let mut outcomes: Vec<Vec<Vec<(usize, f64, f64, f64)>>> = Vec::new();
+        let mut expected_adv: Vec<f64> = Vec::new();
+        let mut expected_hon: Vec<f64> = Vec::new();
+        let mut entries: Vec<(usize, f64)> = Vec::new();
 
         while let Some(index) = queue.pop_front() {
+            let begun = builder.begin_state();
+            debug_assert_eq!(begun, index);
             let state = states[index].clone();
             let state_actions = available_actions(params, &state);
-            let mut per_action = Vec::with_capacity(state_actions.len());
             for action in &state_actions {
                 let outs = successors(params, &state, action)?;
-                let mut entries = Vec::with_capacity(outs.len());
+                entries.clear();
+                let mut adv = 0.0;
+                let mut hon = 0.0;
                 for out in outs {
                     let target = match index_of.get(&out.state) {
                         Some(&existing) => existing,
@@ -96,47 +105,20 @@ impl SelfishMiningModel {
                             new_index
                         }
                     };
-                    entries.push((
-                        target,
-                        out.probability,
-                        f64::from(out.rewards.adversary),
-                        f64::from(out.rewards.honest),
-                    ));
+                    entries.push((target, out.probability));
+                    adv += out.probability * f64::from(out.rewards.adversary);
+                    hon += out.probability * f64::from(out.rewards.honest);
                 }
-                per_action.push(entries);
+                builder.add_action(&action.name(), &entries)?;
+                expected_adv.push(adv);
+                expected_hon.push(hon);
             }
-            // `actions` and `outcomes` are indexed by discovery order, which is
-            // exactly the BFS pop order (indices are assigned contiguously).
-            debug_assert_eq!(actions.len(), index);
             actions.push(state_actions);
-            outcomes.push(per_action);
         }
 
-        // Assemble the MDP and the expected per-action rewards.
-        let num_states = states.len();
-        let mut builder = MdpBuilder::new(num_states);
-        let mut expected_adv: Vec<Vec<f64>> = Vec::with_capacity(num_states);
-        let mut expected_hon: Vec<Vec<f64>> = Vec::with_capacity(num_states);
-        for state_index in 0..num_states {
-            let mut adv_row = Vec::with_capacity(actions[state_index].len());
-            let mut hon_row = Vec::with_capacity(actions[state_index].len());
-            for (action, entries) in actions[state_index]
-                .iter()
-                .zip(&outcomes[state_index])
-            {
-                let transitions: Vec<(usize, f64)> =
-                    entries.iter().map(|&(t, p, _, _)| (t, p)).collect();
-                builder.add_action(state_index, action.name(), transitions)?;
-                adv_row.push(entries.iter().map(|&(_, p, a, _)| p * a).sum());
-                hon_row.push(entries.iter().map(|&(_, p, _, h)| p * h).sum());
-            }
-            expected_adv.push(adv_row);
-            expected_hon.push(hon_row);
-        }
-        let mdp = builder.build(0)?;
-        let adversary_rewards =
-            TransitionRewards::from_fn(&mdp, |s, a, _| expected_adv[s][a]);
-        let honest_rewards = TransitionRewards::from_fn(&mdp, |s, a, _| expected_hon[s][a]);
+        let mdp = builder.finish(0)?;
+        let adversary_rewards = TransitionRewards::from_pair_values(&mdp, &expected_adv)?;
+        let honest_rewards = TransitionRewards::from_pair_values(&mdp, &expected_hon)?;
 
         Ok(SelfishMiningModel {
             params: *params,

@@ -1,7 +1,6 @@
 //! Attack and system-model parameters (Section 3.2, "Model parameters").
 
 use crate::SelfishMiningError;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the selfish-mining attack MDP.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(params.depth, 2);
 /// assert!(AttackParams::new(1.5, 0.5, 2, 2, 4).is_err());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackParams {
     /// Relative resource of the adversary, `p ∈ [0, 1]`.
     pub p: f64,
@@ -128,9 +127,7 @@ impl AttackParams {
         let owner_configs = 2u128
             .checked_pow(self.depth.saturating_sub(1) as u32)
             .unwrap_or(u128::MAX);
-        fork_configs
-            .saturating_mul(owner_configs)
-            .saturating_mul(3)
+        fork_configs.saturating_mul(owner_configs).saturating_mul(3)
     }
 }
 

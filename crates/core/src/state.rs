@@ -1,11 +1,10 @@
 //! The selfish-mining MDP state `(C, O, type)` of Section 3.2.
 
 use crate::AttackParams;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Owner of a block on the main chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Owner {
     /// The block was mined by honest miners.
     Honest,
@@ -24,7 +23,7 @@ pub enum Owner {
 /// makes the `d = f = 1` configuration exhibit the switching-probability
 /// dependence reported in the paper's Figure 2; see DESIGN.md for a discussion
 /// of this modelling choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// All parties are mining (`type = mining`).
     Mining,
@@ -44,7 +43,7 @@ pub enum Phase {
 /// * `owners[i-1]` is the paper's `O[i]`: the owner of the main-chain block at
 ///   depth `i`, for `i = 1..d−1`.
 /// * `phase` is the paper's `type`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SmState {
     /// Private-fork lengths, row-major by depth: `d × f` entries in `0..=l`.
     pub forks: Vec<u8>,
@@ -84,12 +83,7 @@ impl SmState {
     /// # Panics
     ///
     /// Panics if the indices are out of range.
-    pub fn fork_length_mut(
-        &mut self,
-        params: &AttackParams,
-        depth: usize,
-        fork: usize,
-    ) -> &mut u8 {
+    pub fn fork_length_mut(&mut self, params: &AttackParams, depth: usize, fork: usize) -> &mut u8 {
         assert!(
             (1..=params.depth).contains(&depth) && (1..=params.forks_per_block).contains(&fork),
             "fork index ({depth}, {fork}) out of range"
@@ -115,7 +109,7 @@ impl SmState {
         for depth in 0..params.depth {
             let row = &self.forks[depth * f..(depth + 1) * f];
             slots += row.iter().filter(|&&len| len > 0).count();
-            if row.iter().any(|&len| len == 0) {
+            if row.contains(&0) {
                 slots += 1;
             }
         }

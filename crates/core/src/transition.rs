@@ -82,7 +82,11 @@ pub fn available_actions(params: &AttackParams, state: &SmState) -> Vec<SmAction
                 // AdversaryFound the tie would be against the accepted chain
                 // of the same height, where `length == depth` already means
                 // strictly longer by one (no pending block), so it stays.
-                actions.push(SmAction::Release { depth, fork, length });
+                actions.push(SmAction::Release {
+                    depth,
+                    fork,
+                    length,
+                });
             }
         }
     }
@@ -121,9 +125,14 @@ pub fn successors(
                 rewards,
             }])
         }
-        (phase, SmAction::Release { depth, fork, length }) => {
-            release_outcomes(params, state, phase, *depth, *fork, *length)
-        }
+        (
+            phase,
+            SmAction::Release {
+                depth,
+                fork,
+                length,
+            },
+        ) => release_outcomes(params, state, phase, *depth, *fork, *length),
     }
 }
 
@@ -258,7 +267,11 @@ fn release_outcomes(
     fork: usize,
     length: usize,
 ) -> Result<Vec<Outcome>, SelfishMiningError> {
-    let action = SmAction::Release { depth, fork, length };
+    let action = SmAction::Release {
+        depth,
+        fork,
+        length,
+    };
     if phase == Phase::Mining
         || depth == 0
         || depth > params.depth
@@ -469,7 +482,13 @@ mod tests {
         assert_eq!(outs.len(), 1);
         let out = &outs[0];
         // The block at depth d−1 = 2 (adversary) crossed the boundary.
-        assert_eq!(out.rewards, BlockRewards { adversary: 1, honest: 0 });
+        assert_eq!(
+            out.rewards,
+            BlockRewards {
+                adversary: 1,
+                honest: 0
+            }
+        );
         // Owners shifted with the new honest block on top.
         assert_eq!(out.state.owners, vec![Owner::Honest, Owner::Adversary]);
         // Forks shifted one deeper; the fork at depth 3 fell off.
@@ -486,7 +505,13 @@ mod tests {
         s.phase = Phase::HonestFound;
         *s.fork_length_mut(&p, 1, 1) = 1;
         let outs = successors(&p, &s, &SmAction::Mine).unwrap();
-        assert_eq!(outs[0].rewards, BlockRewards { adversary: 0, honest: 1 });
+        assert_eq!(
+            outs[0].rewards,
+            BlockRewards {
+                adversary: 0,
+                honest: 1
+            }
+        );
         // The withheld fork is abandoned (its root moved beyond the window).
         assert_eq!(outs[0].state.total_private_blocks(), 0);
     }
@@ -499,7 +524,11 @@ mod tests {
         let mut s = SmState::initial(&p);
         s.phase = Phase::HonestFound;
         *s.fork_length_mut(&p, 1, 1) = 1;
-        let action = SmAction::Release { depth: 1, fork: 1, length: 1 };
+        let action = SmAction::Release {
+            depth: 1,
+            fork: 1,
+            length: 1,
+        };
         assert!(available_actions(&p, &s).contains(&action));
         let outs = successors(&p, &s, &action).unwrap();
         assert_eq!(outs.len(), 2);
@@ -507,9 +536,21 @@ mod tests {
         let accept = outs.iter().find(|o| o.probability == 0.25).unwrap();
         let reject = outs.iter().find(|o| o.probability == 0.75).unwrap();
         // Accepted: the adversary block is final (d = 1), honest pending block orphaned.
-        assert_eq!(accept.rewards, BlockRewards { adversary: 1, honest: 0 });
+        assert_eq!(
+            accept.rewards,
+            BlockRewards {
+                adversary: 1,
+                honest: 0
+            }
+        );
         // Rejected: the pending honest block is final.
-        assert_eq!(reject.rewards, BlockRewards { adversary: 0, honest: 1 });
+        assert_eq!(
+            reject.rewards,
+            BlockRewards {
+                adversary: 0,
+                honest: 1
+            }
+        );
     }
 
     #[test]
@@ -521,14 +562,24 @@ mod tests {
         *s.fork_length_mut(&p, 2, 1) = 3;
         // Fork rooted at depth 2, releasing 3 > depth blocks: orphans the
         // block at depth 1 and the pending honest block, even though γ = 0.
-        let action = SmAction::Release { depth: 2, fork: 1, length: 3 };
+        let action = SmAction::Release {
+            depth: 2,
+            fork: 1,
+            length: 3,
+        };
         let outs = successors(&p, &s, &action).unwrap();
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].probability, 1.0);
         // delta = 3 − 1 = 2. New adversary blocks at depths 1..3: those at
         // depth ≥ 2 are final → 2 adversary blocks. The orphaned honest block
         // at old depth 1 is never rewarded.
-        assert_eq!(outs[0].rewards, BlockRewards { adversary: 2, honest: 0 });
+        assert_eq!(
+            outs[0].rewards,
+            BlockRewards {
+                adversary: 2,
+                honest: 0
+            }
+        );
         // The new tracked owner (depth 1) is the adversary.
         assert_eq!(outs[0].state.owners, vec![Owner::Adversary]);
         assert_eq!(outs[0].state.phase, Phase::Mining);
@@ -542,10 +593,18 @@ mod tests {
         *s.fork_length_mut(&p, 2, 1) = 1;
         // length 1 < depth 2: dominated, not available.
         let actions = available_actions(&p, &s);
-        assert!(!actions.contains(&SmAction::Release { depth: 2, fork: 1, length: 1 }));
+        assert!(!actions.contains(&SmAction::Release {
+            depth: 2,
+            fork: 1,
+            length: 1
+        }));
         // With a length-2 fork the release becomes available and wins surely.
         *s.fork_length_mut(&p, 2, 1) = 2;
-        let action = SmAction::Release { depth: 2, fork: 1, length: 2 };
+        let action = SmAction::Release {
+            depth: 2,
+            fork: 1,
+            length: 2,
+        };
         assert!(available_actions(&p, &s).contains(&action));
         let outs = successors(&p, &s, &action).unwrap();
         assert_eq!(outs.len(), 1);
@@ -562,7 +621,11 @@ mod tests {
         *s.fork_length_mut(&p, 1, 2) = 2;
         // Release 2 of the 4 blocks of fork (1,1): the remaining 2 blocks
         // re-anchor as a fork on the new tip.
-        let action = SmAction::Release { depth: 1, fork: 1, length: 2 };
+        let action = SmAction::Release {
+            depth: 1,
+            fork: 1,
+            length: 2,
+        };
         let outs = successors(&p, &s, &action).unwrap();
         let next = &outs[0].state;
         assert_eq!(next.fork_length(&p, 1, 1), 2, "remainder fork");
@@ -573,7 +636,13 @@ mod tests {
         // The new tracked block (depth 1) is an adversary block. Final blocks:
         // one released adversary block lands at depth ≥ d = 2, and the old
         // honest tip (the fork's root) is pushed to depth 3 ≥ d.
-        assert_eq!(outs[0].rewards, BlockRewards { adversary: 1, honest: 1 });
+        assert_eq!(
+            outs[0].rewards,
+            BlockRewards {
+                adversary: 1,
+                honest: 1
+            }
+        );
         assert_eq!(next.owners, vec![Owner::Adversary]);
     }
 
@@ -587,7 +656,11 @@ mod tests {
         *s.fork_length_mut(&p, 2, 2) = 1;
         *s.fork_length_mut(&p, 3, 1) = 1;
         // Release both blocks of fork (2,1): delta = 1.
-        let action = SmAction::Release { depth: 2, fork: 1, length: 2 };
+        let action = SmAction::Release {
+            depth: 2,
+            fork: 1,
+            length: 2,
+        };
         let outs = successors(&p, &s, &action).unwrap();
         let next = &outs[0].state;
         // Old depth-2 root moves to depth 3: sibling fork (2,2) survives there,
@@ -602,7 +675,13 @@ mod tests {
         // depth-2 owner... is now at depth 3 which is ≥ d: it crossed the
         // boundary and was rewarded.
         assert_eq!(next.owners, vec![Owner::Adversary, Owner::Adversary]);
-        assert_eq!(outs[0].rewards, BlockRewards { adversary: 1, honest: 0 });
+        assert_eq!(
+            outs[0].rewards,
+            BlockRewards {
+                adversary: 1,
+                honest: 0
+            }
+        );
     }
 
     #[test]
@@ -637,7 +716,11 @@ mod tests {
     fn release_actions_rejected_in_wrong_phase_or_length() {
         let p = params(0.3, 0.5, 2, 1, 4);
         let s = SmState::initial(&p);
-        let release = SmAction::Release { depth: 1, fork: 1, length: 1 };
+        let release = SmAction::Release {
+            depth: 1,
+            fork: 1,
+            length: 1,
+        };
         assert!(successors(&p, &s, &release).is_err());
         let mut s2 = s.clone();
         s2.phase = Phase::AdversaryFound;

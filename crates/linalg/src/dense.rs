@@ -182,8 +182,8 @@ impl DenseMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            out[i] = crate::dot(self.row(i), x);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = crate::dot(self.row(i), x);
         }
         Ok(out)
     }
@@ -312,7 +312,8 @@ impl Add for &DenseMatrix {
     type Output = DenseMatrix;
 
     fn add(self, rhs: &DenseMatrix) -> DenseMatrix {
-        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 
@@ -320,7 +321,8 @@ impl Sub for &DenseMatrix {
     type Output = DenseMatrix;
 
     fn sub(self, rhs: &DenseMatrix) -> DenseMatrix {
-        self.sub_matrix(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_matrix(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -328,7 +330,8 @@ impl Mul for &DenseMatrix {
     type Output = DenseMatrix;
 
     fn mul(self, rhs: &DenseMatrix) -> DenseMatrix {
-        self.multiply(rhs).expect("matrix multiplication shape mismatch")
+        self.multiply(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 

@@ -108,7 +108,9 @@ mod tests {
                 "out of bounds",
             ),
             (
-                LinalgError::InvalidValue { context: "objective" },
+                LinalgError::InvalidValue {
+                    context: "objective",
+                },
                 "objective",
             ),
         ];

@@ -42,13 +42,9 @@ mod vector;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use lu::{solve_linear_system, LuDecomposition};
-pub use simplex::{
-    Comparison, LinearProgram, LpSolution, LpStatus, ObjectiveSense, SimplexSolver,
-};
+pub use simplex::{Comparison, LinearProgram, LpSolution, LpStatus, ObjectiveSense, SimplexSolver};
 pub use sparse::{CsrMatrix, Triplet};
-pub use vector::{
-    axpy, dot, infinity_norm, l1_norm, l2_norm, max_abs_diff, scale, span_seminorm,
-};
+pub use vector::{axpy, dot, infinity_norm, l1_norm, l2_norm, max_abs_diff, scale, span_seminorm};
 
 /// Default numerical tolerance used across the crate when comparing floats.
 pub const DEFAULT_TOLERANCE: f64 = 1e-10;

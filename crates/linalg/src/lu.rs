@@ -115,15 +115,15 @@ impl LuDecomposition {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu.get(i, j) * xj;
             }
             x[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu.get(i, j) * xj;
             }
             x[i] = acc / self.lu.get(i, i);
         }
@@ -151,8 +151,8 @@ impl LuDecomposition {
         for col in 0..n {
             unit[col] = 1.0;
             let x = self.solve(&unit)?;
-            for row in 0..n {
-                inv.set(row, col, x[row]);
+            for (row, &value) in x.iter().enumerate() {
+                inv.set(row, col, value);
             }
             unit[col] = 0.0;
         }

@@ -324,12 +324,7 @@ impl SimplexSolver {
         for (var, &(pos, neg)) in col_of.iter().enumerate() {
             values[var] = x[pos] - neg.map_or(0.0, |n| x[n]);
         }
-        let objective: f64 = lp
-            .objective
-            .iter()
-            .zip(&values)
-            .map(|(c, v)| c * v)
-            .sum();
+        let objective: f64 = lp.objective.iter().zip(&values).map(|(c, v)| c * v).sum();
         Ok(LpSolution {
             status: LpStatus::Optimal,
             objective,
@@ -394,8 +389,8 @@ impl Tableau {
     /// artificial variables, expressed as a maximisation of their negation).
     fn phase_one(&mut self, max_iterations: usize) -> Result<PhaseOneOutcome, LinalgError> {
         let mut obj = vec![0.0; self.n_cols()];
-        for col in self.n_structural..self.n_cols() {
-            obj[col] = -1.0;
+        for slot in obj.iter_mut().skip(self.n_structural) {
+            *slot = -1.0;
         }
         let outcome = self.optimize(&obj, max_iterations, /* allow_artificial */ true)?;
         debug_assert_ne!(outcome, PhaseTwoOutcome::Unbounded, "phase 1 is bounded");
@@ -409,8 +404,8 @@ impl Tableau {
         // Drive any remaining artificial variables out of the basis if possible.
         for row in 0..self.n_rows() {
             if self.basis[row] >= self.n_structural {
-                if let Some(col) = (0..self.n_structural)
-                    .find(|&c| self.a[row][c].abs() > self.tolerance)
+                if let Some(col) =
+                    (0..self.n_structural).find(|&c| self.a[row][c].abs() > self.tolerance)
                 {
                     self.pivot(row, col);
                 }
@@ -543,8 +538,10 @@ mod tests {
         let mut lp = LinearProgram::new(ObjectiveSense::Maximize);
         let x = lp.add_variable(3.0);
         let y = lp.add_variable(5.0);
-        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 4.0).unwrap();
-        lp.add_constraint(&[(y, 2.0)], Comparison::LessEq, 12.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 4.0)
+            .unwrap();
+        lp.add_constraint(&[(y, 2.0)], Comparison::LessEq, 12.0)
+            .unwrap();
         lp.add_constraint(&[(x, 3.0), (y, 2.0)], Comparison::LessEq, 18.0)
             .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
@@ -562,8 +559,10 @@ mod tests {
         let y = lp.add_variable(3.0);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], Comparison::GreaterEq, 10.0)
             .unwrap();
-        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 2.0).unwrap();
-        lp.add_constraint(&[(y, 1.0)], Comparison::GreaterEq, 3.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 2.0)
+            .unwrap();
+        lp.add_constraint(&[(y, 1.0)], Comparison::GreaterEq, 3.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         // Optimal: y at its lower bound 3, x = 7.
@@ -576,8 +575,10 @@ mod tests {
     fn detects_infeasibility() {
         let mut lp = LinearProgram::new(ObjectiveSense::Maximize);
         let x = lp.add_variable(1.0);
-        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 1.0).unwrap();
-        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 2.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 1.0)
+            .unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 2.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
@@ -586,7 +587,8 @@ mod tests {
     fn detects_unboundedness() {
         let mut lp = LinearProgram::new(ObjectiveSense::Maximize);
         let x = lp.add_variable(1.0);
-        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 1.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::GreaterEq, 1.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Unbounded);
         assert!(sol.objective.is_infinite());
@@ -600,7 +602,8 @@ mod tests {
         let y = lp.add_variable(1.0);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], Comparison::Equal, 5.0)
             .unwrap();
-        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 3.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::LessEq, 3.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 5.0);
@@ -613,7 +616,8 @@ mod tests {
         let mut lp = LinearProgram::new(ObjectiveSense::Minimize);
         let z = lp.add_free_variable(1.0);
         let x = lp.add_variable(0.0);
-        lp.add_constraint(&[(x, 1.0)], Comparison::Equal, 1.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Comparison::Equal, 1.0)
+            .unwrap();
         lp.add_constraint(&[(z, 1.0), (x, -1.0)], Comparison::GreaterEq, -4.0)
             .unwrap();
         lp.add_constraint(&[(z, 1.0), (x, 1.0)], Comparison::GreaterEq, 0.0)
@@ -628,7 +632,8 @@ mod tests {
         // max -x s.t. -x <= -2  (i.e. x >= 2); optimum x = 2.
         let mut lp = LinearProgram::new(ObjectiveSense::Maximize);
         let x = lp.add_variable(-1.0);
-        lp.add_constraint(&[(x, -1.0)], Comparison::LessEq, -2.0).unwrap();
+        lp.add_constraint(&[(x, -1.0)], Comparison::LessEq, -2.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x], 2.0);
@@ -670,7 +675,8 @@ mod tests {
             0.0,
         )
         .unwrap();
-        lp.add_constraint(&[(x1, 1.0)], Comparison::LessEq, 1.0).unwrap();
+        lp.add_constraint(&[(x1, 1.0)], Comparison::LessEq, 1.0)
+            .unwrap();
         let sol = SimplexSolver::default().solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 1.0);

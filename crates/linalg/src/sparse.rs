@@ -122,6 +122,86 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix directly from its raw arrays, validating the
+    /// invariants the accessors rely on: `row_ptr` must have length
+    /// `rows + 1`, start at 0, be non-decreasing and end at the number of
+    /// stored entries; column indices must be strictly increasing within each
+    /// row and in bounds; values must be finite.
+    ///
+    /// This is the zero-copy entry point for callers that already hold a CSR
+    /// layout — e.g. Markov chains extracted from the flat MDP transition
+    /// arena — and must not pay a triplet round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for malformed pointer
+    /// arrays, [`LinalgError::IndexOutOfBounds`] for out-of-range columns and
+    /// [`LinalgError::InvalidValue`] for non-finite values or unsorted /
+    /// duplicate columns within a row.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
+        if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "csr from raw parts (row_ptr length)",
+                expected: rows + 1,
+                actual: row_ptr.len(),
+            });
+        }
+        if col_idx.len() != values.len() || row_ptr[rows] != col_idx.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "csr from raw parts (entry count)",
+                expected: row_ptr[rows],
+                actual: col_idx.len(),
+            });
+        }
+        for row in 0..rows {
+            let (start, end) = (row_ptr[row], row_ptr[row + 1]);
+            if start > end || end > col_idx.len() {
+                return Err(LinalgError::DimensionMismatch {
+                    operation: "csr from raw parts (row_ptr monotonicity)",
+                    expected: start,
+                    actual: end,
+                });
+            }
+            for k in start..end {
+                if col_idx[k] >= cols {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        index: col_idx[k],
+                        len: cols,
+                    });
+                }
+                if k > start && col_idx[k] <= col_idx[k - 1] {
+                    return Err(LinalgError::InvalidValue {
+                        context: "unsorted or duplicate column within csr row",
+                    });
+                }
+                if !values[k].is_finite() {
+                    return Err(LinalgError::InvalidValue {
+                        context: "sparse matrix entry",
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Decomposes the matrix into its raw `(row_ptr, col_idx, values)`
+    /// arrays, the inverse of [`CsrMatrix::from_raw_parts`].
+    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        (self.row_ptr, self.col_idx, self.values)
+    }
+
     /// Builds the CSR representation of a dense matrix, dropping zeros.
     pub fn from_dense(dense: &DenseMatrix) -> Self {
         let mut triplets = Vec::new();
@@ -202,13 +282,13 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c];
             }
-            out[i] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -229,8 +309,7 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -367,5 +446,61 @@ mod tests {
         let m = sample();
         assert!(m.matvec(&[1.0, 2.0]).is_err());
         assert!(m.transpose_matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_matrix() {
+        let m = sample();
+        let (row_ptr, col_idx, values) = m.clone().into_raw_parts();
+        let rebuilt = CsrMatrix::from_raw_parts(3, 3, row_ptr, col_idx, values).unwrap();
+        assert_eq!(m, rebuilt);
+    }
+
+    #[test]
+    fn from_raw_parts_validates_invariants() {
+        // row_ptr wrong length.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // row_ptr not starting at zero.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 1, vec![1, 1], vec![], vec![]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Entry count mismatch.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 2], vec![0], vec![1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Non-monotone row_ptr.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Column out of bounds.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+        // Unsorted columns within a row.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![0.5, 0.5]),
+            Err(LinalgError::InvalidValue { .. })
+        ));
+        // Duplicate columns within a row.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![0.5, 0.5]),
+            Err(LinalgError::InvalidValue { .. })
+        ));
+        // Non-finite value.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![0], vec![f64::NAN]),
+            Err(LinalgError::InvalidValue { .. })
+        ));
+        // A well-formed empty row is fine.
+        let m = CsrMatrix::from_raw_parts(2, 2, vec![0, 0, 1], vec![1], vec![2.0]).unwrap();
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 2.0);
     }
 }

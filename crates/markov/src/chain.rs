@@ -94,6 +94,36 @@ impl MarkovChain {
         Ok(MarkovChain { transitions })
     }
 
+    /// Builds a chain directly from raw CSR arrays (`row_ptr`, column
+    /// indices, probabilities), validating both the CSR invariants and row
+    /// stochasticity.
+    ///
+    /// This is the allocation-light path used when a chain is extracted from
+    /// an already-CSR source — in particular the flat transition arena of
+    /// `sm-mdp`, whose strategy-induced chains are row-slice copies of the
+    /// arena and arrive here without any per-row staging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSR shape errors from the sparse constructor and returns
+    /// [`MarkovError::InvalidDistribution`] / [`MarkovError::EmptyChain`]
+    /// like [`MarkovChain::from_matrix`].
+    pub fn from_csr_parts(
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        probabilities: Vec<f64>,
+    ) -> Result<Self, MarkovError> {
+        let n = row_ptr.len().saturating_sub(1);
+        let matrix = CsrMatrix::from_raw_parts(n, n, row_ptr, col_idx, probabilities)?;
+        Self::from_matrix(matrix)
+    }
+
+    /// Consumes the chain and returns the underlying sparse transition
+    /// matrix, the inverse of [`MarkovChain::from_matrix`].
+    pub fn into_matrix(self) -> CsrMatrix {
+        self.transitions
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.transitions.rows()
@@ -203,11 +233,9 @@ mod tests {
 
     #[test]
     fn step_distribution_preserves_mass() {
-        let chain = MarkovChain::from_rows(vec![
-            vec![(0, 0.7), (1, 0.3)],
-            vec![(0, 0.6), (1, 0.4)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.6), (1, 0.4)]])
+                .unwrap();
         let mu = chain.step_distribution(&[0.5, 0.5]).unwrap();
         assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((mu[0] - 0.65).abs() < 1e-12);
@@ -215,18 +243,11 @@ mod tests {
 
     #[test]
     fn irreducibility_detection() {
-        let irreducible = MarkovChain::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(0, 1.0)],
-        ])
-        .unwrap();
+        let irreducible = MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
         assert!(irreducible.is_irreducible());
 
-        let absorbing = MarkovChain::from_rows(vec![
-            vec![(0, 0.5), (1, 0.5)],
-            vec![(1, 1.0)],
-        ])
-        .unwrap();
+        let absorbing =
+            MarkovChain::from_rows(vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]]).unwrap();
         assert!(!absorbing.is_irreducible());
         assert!(absorbing.is_unichain());
     }
@@ -237,5 +258,29 @@ mod tests {
         assert!(MarkovChain::from_matrix(good).is_ok());
         let bad = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 0.7)]).unwrap();
         assert!(MarkovChain::from_matrix(bad).is_err());
+    }
+
+    #[test]
+    fn from_csr_parts_matches_from_rows() {
+        let via_rows =
+            MarkovChain::from_rows(vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 1.0)]]).unwrap();
+        let via_parts =
+            MarkovChain::from_csr_parts(vec![0, 2, 3], vec![0, 1, 0], vec![0.5, 0.5, 1.0]).unwrap();
+        assert_eq!(via_rows, via_parts);
+        let matrix = via_parts.into_matrix();
+        assert_eq!(matrix.nnz(), 3);
+    }
+
+    #[test]
+    fn from_csr_parts_validates() {
+        // Row does not sum to 1.
+        assert!(matches!(
+            MarkovChain::from_csr_parts(vec![0, 1], vec![0], vec![0.7]),
+            Err(MarkovError::InvalidDistribution { .. })
+        ));
+        // Empty chain.
+        assert!(MarkovChain::from_csr_parts(vec![0], vec![], vec![]).is_err());
+        // Malformed CSR shape surfaces as a linalg-backed error.
+        assert!(MarkovChain::from_csr_parts(vec![1, 0], vec![0], vec![1.0]).is_err());
     }
 }

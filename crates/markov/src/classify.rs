@@ -207,10 +207,7 @@ mod tests {
 
     #[test]
     fn absorbing_state_is_recurrent_others_transient() {
-        let c = chain(vec![
-            vec![(0, 0.5), (1, 0.5)],
-            vec![(1, 1.0)],
-        ]);
+        let c = chain(vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]]);
         let scc = c.classify();
         assert_eq!(scc.recurrent_classes().len(), 1);
         assert_eq!(scc.recurrent_classes()[0], &[1]);

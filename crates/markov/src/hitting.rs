@@ -49,9 +49,7 @@ impl HittingAnalysis {
         // target get probability 0, and the linear system is restricted to the
         // states that can.
         let can_reach = backward_reachable(chain, &is_target);
-        let solvable: Vec<usize> = (0..n)
-            .filter(|&s| !is_target[s] && can_reach[s])
-            .collect();
+        let solvable: Vec<usize> = (0..n).filter(|&s| !is_target[s] && can_reach[s]).collect();
         let mut local = vec![usize::MAX; n];
         for (i, &s) in solvable.iter().enumerate() {
             local[s] = i;
@@ -228,12 +226,8 @@ mod tests {
     #[test]
     fn expected_time_on_simple_walk() {
         // 0 -> 1 -> 2 deterministic; expected time from 0 to reach 2 is 2.
-        let chain = MarkovChain::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(2, 1.0)],
-            vec![(2, 1.0)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(2, 1.0)]]).unwrap();
         let hit = chain.hitting_analysis(&[2]).unwrap();
         assert!((hit.expected_time(0) - 2.0).abs() < 1e-10);
         assert!((hit.expected_time(1) - 1.0).abs() < 1e-10);
@@ -244,11 +238,8 @@ mod tests {
     fn geometric_expected_time() {
         // Stay with probability 0.75, move to the target with 0.25:
         // expected hitting time 4.
-        let chain = MarkovChain::from_rows(vec![
-            vec![(0, 0.75), (1, 0.25)],
-            vec![(1, 1.0)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.75), (1, 0.25)], vec![(1, 1.0)]]).unwrap();
         let hit = chain.hitting_analysis(&[1]).unwrap();
         assert!((hit.expected_time(0) - 4.0).abs() < 1e-9);
     }

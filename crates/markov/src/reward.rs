@@ -54,11 +54,7 @@ pub fn long_run_average_reward(
     let mut class_gain = Vec::with_capacity(recurrent_classes.len());
     for class in &recurrent_classes {
         let pi = solver.class_distribution(chain, class)?;
-        let gain: f64 = class
-            .iter()
-            .zip(&pi)
-            .map(|(&s, &p)| p * rewards[s])
-            .sum();
+        let gain: f64 = class.iter().zip(&pi).map(|(&s, &p)| p * rewards[s]).sum();
         class_gain.push(gain);
     }
 
@@ -249,11 +245,9 @@ mod tests {
 
     #[test]
     fn iterative_gain_matches_exact_gain() {
-        let chain = MarkovChain::from_rows(vec![
-            vec![(0, 0.7), (1, 0.3)],
-            vec![(0, 0.6), (1, 0.4)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.6), (1, 0.4)]])
+                .unwrap();
         let rewards = [3.0, 0.0];
         let exact = long_run_average_reward(&chain, &rewards).unwrap()[0];
         let iterative = iterative_gain(&chain, &rewards, 1e-10, 200_000).unwrap();
@@ -284,11 +278,9 @@ mod tests {
 
     #[test]
     fn gain_of_irreducible_chain_is_stationary_average() {
-        let chain = MarkovChain::from_rows(vec![
-            vec![(0, 0.7), (1, 0.3)],
-            vec![(0, 0.6), (1, 0.4)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.6), (1, 0.4)]])
+                .unwrap();
         // Stationary distribution is (2/3, 1/3).
         let gain = long_run_average_reward(&chain, &[3.0, 0.0]).unwrap();
         assert!((gain[0] - 2.0).abs() < 1e-9);
@@ -322,14 +314,9 @@ mod tests {
     #[test]
     fn absorption_reward_counts_visits() {
         // 0 -> 1 -> 2(absorbing), reward 1 per non-target state visited.
-        let chain = MarkovChain::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(2, 1.0)],
-            vec![(2, 1.0)],
-        ])
-        .unwrap();
-        let total =
-            total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(2, 1.0)]]).unwrap();
+        let total = total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
         assert!((total[0] - 2.0).abs() < 1e-10);
         assert!((total[1] - 1.0).abs() < 1e-10);
         assert_eq!(total[2], 0.0);
@@ -344,8 +331,7 @@ mod tests {
             vec![(2, 1.0)],
         ])
         .unwrap();
-        let total =
-            total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
+        let total = total_expected_reward_until_absorption(&chain, &[1.0, 1.0, 0.0], &[2]).unwrap();
         assert!(total[0].is_infinite());
     }
 
@@ -353,11 +339,8 @@ mod tests {
     fn geometric_absorption_reward() {
         // Collect reward 2 per step, absorb with probability 1/4 each step:
         // expected total reward 2 * 4 = 8.
-        let chain = MarkovChain::from_rows(vec![
-            vec![(0, 0.75), (1, 0.25)],
-            vec![(1, 1.0)],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.75), (1, 0.25)], vec![(1, 1.0)]]).unwrap();
         let total = total_expected_reward_until_absorption(&chain, &[2.0, 0.0], &[1]).unwrap();
         assert!((total[0] - 8.0).abs() < 1e-9);
     }

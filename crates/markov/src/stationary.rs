@@ -192,11 +192,7 @@ impl StationaryDistribution {
                     next[to] += 0.5 * mass * p;
                 }
             }
-            let diff: f64 = pi
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut pi, &mut next);
             if diff < tolerance {
                 let sum: f64 = pi.iter().sum();
@@ -219,11 +215,7 @@ mod tests {
     use super::*;
 
     fn two_state() -> MarkovChain {
-        MarkovChain::from_rows(vec![
-            vec![(0, 0.7), (1, 0.3)],
-            vec![(0, 0.6), (1, 0.4)],
-        ])
-        .unwrap()
+        MarkovChain::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.6), (1, 0.4)]]).unwrap()
     }
 
     #[test]
@@ -290,11 +282,7 @@ mod tests {
 
     #[test]
     fn class_distribution_rejects_open_sets() {
-        let chain = MarkovChain::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(1, 1.0)],
-        ])
-        .unwrap();
+        let chain = MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(1, 1.0)]]).unwrap();
         // {0} is not closed: it leaks to 1.
         let err = StationaryDistribution::new(StationaryMethod::LinearSolve)
             .class_distribution(&chain, &[0])

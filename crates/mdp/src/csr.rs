@@ -1,0 +1,643 @@
+//! The flat compressed-sparse-row (CSR) transition arena underlying [`Mdp`].
+//!
+//! Every layer of the solver stack reads the same three index arrays:
+//!
+//! * `row_ptr[s] .. row_ptr[s + 1]` — the state-action *pairs* of state `s`,
+//! * `action_ptr[pair] .. action_ptr[pair + 1]` — the transitions of a pair,
+//! * `col[k]` / `prob[k]` — successor state and probability of transition `k`.
+//!
+//! The index arrays live in a shared [`CsrLayout`] (behind an [`Arc`]) so that
+//! reward structures ([`crate::TransitionRewards`]) can be stored as flat
+//! per-transition buffers aligned with the very same offsets, and so that
+//! strategy-induced Markov chains can be extracted by copying already-sorted
+//! row slices with no per-row staging or re-sorting. (The chain constructor
+//! in `sm-markov` still runs its own one-pass validation of the copied CSR
+//! arrays — crate boundaries keep that invariant checked, not assumed.)
+//!
+//! Action names are interned into a deduplicated string table: the
+//! selfish-mining model reuses a handful of names (`mine`,
+//! `release(d,f,len)`) across hundreds of thousands of states, so per-pair
+//! `String`s would dominate the memory profile.
+
+use crate::{Mdp, MdpError, PROBABILITY_TOLERANCE};
+use sm_markov::MarkovChain;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The index arrays of the CSR transition arena, shared between the MDP and
+/// every reward structure aligned with it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsrLayout {
+    /// State → state-action-pair range; length `num_states + 1`.
+    row_ptr: Vec<usize>,
+    /// Pair → transition range; length `num_pairs + 1`.
+    action_ptr: Vec<usize>,
+    /// Successor state per transition, sorted within each pair.
+    col: Vec<usize>,
+}
+
+impl CsrLayout {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.row_ptr.len().saturating_sub(1)
+    }
+
+    /// Total number of state-action pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.action_ptr.len().saturating_sub(1)
+    }
+
+    /// Total number of transitions (successor entries over all pairs).
+    pub fn num_transitions(&self) -> usize {
+        self.col.len()
+    }
+
+    /// The state → pair-range pointer array (length `num_states + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The pair → transition-range pointer array (length `num_pairs + 1`).
+    pub fn action_ptr(&self) -> &[usize] {
+        &self.action_ptr
+    }
+
+    /// Successor state of every transition, aligned with the probability and
+    /// reward buffers.
+    pub fn col(&self) -> &[usize] {
+        &self.col
+    }
+
+    /// Number of actions available in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn num_actions(&self, state: usize) -> usize {
+        self.row_ptr[state + 1] - self.row_ptr[state]
+    }
+
+    /// The arena index of the `action`-th pair of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn pair_index(&self, state: usize, action: usize) -> usize {
+        assert!(
+            action < self.num_actions(state),
+            "action {action} out of bounds for state {state} ({} available)",
+            self.num_actions(state)
+        );
+        self.row_ptr[state] + action
+    }
+
+    /// The pair range of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn pair_range(&self, state: usize) -> Range<usize> {
+        self.row_ptr[state]..self.row_ptr[state + 1]
+    }
+
+    /// The transition range of a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is out of bounds.
+    pub fn transition_range(&self, pair: usize) -> Range<usize> {
+        self.action_ptr[pair]..self.action_ptr[pair + 1]
+    }
+}
+
+/// A finite MDP stored as one flat CSR transition arena: index arrays in a
+/// shared [`CsrLayout`], probabilities in a single `Vec<f64>` aligned with
+/// `col`, and action names interned into a deduplicated table.
+///
+/// [`Mdp`] is a thin façade over this type; solvers that want raw slice
+/// access use [`Mdp::csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMdp {
+    layout: Arc<CsrLayout>,
+    /// Transition probability per arena slot, aligned with `layout.col()`.
+    prob: Vec<f64>,
+    /// Interned action-name table.
+    names: Vec<String>,
+    /// Per-pair index into `names`.
+    name_of_pair: Vec<u32>,
+    initial_state: usize,
+}
+
+impl CsrMdp {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.layout.num_states()
+    }
+
+    /// The initial state `s₀`.
+    pub fn initial_state(&self) -> usize {
+        self.initial_state
+    }
+
+    /// Number of actions available in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn num_actions(&self, state: usize) -> usize {
+        self.layout.num_actions(state)
+    }
+
+    /// Total number of state-action pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.layout.num_pairs()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.layout.num_transitions()
+    }
+
+    /// The shared index arrays of the arena.
+    pub fn layout(&self) -> &CsrLayout {
+        &self.layout
+    }
+
+    /// A clone of the [`Arc`] holding the index arrays, for structures that
+    /// must stay aligned with this arena (reward buffers).
+    pub fn layout_arc(&self) -> Arc<CsrLayout> {
+        Arc::clone(&self.layout)
+    }
+
+    /// The flat probability buffer, aligned with [`CsrLayout::col`].
+    pub fn probabilities(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// The interned action-name table.
+    pub fn action_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of the `action`-th action of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn action_name(&self, state: usize, action: usize) -> &str {
+        &self.names[self.name_of_pair[self.layout.pair_index(state, action)] as usize]
+    }
+
+    /// Successors of the `action`-th action of `state` as parallel slices of
+    /// targets and probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn successors(&self, state: usize, action: usize) -> (&[usize], &[f64]) {
+        let range = self
+            .layout
+            .transition_range(self.layout.pair_index(state, action));
+        (&self.layout.col()[range.clone()], &self.prob[range])
+    }
+
+    /// Finds the index of an action by name in the given state.
+    pub fn find_action(&self, state: usize, name: &str) -> Option<usize> {
+        if state >= self.num_states() {
+            return None;
+        }
+        let pairs = self.layout.pair_range(state);
+        self.name_of_pair[pairs]
+            .iter()
+            .position(|&id| self.names[id as usize] == name)
+    }
+
+    /// Checks basic sanity of the arena: a non-empty model, at least one
+    /// action per state, targets in bounds, and validated distributions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`MdpError`] on the first violation found.
+    pub fn validate(&self) -> Result<(), MdpError> {
+        let n = self.num_states();
+        if n == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        for state in 0..n {
+            if self.num_actions(state) == 0 {
+                return Err(MdpError::NoActions { state });
+            }
+            for pair in self.layout.pair_range(state) {
+                let range = self.layout.transition_range(pair);
+                let cols = &self.layout.col()[range.clone()];
+                let probs = &self.prob[range];
+                let sum: f64 = probs.iter().sum();
+                if (sum - 1.0).abs() > PROBABILITY_TOLERANCE || probs.iter().any(|&p| p < 0.0) {
+                    return Err(MdpError::InvalidDistribution {
+                        state,
+                        action: self.names[self.name_of_pair[pair] as usize].clone(),
+                        sum,
+                    });
+                }
+                if let Some(&target) = cols.iter().find(|&&t| t >= n) {
+                    return Err(MdpError::InvalidState {
+                        state: target,
+                        num_states: n,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Markov chain induced by a positional strategy, extracted by copying
+    /// the chosen row slices straight out of the arena (no per-row allocation,
+    /// no re-sorting: arena rows are already sorted by successor). The chain
+    /// constructor re-validates the assembled CSR arrays in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidAction`] if the strategy selects an action
+    /// that does not exist, or a shape error if the strategy does not cover
+    /// every state.
+    pub fn induced_chain(
+        &self,
+        strategy: &crate::PositionalStrategy,
+    ) -> Result<MarkovChain, MdpError> {
+        let n = self.num_states();
+        if strategy.num_states() != n {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "strategy covers {} states, MDP has {}",
+                    strategy.num_states(),
+                    n
+                ),
+            });
+        }
+        let mut nnz = 0;
+        for state in 0..n {
+            let action = strategy.action(state);
+            if action >= self.num_actions(state) {
+                return Err(MdpError::InvalidAction {
+                    state,
+                    action,
+                    available: self.num_actions(state),
+                });
+            }
+            nnz += self
+                .layout
+                .transition_range(self.layout.pair_index(state, action))
+                .len();
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col = Vec::with_capacity(nnz);
+        let mut prob = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for state in 0..n {
+            let range = self
+                .layout
+                .transition_range(self.layout.pair_index(state, strategy.action(state)));
+            col.extend_from_slice(&self.layout.col()[range.clone()]);
+            prob.extend_from_slice(&self.prob[range]);
+            row_ptr.push(col.len());
+        }
+        Ok(MarkovChain::from_csr_parts(row_ptr, col, prob)?)
+    }
+
+    /// States reachable from the initial state under *some* strategy, in
+    /// breadth-first order.
+    pub fn reachable_states(&self) -> Vec<usize> {
+        let n = self.num_states();
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.initial_state] = true;
+        queue.push_back(self.initial_state);
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for pair in self.layout.pair_range(s) {
+                let range = self.layout.transition_range(pair);
+                for (&t, &p) in self.layout.col()[range.clone()]
+                    .iter()
+                    .zip(&self.prob[range])
+                {
+                    if p > 0.0 && !seen[t] {
+                        seen[t] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Streaming builder for the CSR arena: states are appended in index order
+/// ([`CsrMdpBuilder::begin_state`]) and actions are appended to the *current*
+/// state, which is exactly the order a breadth-first model exploration
+/// discovers them in. Transitions may reference states that have not been
+/// begun yet (forward edges); target bounds are checked in
+/// [`CsrMdpBuilder::finish`].
+///
+/// # Example
+///
+/// ```
+/// use sm_mdp::CsrMdpBuilder;
+///
+/// # fn main() -> Result<(), sm_mdp::MdpError> {
+/// let mut b = CsrMdpBuilder::new();
+/// b.begin_state(); // state 0
+/// b.add_action("go", &[(1, 1.0)])?; // forward edge to state 1
+/// b.begin_state(); // state 1
+/// b.add_action("stay", &[(1, 0.5), (0, 0.5)])?;
+/// let mdp = b.finish(0)?;
+/// assert_eq!(mdp.num_states(), 2);
+/// assert_eq!(mdp.csr().successors(1, 0), (&[0usize, 1][..], &[0.5f64, 0.5][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrMdpBuilder {
+    row_ptr: Vec<usize>,
+    action_ptr: Vec<usize>,
+    col: Vec<usize>,
+    prob: Vec<f64>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    name_of_pair: Vec<u32>,
+    states: usize,
+    /// Scratch buffer reused across `add_action` calls for sort-and-merge.
+    scratch: Vec<(usize, f64)>,
+}
+
+impl CsrMdpBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        let mut builder = CsrMdpBuilder::default();
+        builder.row_ptr.push(0);
+        builder.action_ptr.push(0);
+        builder
+    }
+
+    /// Creates a builder with pre-reserved capacity for roughly the given
+    /// numbers of states, state-action pairs and transitions.
+    pub fn with_capacity(states: usize, pairs: usize, transitions: usize) -> Self {
+        let mut builder = CsrMdpBuilder {
+            row_ptr: Vec::with_capacity(states + 1),
+            action_ptr: Vec::with_capacity(pairs + 1),
+            col: Vec::with_capacity(transitions),
+            prob: Vec::with_capacity(transitions),
+            name_of_pair: Vec::with_capacity(pairs),
+            ..CsrMdpBuilder::default()
+        };
+        builder.row_ptr.push(0);
+        builder.action_ptr.push(0);
+        builder
+    }
+
+    /// Number of states begun so far.
+    pub fn num_states(&self) -> usize {
+        self.states
+    }
+
+    /// Total number of state-action pairs appended so far.
+    pub fn num_pairs(&self) -> usize {
+        self.name_of_pair.len()
+    }
+
+    /// Total number of transitions appended so far.
+    pub fn num_transitions(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Opens the next state and returns its index. Subsequent
+    /// [`CsrMdpBuilder::add_action`] calls append to this state.
+    pub fn begin_state(&mut self) -> usize {
+        if self.states > 0 {
+            // Close the previous state's pair range.
+            let last = self.row_ptr.len() - 1;
+            self.row_ptr[last] = self.num_pairs();
+        }
+        self.row_ptr.push(self.num_pairs());
+        self.states += 1;
+        self.states - 1
+    }
+
+    /// Appends an action to the current state with the given successor
+    /// distribution (duplicate targets are summed, zero-probability entries
+    /// dropped, successors sorted). Returns the action's index within the
+    /// state.
+    ///
+    /// Targets may reference states that do not exist *yet*; bounds are
+    /// enforced by [`CsrMdpBuilder::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::NoActions`]-style [`MdpError::InvalidState`] if no
+    /// state has been begun, and [`MdpError::InvalidDistribution`] if the
+    /// probabilities are invalid or do not sum to 1.
+    pub fn add_action(
+        &mut self,
+        name: &str,
+        transitions: &[(usize, f64)],
+    ) -> Result<usize, MdpError> {
+        if self.states == 0 {
+            return Err(MdpError::InvalidState {
+                state: 0,
+                num_states: 0,
+            });
+        }
+        let state = self.states - 1;
+        let mut sum = 0.0;
+        for &(_, p) in transitions {
+            if !p.is_finite() || p < 0.0 {
+                return Err(MdpError::InvalidDistribution {
+                    state,
+                    action: name.to_string(),
+                    sum: p,
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
+            return Err(MdpError::InvalidDistribution {
+                state,
+                action: name.to_string(),
+                sum,
+            });
+        }
+
+        // Sort-and-merge into the arena, one entry per distinct successor.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(transitions);
+        self.scratch.sort_unstable_by_key(|&(t, _)| t);
+        let action_start = self.col.len();
+        for &(target, p) in &self.scratch {
+            if p == 0.0 {
+                continue;
+            }
+            if self.col.len() > action_start && *self.col.last().unwrap() == target {
+                *self.prob.last_mut().unwrap() += p;
+            } else {
+                self.col.push(target);
+                self.prob.push(p);
+            }
+        }
+        self.action_ptr.push(self.col.len());
+
+        let name_id = match self.name_ids.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.names.len()).expect("more than u32::MAX action names");
+                self.names.push(name.to_string());
+                self.name_ids.insert(name.to_string(), id);
+                id
+            }
+        };
+        self.name_of_pair.push(name_id);
+        Ok(self.num_pairs() - self.row_ptr[state] - 1)
+    }
+
+    /// Finalises the arena into an [`Mdp`] with the given initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is empty, the initial state or a
+    /// transition target is out of range, or some state has no actions.
+    pub fn finish(mut self, initial_state: usize) -> Result<Mdp, MdpError> {
+        if self.states == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        // Close the final state's pair range.
+        let last = self.row_ptr.len() - 1;
+        self.row_ptr[last] = self.num_pairs();
+        if initial_state >= self.states {
+            return Err(MdpError::InvalidState {
+                state: initial_state,
+                num_states: self.states,
+            });
+        }
+        if let Some(state) = (0..self.states).find(|&s| self.row_ptr[s + 1] == self.row_ptr[s]) {
+            return Err(MdpError::NoActions { state });
+        }
+        if let Some(&target) = self.col.iter().find(|&&t| t >= self.states) {
+            return Err(MdpError::InvalidState {
+                state: target,
+                num_states: self.states,
+            });
+        }
+        let layout = CsrLayout {
+            row_ptr: self.row_ptr,
+            action_ptr: self.action_ptr,
+            col: self.col,
+        };
+        Ok(Mdp::from_csr(CsrMdp {
+            layout: Arc::new(layout),
+            prob: self.prob,
+            names: self.names,
+            name_of_pair: self.name_of_pair,
+            initial_state,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_builder_produces_expected_layout() {
+        let mut b = CsrMdpBuilder::new();
+        assert_eq!(b.begin_state(), 0);
+        b.add_action("a", &[(0, 0.5), (1, 0.5)]).unwrap();
+        b.add_action("b", &[(1, 1.0)]).unwrap();
+        assert_eq!(b.begin_state(), 1);
+        b.add_action("a", &[(0, 1.0)]).unwrap();
+        let mdp = b.finish(0).unwrap();
+        let csr = mdp.csr();
+        assert_eq!(csr.num_states(), 2);
+        assert_eq!(csr.num_pairs(), 3);
+        assert_eq!(csr.num_transitions(), 4);
+        assert_eq!(csr.layout().row_ptr(), &[0, 2, 3]);
+        assert_eq!(csr.layout().action_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(csr.layout().col(), &[0, 1, 1, 0]);
+        // The name table is interned: "a" appears once.
+        assert_eq!(csr.action_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(csr.action_name(1, 0), "a");
+    }
+
+    #[test]
+    fn duplicate_targets_are_merged_and_zeros_dropped() {
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("a", &[(0, 0.25), (0, 0.5), (0, 0.25), (0, 0.0)])
+            .unwrap();
+        let mdp = b.finish(0).unwrap();
+        assert_eq!(mdp.csr().successors(0, 0), (&[0usize][..], &[1.0f64][..]));
+    }
+
+    #[test]
+    fn merge_does_not_leak_across_actions() {
+        // Two consecutive actions both ending/starting at the same target
+        // must not be merged together.
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("a", &[(0, 1.0)]).unwrap();
+        b.add_action("b", &[(0, 1.0)]).unwrap();
+        let mdp = b.finish(0).unwrap();
+        assert_eq!(mdp.num_state_action_pairs(), 2);
+        assert_eq!(mdp.csr().successors(0, 0), (&[0usize][..], &[1.0f64][..]));
+        assert_eq!(mdp.csr().successors(0, 1), (&[0usize][..], &[1.0f64][..]));
+    }
+
+    #[test]
+    fn forward_references_are_allowed_until_finish() {
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("go", &[(5, 1.0)]).unwrap();
+        let err = b.finish(0).unwrap_err();
+        assert!(matches!(err, MdpError::InvalidState { state: 5, .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = CsrMdpBuilder::new();
+        assert!(matches!(
+            b.add_action("early", &[(0, 1.0)]),
+            Err(MdpError::InvalidState { .. })
+        ));
+        b.begin_state();
+        assert!(matches!(
+            b.add_action("bad", &[(0, 0.5)]),
+            Err(MdpError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            b.add_action("nan", &[(0, f64::NAN)]),
+            Err(MdpError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            CsrMdpBuilder::new().finish(0),
+            Err(MdpError::EmptyModel)
+        ));
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        assert!(matches!(b.finish(0), Err(MdpError::NoActions { state: 0 })));
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("a", &[(0, 1.0)]).unwrap();
+        assert!(matches!(b.finish(7), Err(MdpError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn with_capacity_matches_default_semantics() {
+        let mut b = CsrMdpBuilder::with_capacity(2, 3, 4);
+        b.begin_state();
+        b.add_action("x", &[(1, 1.0)]).unwrap();
+        b.begin_state();
+        b.add_action("y", &[(0, 1.0)]).unwrap();
+        let mdp = b.finish(1).unwrap();
+        assert_eq!(mdp.initial_state(), 1);
+        assert!(mdp.validate().is_ok());
+    }
+}

@@ -76,7 +76,7 @@ impl DiscountedValueIteration {
                 constraint: "must lie in [0, 1)",
             });
         }
-        if !(self.epsilon > 0.0) {
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
             return Err(MdpError::InvalidParameter {
                 name: "epsilon",
                 constraint: "must be positive",
@@ -88,13 +88,14 @@ impl DiscountedValueIteration {
             });
         }
         let n = mdp.num_states();
-        let expected: Vec<Vec<f64>> = (0..n)
-            .map(|s| {
-                (0..mdp.num_actions(s))
-                    .map(|a| rewards.expected_reward(mdp, s, a))
-                    .collect()
-            })
-            .collect();
+        // Sweep over the flat CSR arena, mirroring the mean-payoff solver.
+        let csr = mdp.csr();
+        let layout = csr.layout();
+        let row_ptr = layout.row_ptr();
+        let action_ptr = layout.action_ptr();
+        let col = layout.col();
+        let prob = csr.probabilities();
+        let expected = rewards.expected_per_pair(mdp);
         let mut values = vec![0.0; n];
         let mut next = vec![0.0; n];
         let mut best_action = vec![0usize; n];
@@ -103,14 +104,16 @@ impl DiscountedValueIteration {
             for s in 0..n {
                 let mut best = f64::NEG_INFINITY;
                 let mut best_a = 0;
-                for a in 0..mdp.num_actions(s) {
-                    let mut value = expected[s][a];
-                    for &(t, p) in mdp.transitions(s, a) {
-                        value += self.discount * p * values[t];
+                let pair_start = row_ptr[s];
+                for pair in pair_start..row_ptr[s + 1] {
+                    let mut acc = 0.0;
+                    for k in action_ptr[pair]..action_ptr[pair + 1] {
+                        acc += prob[k] * values[col[k]];
                     }
+                    let value = expected[pair] + self.discount * acc;
                     if value > best {
                         best = value;
-                        best_a = a;
+                        best_a = pair - pair_start;
                     }
                 }
                 next[s] = best;
@@ -176,7 +179,8 @@ mod tests {
         b.add_action(0, "a", vec![(0, 0.75), (1, 0.25)]).unwrap();
         b.add_action(1, "b", vec![(0, 1.0)]).unwrap();
         let mdp = b.build(0).unwrap();
-        let r = TransitionRewards::from_fn(&mdp, |s, _, t| if s == 0 && t == 0 { 2.0 } else { 0.0 });
+        let r =
+            TransitionRewards::from_fn(&mdp, |s, _, t| if s == 0 && t == 0 { 2.0 } else { 0.0 });
         let gain = RelativeValueIteration::with_epsilon(1e-10)
             .solve(&mdp, &r)
             .unwrap()

@@ -6,7 +6,11 @@
 //! the reproduction's replacement for that model checker. It provides:
 //!
 //! * [`Mdp`] / [`MdpBuilder`] — the finite MDP `(S, A, P, s₀)` of Section 2.3,
-//!   with validated probabilistic transition functions.
+//!   with validated probabilistic transition functions. Internally the model
+//!   is one flat compressed-sparse-row transition arena ([`CsrMdp`], built
+//!   incrementally via [`CsrMdpBuilder`]); rewards and induced Markov chains
+//!   share its index arrays, which is what makes the solver sweeps
+//!   cache-friendly slice walks instead of nested-`Vec` pointer chases.
 //! * [`TransitionRewards`] — reward functions `r : S × A × S → ℝ`, and the
 //!   linear combinations needed for the paper's `r_β = r_A − β(r_A + r_H)`.
 //! * [`PositionalStrategy`] — memoryless deterministic strategies, which are
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 mod discounted;
 mod error;
 mod lp;
@@ -60,6 +65,7 @@ mod solver;
 mod strategy;
 mod value_iteration;
 
+pub use csr::{CsrLayout, CsrMdp, CsrMdpBuilder};
 pub use discounted::{DiscountedResult, DiscountedValueIteration};
 pub use error::MdpError;
 pub use lp::LinearProgrammingSolver;

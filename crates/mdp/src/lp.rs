@@ -58,7 +58,7 @@ impl LinearProgrammingSolver {
             for action in 0..mdp.num_actions(state) {
                 // g + h(s) − Σ P h(s') ≥ r̄(s,a)
                 let mut coeffs: Vec<(usize, f64)> = vec![(g, 1.0), (h[state], 1.0)];
-                for &(t, p) in mdp.transitions(state, action) {
+                for (t, p) in mdp.transitions(state, action) {
                     coeffs.push((h[t], -p));
                 }
                 let rhs = rewards.expected_reward(mdp, state, action);
@@ -83,7 +83,8 @@ impl LinearProgrammingSolver {
             let mut best_action = 0;
             for action in 0..mdp.num_actions(state) {
                 let mut value = rewards.expected_reward(mdp, state, action);
-                for &(t, p) in mdp.transitions(state, action) {
+                let (targets, probs) = mdp.successors(state, action);
+                for (&t, &p) in targets.iter().zip(probs) {
                     value += p * bias[t];
                 }
                 if value > best {
@@ -127,12 +128,15 @@ mod tests {
         b.add_action(0, "a1", vec![(2, 1.0)]).unwrap();
         b.add_action(1, "b0", vec![(0, 0.5), (2, 0.5)]).unwrap();
         b.add_action(1, "b1", vec![(1, 0.9), (0, 0.1)]).unwrap();
-        b.add_action(2, "c0", vec![(0, 0.3), (1, 0.3), (2, 0.4)]).unwrap();
+        b.add_action(2, "c0", vec![(0, 0.3), (1, 0.3), (2, 0.4)])
+            .unwrap();
         let mdp = b.build(0).unwrap();
         let rewards = TransitionRewards::from_fn(&mdp, |s, a, t| {
             0.4 * s as f64 - 0.3 * a as f64 + 0.2 * t as f64
         });
-        let (lp_gain, _) = LinearProgrammingSolver::default().solve(&mdp, &rewards).unwrap();
+        let (lp_gain, _) = LinearProgrammingSolver::default()
+            .solve(&mdp, &rewards)
+            .unwrap();
         let (pi_gain, _) = PolicyIteration::default().solve(&mdp, &rewards).unwrap();
         let vi_gain = RelativeValueIteration::with_epsilon(1e-10)
             .solve(&mdp, &rewards)
@@ -159,6 +163,8 @@ mod tests {
         other.add_action(0, "x", vec![(0, 1.0)]).unwrap();
         let other = other.build(0).unwrap();
         let wrong = TransitionRewards::zeros(&other);
-        assert!(LinearProgrammingSolver::default().solve(&mdp, &wrong).is_err());
+        assert!(LinearProgrammingSolver::default()
+            .solve(&mdp, &wrong)
+            .is_err());
     }
 }

@@ -1,6 +1,12 @@
-//! The MDP model `(S, A, P, s₀)` and its builder.
+//! The MDP model `(S, A, P, s₀)` and its builders.
+//!
+//! Since the CSR-arena refactor, [`Mdp`] is a thin façade over
+//! [`crate::CsrMdp`]: all transition data lives in one flat compressed-
+//! sparse-row arena (see [`crate::csr`]) and every accessor below delegates
+//! to it. Code that wants raw slice access for hot loops goes through
+//! [`Mdp::csr`].
 
-use crate::{MdpError, PositionalStrategy, PROBABILITY_TOLERANCE};
+use crate::{CsrMdp, CsrMdpBuilder, MdpError, PositionalStrategy};
 use sm_markov::MarkovChain;
 
 /// A reference to an action available in a particular state: the pair of a
@@ -13,37 +19,40 @@ pub struct ActionRef {
     pub action: usize,
 }
 
-/// One action available in a state: a human-readable name and a probability
-/// distribution over successor states.
-#[derive(Debug, Clone, PartialEq)]
-struct Action {
-    name: String,
-    /// Successor states and probabilities; probabilities sum to 1.
-    transitions: Vec<(usize, f64)>,
-}
-
 /// A finite-state Markov decision process.
 ///
 /// States are `0..num_states()`. Every state has one or more named actions;
 /// each action carries a validated probability distribution over successors.
 /// Rewards are *not* stored in the model — they are supplied separately as
 /// [`crate::TransitionRewards`], which is what lets the selfish-mining
-/// analysis reuse one model for the whole `r_β` family.
+/// analysis reuse one model for the whole `r_β` family. Internally all
+/// transitions live in a single flat CSR arena ([`CsrMdp`]); reward buffers
+/// share the arena's index arrays, so solvers, rewards and induced Markov
+/// chains all read the same layout.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mdp {
-    states: Vec<Vec<Action>>,
-    initial_state: usize,
+    csr: CsrMdp,
 }
 
 impl Mdp {
+    /// Wraps a finished CSR arena. Used by the builders.
+    pub(crate) fn from_csr(csr: CsrMdp) -> Self {
+        Mdp { csr }
+    }
+
+    /// The underlying CSR transition arena.
+    pub fn csr(&self) -> &CsrMdp {
+        &self.csr
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.states.len()
+        self.csr.num_states()
     }
 
     /// The initial state `s₀`.
     pub fn initial_state(&self) -> usize {
-        self.initial_state
+        self.csr.initial_state()
     }
 
     /// Number of actions available in `state`.
@@ -52,21 +61,17 @@ impl Mdp {
     ///
     /// Panics if `state` is out of bounds.
     pub fn num_actions(&self, state: usize) -> usize {
-        self.states[state].len()
+        self.csr.num_actions(state)
     }
 
     /// Total number of state-action pairs.
     pub fn num_state_action_pairs(&self) -> usize {
-        self.states.iter().map(|a| a.len()).sum()
+        self.csr.num_pairs()
     }
 
     /// Total number of transitions (successor entries over all state-action pairs).
     pub fn num_transitions(&self) -> usize {
-        self.states
-            .iter()
-            .flat_map(|actions| actions.iter())
-            .map(|a| a.transitions.len())
-            .sum()
+        self.csr.num_transitions()
     }
 
     /// Name of the `action`-th action of `state`.
@@ -75,35 +80,52 @@ impl Mdp {
     ///
     /// Panics if the indices are out of bounds.
     pub fn action_name(&self, state: usize, action: usize) -> &str {
-        &self.states[state][action].name
+        self.csr.action_name(state, action)
     }
 
-    /// The transition distribution of the `action`-th action of `state`, as a
-    /// slice of `(successor, probability)` pairs.
+    /// The transition distribution of the `action`-th action of `state`, as an
+    /// iterator of `(successor, probability)` pairs (sorted by successor).
+    ///
+    /// Hot loops should prefer [`Mdp::successors`], which exposes the
+    /// underlying arena slices directly.
     ///
     /// # Panics
     ///
     /// Panics if the indices are out of bounds.
-    pub fn transitions(&self, state: usize, action: usize) -> &[(usize, f64)] {
-        &self.states[state][action].transitions
+    pub fn transitions(
+        &self,
+        state: usize,
+        action: usize,
+    ) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (cols, probs) = self.csr.successors(state, action);
+        cols.iter().copied().zip(probs.iter().copied())
+    }
+
+    /// Successors of the `action`-th action of `state` as parallel slices of
+    /// targets and probabilities, straight out of the CSR arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn successors(&self, state: usize, action: usize) -> (&[usize], &[f64]) {
+        self.csr.successors(state, action)
     }
 
     /// Iterates over all state-action pairs of the model.
     pub fn action_refs(&self) -> impl Iterator<Item = ActionRef> + '_ {
-        self.states.iter().enumerate().flat_map(|(state, actions)| {
-            (0..actions.len()).map(move |action| ActionRef { state, action })
+        (0..self.num_states()).flat_map(move |state| {
+            (0..self.num_actions(state)).map(move |action| ActionRef { state, action })
         })
     }
 
     /// Finds the index of an action by name in the given state.
     pub fn find_action(&self, state: usize, name: &str) -> Option<usize> {
-        self.states
-            .get(state)?
-            .iter()
-            .position(|a| a.name == name)
+        self.csr.find_action(state, name)
     }
 
-    /// The Markov chain induced by a positional strategy.
+    /// The Markov chain induced by a positional strategy, extracted directly
+    /// from the CSR arena (row slices are copied, never re-sorted or
+    /// re-validated entry by entry).
     ///
     /// # Errors
     ///
@@ -111,92 +133,33 @@ impl Mdp {
     /// that does not exist, or a shape error if the strategy does not cover
     /// every state.
     pub fn induced_chain(&self, strategy: &PositionalStrategy) -> Result<MarkovChain, MdpError> {
-        if strategy.num_states() != self.num_states() {
-            return Err(MdpError::RewardShapeMismatch {
-                detail: format!(
-                    "strategy covers {} states, MDP has {}",
-                    strategy.num_states(),
-                    self.num_states()
-                ),
-            });
-        }
-        let mut rows = Vec::with_capacity(self.num_states());
-        for state in 0..self.num_states() {
-            let action = strategy.action(state);
-            if action >= self.num_actions(state) {
-                return Err(MdpError::InvalidAction {
-                    state,
-                    action,
-                    available: self.num_actions(state),
-                });
-            }
-            rows.push(self.transitions(state, action).to_vec());
-        }
-        Ok(MarkovChain::from_rows(rows)?)
+        self.csr.induced_chain(strategy)
     }
 
     /// Checks basic sanity of the model: every state has at least one action
-    /// and every distribution sums to 1. The builder enforces this already;
-    /// the method exists so deserialized or hand-assembled models can be
-    /// re-validated cheaply.
+    /// and every distribution sums to 1. Both builders already enforce these
+    /// invariants, so this never fails for models they produce; it remains as
+    /// a cheap debugging aid and a guard for any future construction path
+    /// (e.g. deserialization) that bypasses the builders.
     pub fn validate(&self) -> Result<(), MdpError> {
-        if self.states.is_empty() {
-            return Err(MdpError::EmptyModel);
-        }
-        for (state, actions) in self.states.iter().enumerate() {
-            if actions.is_empty() {
-                return Err(MdpError::NoActions { state });
-            }
-            for action in actions {
-                let sum: f64 = action.transitions.iter().map(|&(_, p)| p).sum();
-                if (sum - 1.0).abs() > PROBABILITY_TOLERANCE
-                    || action.transitions.iter().any(|&(_, p)| p < 0.0)
-                {
-                    return Err(MdpError::InvalidDistribution {
-                        state,
-                        action: action.name.clone(),
-                        sum,
-                    });
-                }
-                if let Some(&(target, _)) = action
-                    .transitions
-                    .iter()
-                    .find(|&&(t, _)| t >= self.states.len())
-                {
-                    return Err(MdpError::InvalidState {
-                        state: target,
-                        num_states: self.states.len(),
-                    });
-                }
-            }
-        }
-        Ok(())
+        self.csr.validate()
     }
 
     /// States reachable from the initial state under *some* strategy
     /// (i.e. following any action), in breadth-first order.
     pub fn reachable_states(&self) -> Vec<usize> {
-        let mut seen = vec![false; self.num_states()];
-        let mut order = Vec::new();
-        let mut queue = std::collections::VecDeque::new();
-        seen[self.initial_state] = true;
-        queue.push_back(self.initial_state);
-        while let Some(s) = queue.pop_front() {
-            order.push(s);
-            for action in &self.states[s] {
-                for &(t, p) in &action.transitions {
-                    if p > 0.0 && !seen[t] {
-                        seen[t] = true;
-                        queue.push_back(t);
-                    }
-                }
-            }
-        }
-        order
+        self.csr.reachable_states()
     }
 }
 
-/// Incremental builder for [`Mdp`].
+/// Incremental random-access builder for [`Mdp`].
+///
+/// Unlike [`CsrMdpBuilder`], which requires states to be appended in index
+/// order, this builder accepts actions for any existing state in any order
+/// (staging them per state) and flattens everything into the CSR arena in
+/// [`MdpBuilder::build`]. Use it for hand-written models and tests; use the
+/// streaming [`CsrMdpBuilder`] when the construction order already matches
+/// the state indexing (e.g. breadth-first exploration).
 ///
 /// # Example
 ///
@@ -214,8 +177,12 @@ impl Mdp {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MdpBuilder {
-    states: Vec<Vec<Action>>,
+    /// Per-state staged actions.
+    states: Vec<Vec<StagedAction>>,
 }
+
+/// One staged action: its name and raw `(target, probability)` transitions.
+type StagedAction = (String, Vec<(usize, f64)>);
 
 impl MdpBuilder {
     /// Creates a builder for an MDP with `num_states` states and no actions.
@@ -253,10 +220,7 @@ impl MdpBuilder {
         let name = name.into();
         let num_states = self.states.len();
         if state >= num_states {
-            return Err(MdpError::InvalidState {
-                state,
-                num_states,
-            });
+            return Err(MdpError::InvalidState { state, num_states });
         }
         let mut sum = 0.0;
         for &(target, p) in &transitions {
@@ -275,30 +239,19 @@ impl MdpBuilder {
             }
             sum += p;
         }
-        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
-            return Err(MdpError::InvalidDistribution { state, action: name, sum });
+        if (sum - 1.0).abs() > crate::PROBABILITY_TOLERANCE {
+            return Err(MdpError::InvalidDistribution {
+                state,
+                action: name,
+                sum,
+            });
         }
-        // Merge duplicate targets so downstream consumers see one entry per successor.
-        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(transitions.len());
-        let mut sorted = transitions;
-        sorted.sort_by_key(|&(t, _)| t);
-        for (target, p) in sorted {
-            if p == 0.0 {
-                continue;
-            }
-            match merged.last_mut() {
-                Some(last) if last.0 == target => last.1 += p,
-                _ => merged.push((target, p)),
-            }
-        }
-        self.states[state].push(Action {
-            name,
-            transitions: merged,
-        });
+        self.states[state].push((name, transitions));
         Ok(self.states[state].len() - 1)
     }
 
-    /// Finalises the model with the given initial state.
+    /// Finalises the model with the given initial state, flattening the
+    /// staged actions into the CSR arena.
     ///
     /// # Errors
     ///
@@ -317,12 +270,21 @@ impl MdpBuilder {
         if let Some(state) = self.states.iter().position(|a| a.is_empty()) {
             return Err(MdpError::NoActions { state });
         }
-        let mdp = Mdp {
-            states: self.states,
-            initial_state,
-        };
-        mdp.validate()?;
-        Ok(mdp)
+        let pairs: usize = self.states.iter().map(|a| a.len()).sum();
+        let transitions: usize = self
+            .states
+            .iter()
+            .flat_map(|actions| actions.iter())
+            .map(|(_, t)| t.len())
+            .sum();
+        let mut arena = CsrMdpBuilder::with_capacity(self.states.len(), pairs, transitions);
+        for actions in &self.states {
+            arena.begin_state();
+            for (name, transitions) in actions {
+                arena.add_action(name, transitions)?;
+            }
+        }
+        arena.finish(initial_state)
     }
 }
 
@@ -349,8 +311,20 @@ mod tests {
         assert_eq!(mdp.action_name(0, 1), "go");
         assert_eq!(mdp.find_action(1, "loop"), Some(0));
         assert_eq!(mdp.find_action(1, "missing"), None);
+        assert_eq!(mdp.find_action(9, "loop"), None);
         assert_eq!(mdp.initial_state(), 0);
         assert!(mdp.validate().is_ok());
+    }
+
+    #[test]
+    fn internals_are_one_flat_csr_arena() {
+        let mdp = two_state_mdp();
+        let csr = mdp.csr();
+        assert_eq!(csr.layout().row_ptr(), &[0, 2, 3]);
+        assert_eq!(csr.layout().action_ptr(), &[0, 1, 2, 4]);
+        assert_eq!(csr.layout().col(), &[0, 1, 0, 1]);
+        assert_eq!(csr.probabilities(), &[1.0, 1.0, 0.25, 0.75]);
+        assert_eq!(csr.layout().num_transitions(), mdp.num_transitions());
     }
 
     #[test]
@@ -392,7 +366,17 @@ mod tests {
         let mut b = MdpBuilder::new(1);
         b.add_action(0, "a", vec![(0, 0.25), (0, 0.75)]).unwrap();
         let mdp = b.build(0).unwrap();
-        assert_eq!(mdp.transitions(0, 0), &[(0, 1.0)]);
+        assert_eq!(mdp.transitions(0, 0).collect::<Vec<_>>(), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn transitions_and_successors_agree() {
+        let mdp = two_state_mdp();
+        let (cols, probs) = mdp.successors(1, 0);
+        let pairs: Vec<(usize, f64)> = mdp.transitions(1, 0).collect();
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(probs, &[0.25, 0.75]);
+        assert_eq!(pairs, vec![(0, 0.25), (1, 0.75)]);
     }
 
     #[test]
@@ -445,7 +429,32 @@ mod tests {
         let mdp = two_state_mdp();
         let refs: Vec<ActionRef> = mdp.action_refs().collect();
         assert_eq!(refs.len(), 3);
-        assert_eq!(refs[0], ActionRef { state: 0, action: 0 });
-        assert_eq!(refs[2], ActionRef { state: 1, action: 0 });
+        assert_eq!(
+            refs[0],
+            ActionRef {
+                state: 0,
+                action: 0
+            }
+        );
+        assert_eq!(
+            refs[2],
+            ActionRef {
+                state: 1,
+                action: 0
+            }
+        );
+    }
+
+    #[test]
+    fn nested_and_streaming_builders_produce_identical_models() {
+        let nested = two_state_mdp();
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("stay", &[(0, 1.0)]).unwrap();
+        b.add_action("go", &[(1, 1.0)]).unwrap();
+        b.begin_state();
+        b.add_action("loop", &[(0, 0.25), (1, 0.75)]).unwrap();
+        let streamed = b.finish(0).unwrap();
+        assert_eq!(nested, streamed);
     }
 }

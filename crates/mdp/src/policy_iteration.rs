@@ -85,8 +85,8 @@ impl PolicyEvaluation {
                 // h(s) − Σ P(s'|s) h(s') = r(s) − g(s)
                 let c = column_of[s];
                 a.set(row, c, a.get(row, c) + 1.0);
-                let action = strategy.action(s);
-                for &(t, p) in mdp.transitions(s, action) {
+                let (targets, probs) = mdp.successors(s, strategy.action(s));
+                for (&t, &p) in targets.iter().zip(probs) {
                     if !pinned[t] {
                         let ct = column_of[t];
                         a.set(row, ct, a.get(row, ct) - p);
@@ -199,9 +199,11 @@ impl PolicyIteration {
                 let current = strategy.action(s);
                 // Stage 1: improve the expected future gain Σ P(s'|s,a) g(s').
                 let gain_of = |a: usize| -> f64 {
-                    mdp.transitions(s, a)
+                    let (targets, probs) = mdp.successors(s, a);
+                    targets
                         .iter()
-                        .map(|&(t, p)| p * eval.gain[t])
+                        .zip(probs)
+                        .map(|(&t, &p)| p * eval.gain[t])
                         .sum()
                 };
                 let current_gain = gain_of(current);
@@ -223,7 +225,8 @@ impl PolicyIteration {
                 // Bellman value r̄(s,a) − g(s) + Σ P h(s').
                 let bias_value = |a: usize| -> f64 {
                     let mut v = rewards.expected_reward(mdp, s, a) - eval.gain[s];
-                    for &(t, p) in mdp.transitions(s, a) {
+                    let (targets, probs) = mdp.successors(s, a);
+                    for (&t, &p) in targets.iter().zip(probs) {
                         v += p * eval.bias[t];
                     }
                     v
@@ -270,7 +273,8 @@ mod tests {
         b.add_action(0, "a1", vec![(2, 1.0)]).unwrap();
         b.add_action(1, "b0", vec![(0, 0.5), (2, 0.5)]).unwrap();
         b.add_action(1, "b1", vec![(1, 0.9), (0, 0.1)]).unwrap();
-        b.add_action(2, "c0", vec![(0, 0.3), (1, 0.3), (2, 0.4)]).unwrap();
+        b.add_action(2, "c0", vec![(0, 0.3), (1, 0.3), (2, 0.4)])
+            .unwrap();
         let mdp = b.build(0).unwrap();
         let rewards = TransitionRewards::from_fn(&mdp, |s, a, t| {
             (s as f64) * 0.5 + (a as f64) * 0.25 + (t as f64) * 0.1
@@ -298,9 +302,9 @@ mod tests {
         let sigma = PositionalStrategy::new(vec![0, 1, 0]);
         let eval = PolicyEvaluation::evaluate(&mdp, &rewards, &sigma).unwrap();
         let r_sigma = rewards.strategy_rewards(&mdp, &sigma).unwrap();
-        for s in 0..mdp.num_states() {
-            let mut rhs = r_sigma[s] - eval.gain[s];
-            for &(t, p) in mdp.transitions(s, sigma.action(s)) {
+        for (s, &r_s) in r_sigma.iter().enumerate() {
+            let mut rhs = r_s - eval.gain[s];
+            for (t, p) in mdp.transitions(s, sigma.action(s)) {
                 rhs += p * eval.bias[t];
             }
             assert!(

@@ -1,9 +1,15 @@
 //! Reward functions `r : S × A × S → ℝ` aligned with an MDP's transitions.
 
-use crate::{Mdp, MdpError, PositionalStrategy};
+use crate::{CsrLayout, Mdp, MdpError, PositionalStrategy};
+use std::sync::Arc;
 
-/// A reward function over state-action-successor triples, stored aligned with
-/// the transition lists of a particular [`Mdp`].
+/// A reward function over state-action-successor triples, stored as **one
+/// flat buffer** aligned with the CSR transition arena of a particular
+/// [`Mdp`]: entry `k` of the buffer is the reward of arena transition `k`
+/// (the one with successor `layout.col()[k]` and probability
+/// `mdp.csr().probabilities()[k]`). The index arrays themselves are shared
+/// with the MDP via [`Arc`], so alignment checks are pointer comparisons and
+/// the `r_β` affine combinations are straight slice zips.
 ///
 /// The selfish-mining analysis needs two base reward functions (`r_A` counting
 /// adversarial finalized blocks and `r_H` counting honest finalized blocks)
@@ -12,33 +18,87 @@ use crate::{Mdp, MdpError, PositionalStrategy};
 /// builds exactly that without touching the model again.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransitionRewards {
-    /// `per[state][action][transition_index]`, aligned with
-    /// `Mdp::transitions(state, action)`.
-    per: Vec<Vec<Vec<f64>>>,
+    /// The arena index arrays this buffer is aligned with.
+    layout: Arc<CsrLayout>,
+    /// One reward per arena transition, aligned with `layout.col()`.
+    values: Vec<f64>,
 }
 
 impl TransitionRewards {
     /// Builds rewards by evaluating `f(state, action, successor)` on every
     /// transition of the MDP.
     pub fn from_fn(mdp: &Mdp, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
-        let per = (0..mdp.num_states())
-            .map(|state| {
-                (0..mdp.num_actions(state))
-                    .map(|action| {
-                        mdp.transitions(state, action)
-                            .iter()
-                            .map(|&(target, _)| f(state, action, target))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        TransitionRewards { per }
+        let layout = mdp.csr().layout_arc();
+        let mut values = Vec::with_capacity(layout.num_transitions());
+        for state in 0..layout.num_states() {
+            for (action, pair) in layout.pair_range(state).enumerate() {
+                for &target in &layout.col()[layout.transition_range(pair)] {
+                    values.push(f(state, action, target));
+                }
+            }
+        }
+        TransitionRewards { layout, values }
     }
 
     /// Builds an all-zero reward structure for the given MDP.
     pub fn zeros(mdp: &Mdp) -> Self {
-        Self::from_fn(mdp, |_, _, _| 0.0)
+        let layout = mdp.csr().layout_arc();
+        let values = vec![0.0; layout.num_transitions()];
+        TransitionRewards { layout, values }
+    }
+
+    /// Wraps an already-flat per-transition buffer (aligned with the arena in
+    /// construction order). This is the zero-copy path used by model builders
+    /// that stream rewards alongside transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::RewardShapeMismatch`] if `values.len()` differs
+    /// from the MDP's transition count.
+    pub fn from_transition_values(mdp: &Mdp, values: Vec<f64>) -> Result<Self, MdpError> {
+        let layout = mdp.csr().layout_arc();
+        if values.len() != layout.num_transitions() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "flat reward buffer has {} entries, arena has {} transitions",
+                    values.len(),
+                    layout.num_transitions()
+                ),
+            });
+        }
+        Ok(TransitionRewards { layout, values })
+    }
+
+    /// Builds rewards that are constant per state-action pair: transition `k`
+    /// of pair `i` gets `per_pair[i]`. Since `Σ_{s'} P(s'|s,a) = 1`, the
+    /// expected one-step reward of the pair equals `per_pair[i]`, which is how
+    /// the selfish-mining model supplies expected block counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::RewardShapeMismatch`] if `per_pair.len()` differs
+    /// from the MDP's state-action pair count.
+    pub fn from_pair_values(mdp: &Mdp, per_pair: &[f64]) -> Result<Self, MdpError> {
+        let layout = mdp.csr().layout_arc();
+        if per_pair.len() != layout.num_pairs() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "per-pair reward buffer has {} entries, arena has {} pairs",
+                    per_pair.len(),
+                    layout.num_pairs()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(layout.num_transitions());
+        for (pair, &value) in per_pair.iter().enumerate() {
+            values.resize(values.len() + layout.transition_range(pair).len(), value);
+        }
+        Ok(TransitionRewards { layout, values })
+    }
+
+    /// The flat per-transition reward buffer, aligned with the arena.
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// The reward of the `transition_index`-th successor of `(state, action)`.
@@ -47,7 +107,10 @@ impl TransitionRewards {
     ///
     /// Panics if any index is out of bounds.
     pub fn reward(&self, state: usize, action: usize, transition_index: usize) -> f64 {
-        self.per[state][action][transition_index]
+        let range = self
+            .layout
+            .transition_range(self.layout.pair_index(state, action));
+        self.values[range][transition_index]
     }
 
     /// Mutable access to a single transition reward.
@@ -56,7 +119,10 @@ impl TransitionRewards {
     ///
     /// Panics if any index is out of bounds.
     pub fn reward_mut(&mut self, state: usize, action: usize, transition_index: usize) -> &mut f64 {
-        &mut self.per[state][action][transition_index]
+        let range = self
+            .layout
+            .transition_range(self.layout.pair_index(state, action));
+        &mut self.values[range][transition_index]
     }
 
     /// Expected one-step reward of taking `action` in `state`:
@@ -67,11 +133,40 @@ impl TransitionRewards {
     /// Panics if the indices are out of bounds or the reward structure does
     /// not match the MDP.
     pub fn expected_reward(&self, mdp: &Mdp, state: usize, action: usize) -> f64 {
-        mdp.transitions(state, action)
+        let (_, probs) = mdp.csr().successors(state, action);
+        let range = self
+            .layout
+            .transition_range(self.layout.pair_index(state, action));
+        probs
             .iter()
-            .zip(&self.per[state][action])
-            .map(|(&(_, p), &r)| p * r)
+            .zip(&self.values[range])
+            .map(|(&p, &r)| p * r)
             .sum()
+    }
+
+    /// Expected one-step reward of *every* state-action pair, as one flat
+    /// buffer indexed by arena pair offset: `out[pair] = Σ_{s'} P(s'|s,a) ·
+    /// r(s,a,s')`. This is the precompute shared by the value-iteration
+    /// sweeps, which afterwards only touch probabilities and value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reward structure does not match the MDP (callers check
+    /// [`TransitionRewards::matches`] first).
+    pub fn expected_per_pair(&self, mdp: &Mdp) -> Vec<f64> {
+        let csr = mdp.csr();
+        let action_ptr = csr.layout().action_ptr();
+        let prob = csr.probabilities();
+        let mut expected = vec![0.0; csr.num_pairs()];
+        for (pair, slot) in expected.iter_mut().enumerate() {
+            let range = action_ptr[pair]..action_ptr[pair + 1];
+            *slot = prob[range.clone()]
+                .iter()
+                .zip(&self.values[range])
+                .map(|(&p, &r)| p * r)
+                .sum();
+        }
+        expected
     }
 
     /// Per-state expected rewards under a positional strategy, the reward
@@ -122,35 +217,28 @@ impl TransitionRewards {
     /// # Errors
     ///
     /// Returns [`MdpError::RewardShapeMismatch`] if the two structures are not
-    /// aligned with the same MDP shape.
+    /// aligned with the same CSR arena.
     pub fn affine_combination(
         &self,
         other: &TransitionRewards,
         alpha: f64,
         beta: f64,
     ) -> Result<TransitionRewards, MdpError> {
-        if !self.same_shape(other) {
+        if !self.same_layout(other) {
             return Err(MdpError::RewardShapeMismatch {
                 detail: "affine combination of differently-shaped rewards".to_string(),
             });
         }
-        let per = self
-            .per
+        let values = self
+            .values
             .iter()
-            .zip(&other.per)
-            .map(|(sa, oa)| {
-                sa.iter()
-                    .zip(oa)
-                    .map(|(sr, or)| {
-                        sr.iter()
-                            .zip(or)
-                            .map(|(&a, &b)| alpha * a + beta * b)
-                            .collect()
-                    })
-                    .collect()
-            })
+            .zip(&other.values)
+            .map(|(&a, &b)| alpha * a + beta * b)
             .collect();
-        Ok(TransitionRewards { per })
+        Ok(TransitionRewards {
+            layout: Arc::clone(&self.layout),
+            values,
+        })
     }
 
     /// Entry-wise sum, a convenience wrapper around
@@ -163,31 +251,23 @@ impl TransitionRewards {
         self.affine_combination(other, 1.0, 1.0)
     }
 
-    /// Checks whether the reward structure matches the shape of `mdp`.
+    /// Checks whether the reward structure is aligned with the arena of
+    /// `mdp`. Buffers built from the same `Mdp` (or a clone of it) share the
+    /// layout by pointer, making this check O(1); otherwise the index arrays
+    /// are compared structurally.
     pub fn matches(&self, mdp: &Mdp) -> bool {
-        self.per.len() == mdp.num_states()
-            && self.per.iter().enumerate().all(|(state, actions)| {
-                actions.len() == mdp.num_actions(state)
-                    && actions.iter().enumerate().all(|(action, rewards)| {
-                        rewards.len() == mdp.transitions(state, action).len()
-                    })
-            })
+        Arc::ptr_eq(&self.layout, &mdp.csr().layout_arc()) || *self.layout == *mdp.csr().layout()
     }
 
     /// Largest absolute reward value, used by solvers to bound value ranges.
     pub fn max_abs(&self) -> f64 {
-        self.per
+        self.values
             .iter()
-            .flatten()
-            .flatten()
             .fold(0.0, |acc: f64, &v| acc.max(v.abs()))
     }
 
-    fn same_shape(&self, other: &TransitionRewards) -> bool {
-        self.per.len() == other.per.len()
-            && self.per.iter().zip(&other.per).all(|(a, b)| {
-                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.len() == y.len())
-            })
+    fn same_layout(&self, other: &TransitionRewards) -> bool {
+        Arc::ptr_eq(&self.layout, &other.layout) || *self.layout == *other.layout
     }
 }
 
@@ -212,6 +292,7 @@ mod tests {
         assert_eq!(r.reward(0, 0, 1), 1.0);
         assert_eq!(r.reward(0, 1, 0), 1.0);
         assert!(r.matches(&mdp));
+        assert_eq!(r.values().len(), mdp.num_transitions());
     }
 
     #[test]
@@ -239,7 +320,8 @@ mod tests {
     fn affine_combination_matches_manual_computation() {
         let mdp = mdp();
         let ra = TransitionRewards::from_fn(&mdp, |_, _, _| 1.0);
-        let rh = TransitionRewards::from_fn(&mdp, |_, _, target| if target == 1 { 1.0 } else { 0.0 });
+        let rh =
+            TransitionRewards::from_fn(&mdp, |_, _, target| if target == 1 { 1.0 } else { 0.0 });
         let total = ra.sum(&rh).unwrap();
         let beta = 0.25;
         let r_beta = ra.affine_combination(&total, 1.0, -beta).unwrap();
@@ -269,5 +351,36 @@ mod tests {
         let rb = TransitionRewards::zeros(&other);
         assert!(ra.affine_combination(&rb, 1.0, 1.0).is_err());
         assert!(!rb.matches(&mdp));
+    }
+
+    #[test]
+    fn flat_constructors_validate_lengths() {
+        let mdp = mdp();
+        let flat =
+            TransitionRewards::from_transition_values(&mdp, vec![1.0; mdp.num_transitions()])
+                .unwrap();
+        assert_eq!(flat.reward(1, 0, 0), 1.0);
+        assert!(TransitionRewards::from_transition_values(&mdp, vec![1.0; 2]).is_err());
+
+        let per_pair = TransitionRewards::from_pair_values(&mdp, &[0.5, 1.5, 2.5]).unwrap();
+        // Pair 0 has two transitions, both carrying its pair value.
+        assert_eq!(per_pair.reward(0, 0, 0), 0.5);
+        assert_eq!(per_pair.reward(0, 0, 1), 0.5);
+        assert!((per_pair.expected_reward(&mdp, 0, 0) - 0.5).abs() < 1e-15);
+        assert_eq!(per_pair.reward(0, 1, 0), 1.5);
+        assert_eq!(per_pair.reward(1, 0, 0), 2.5);
+        assert!(TransitionRewards::from_pair_values(&mdp, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rewards_from_identical_models_are_compatible() {
+        // Two separately built but identical MDPs do not share the layout Arc,
+        // yet their reward structures must still be considered aligned.
+        let a = mdp();
+        let b = mdp();
+        let ra = TransitionRewards::zeros(&a);
+        assert!(ra.matches(&b));
+        let rb = TransitionRewards::zeros(&b);
+        assert!(ra.sum(&rb).is_ok());
     }
 }

@@ -155,8 +155,9 @@ mod tests {
         b.add_action(1, "b1", vec![(2, 1.0)]).unwrap();
         b.add_action(2, "c0", vec![(0, 0.5), (1, 0.5)]).unwrap();
         let mdp = b.build(0).unwrap();
-        let rewards =
-            TransitionRewards::from_fn(&mdp, |s, a, t| 0.3 * s as f64 + 0.7 * a as f64 - 0.1 * t as f64);
+        let rewards = TransitionRewards::from_fn(&mdp, |s, a, t| {
+            0.3 * s as f64 + 0.7 * a as f64 - 0.1 * t as f64
+        });
         (mdp, rewards)
     }
 

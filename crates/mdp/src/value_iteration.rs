@@ -93,7 +93,7 @@ impl RelativeValueIteration {
         mdp: &Mdp,
         rewards: &TransitionRewards,
     ) -> Result<ValueIterationOutcome, MdpError> {
-        if !(self.epsilon > 0.0) {
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
             return Err(MdpError::InvalidParameter {
                 name: "epsilon",
                 constraint: "must be positive",
@@ -113,15 +113,17 @@ impl RelativeValueIteration {
         let n = mdp.num_states();
         let tau = self.laziness;
 
-        // Precompute expected one-step rewards per state-action pair so the
-        // inner loop only touches probabilities and the bias vector.
-        let expected: Vec<Vec<f64>> = (0..n)
-            .map(|s| {
-                (0..mdp.num_actions(s))
-                    .map(|a| rewards.expected_reward(mdp, s, a))
-                    .collect()
-            })
-            .collect();
+        // The whole sweep runs over the flat CSR arena: four shared slices
+        // (row_ptr, action_ptr, col, prob) plus the precomputed per-pair
+        // expected rewards, so the inner loop only touches probabilities and
+        // the bias vector.
+        let csr = mdp.csr();
+        let layout = csr.layout();
+        let row_ptr = layout.row_ptr();
+        let action_ptr = layout.action_ptr();
+        let col = layout.col();
+        let prob = csr.probabilities();
+        let expected = rewards.expected_per_pair(mdp);
 
         let mut h = vec![0.0; n];
         let mut next = vec![0.0; n];
@@ -134,15 +136,17 @@ impl RelativeValueIteration {
             for s in 0..n {
                 let mut best = f64::NEG_INFINITY;
                 let mut best_a = 0;
-                for a in 0..mdp.num_actions(s) {
-                    let mut value = expected[s][a];
-                    for &(t, p) in mdp.transitions(s, a) {
-                        value += p * h[t] * tau;
+                let pair_start = row_ptr[s];
+                let lazy = (1.0 - tau) * h[s];
+                for pair in pair_start..row_ptr[s + 1] {
+                    let mut acc = 0.0;
+                    for k in action_ptr[pair]..action_ptr[pair + 1] {
+                        acc += prob[k] * h[col[k]];
                     }
-                    value += (1.0 - tau) * h[s];
+                    let value = expected[pair] + tau * acc + lazy;
                     if value > best {
                         best = value;
-                        best_a = a;
+                        best_a = pair - pair_start;
                     }
                 }
                 next[s] = best;
@@ -213,7 +217,11 @@ mod tests {
         });
         let out = solve(&mdp, &r);
         assert!((out.gain - 3.0).abs() < 1e-7);
-        assert_eq!(out.strategy.action(0), 1, "should leave for the better loop");
+        assert_eq!(
+            out.strategy.action(0),
+            1,
+            "should leave for the better loop"
+        );
     }
 
     #[test]
@@ -238,7 +246,8 @@ mod tests {
         b.add_action(0, "a", vec![(0, 0.75), (1, 0.25)]).unwrap();
         b.add_action(1, "b", vec![(0, 1.0)]).unwrap();
         let mdp = b.build(0).unwrap();
-        let r = TransitionRewards::from_fn(&mdp, |s, _, t| if s == 0 && t == 0 { 2.0 } else { 0.0 });
+        let r =
+            TransitionRewards::from_fn(&mdp, |s, _, t| if s == 0 && t == 0 { 2.0 } else { 0.0 });
         let out = solve(&mdp, &r);
         assert!((out.gain - 1.2).abs() < 1e-7, "gain {}", out.gain);
     }
@@ -256,7 +265,10 @@ mod tests {
         };
         assert!(matches!(
             bad_eps.solve(&mdp, &r),
-            Err(MdpError::InvalidParameter { name: "epsilon", .. })
+            Err(MdpError::InvalidParameter {
+                name: "epsilon",
+                ..
+            })
         ));
 
         let bad_tau = RelativeValueIteration {
@@ -265,7 +277,10 @@ mod tests {
         };
         assert!(matches!(
             bad_tau.solve(&mdp, &r),
-            Err(MdpError::InvalidParameter { name: "laziness", .. })
+            Err(MdpError::InvalidParameter {
+                name: "laziness",
+                ..
+            })
         ));
 
         let mut other = MdpBuilder::new(2);

@@ -112,8 +112,14 @@ mod tests {
     fn predictable_challenges_change_across_heights_and_epochs() {
         let schedule = PredictableSchedule::new(4, 7);
         let parent = hash_bytes(b"a");
-        assert_ne!(schedule.challenge(&parent, 0), schedule.challenge(&parent, 1));
-        assert_ne!(schedule.challenge(&parent, 3), schedule.challenge(&parent, 4));
+        assert_ne!(
+            schedule.challenge(&parent, 0),
+            schedule.challenge(&parent, 1)
+        );
+        assert_ne!(
+            schedule.challenge(&parent, 3),
+            schedule.challenge(&parent, 4)
+        );
     }
 
     #[test]

@@ -199,8 +199,16 @@ mod tests {
         let p = 0.3;
         let sigma = 4;
         let lottery = MiningLottery::new(vec![
-            ResourceAllocation { miner: MinerId(0), share: p, parallel_blocks: sigma },
-            ResourceAllocation { miner: MinerId(1), share: 1.0 - p, parallel_blocks: 1 },
+            ResourceAllocation {
+                miner: MinerId(0),
+                share: p,
+                parallel_blocks: sigma,
+            },
+            ResourceAllocation {
+                miner: MinerId(1),
+                share: 1.0 - p,
+                parallel_blocks: 1,
+            },
         ]);
         let expected = p * sigma as f64 / (1.0 - p + p * sigma as f64);
         assert!((lottery.win_probability(MinerId(0)) - expected).abs() < 1e-12);
@@ -210,8 +218,16 @@ mod tests {
     #[test]
     fn empirical_frequencies_match_probabilities() {
         let lottery = MiningLottery::new(vec![
-            ResourceAllocation { miner: MinerId(0), share: 0.25, parallel_blocks: 2 },
-            ResourceAllocation { miner: MinerId(1), share: 0.75, parallel_blocks: 1 },
+            ResourceAllocation {
+                miner: MinerId(0),
+                share: 0.25,
+                parallel_blocks: 2,
+            },
+            ResourceAllocation {
+                miner: MinerId(1),
+                share: 0.75,
+                parallel_blocks: 1,
+            },
         ]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let trials = 20_000;

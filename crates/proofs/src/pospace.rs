@@ -38,9 +38,7 @@ impl ProofOfSpace {
     pub fn plot(seed: u64, size: usize) -> Self {
         assert!(size > 0, "plot size must be positive");
         let points = (0..size as u64)
-            .map(|i| {
-                hash_concat(&[b"plot", &seed.to_be_bytes(), &i.to_be_bytes()]).leading_u64()
-            })
+            .map(|i| hash_concat(&[b"plot", &seed.to_be_bytes(), &i.to_be_bytes()]).leading_u64())
             .collect();
         ProofOfSpace { seed, points }
     }

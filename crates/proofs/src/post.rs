@@ -36,12 +36,7 @@ impl ProofOfSpaceTime {
     ///
     /// Panics if `plot_size` or `num_vdfs` is zero or the VDF parameters are
     /// invalid.
-    pub fn new(
-        plot_seed: u64,
-        plot_size: usize,
-        vdf_iterations: u64,
-        num_vdfs: usize,
-    ) -> Self {
+    pub fn new(plot_seed: u64, plot_size: usize, vdf_iterations: u64, num_vdfs: usize) -> Self {
         assert!(num_vdfs > 0, "a PoST miner needs at least one VDF");
         ProofOfSpaceTime {
             plot: ProofOfSpace::plot(plot_seed, plot_size),

@@ -140,7 +140,9 @@ mod tests {
         let slot = (0..10_000u64)
             .find(|&s| pos.prove(&challenge, s, StakerId(1), difficulty).is_some())
             .expect("some slot wins");
-        let proof = pos.prove(&challenge, slot, StakerId(1), difficulty).unwrap();
+        let proof = pos
+            .prove(&challenge, slot, StakerId(1), difficulty)
+            .unwrap();
         assert!(pos.verify(&challenge, &proof, difficulty));
         let forged = StakeProof {
             lottery_value: proof.lottery_value / 2.0,

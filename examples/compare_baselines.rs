@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("expected relative revenue at p = {p}, gamma = {gamma}\n");
     println!("{:<32} {:>10}", "strategy", "ERRev");
-    println!("{:<32} {:>10.4}", "honest mining", honest_relative_revenue(p)?);
+    println!(
+        "{:<32} {:>10.4}",
+        "honest mining",
+        honest_relative_revenue(p)?
+    );
     println!(
         "{:<32} {:>10.4}",
         "PoW selfish mining (closed form)",

@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  single-tree attack   : {:.4}",
         single_tree.relative_revenue
     );
-    println!(
-        "  our attack (d=2,f=1) : {:.4}",
-        result.strategy_revenue
-    );
+    println!("  our attack (d=2,f=1) : {:.4}", result.strategy_revenue);
 
     // A short, human-readable view of the withholding behaviour the optimal
     // strategy uses (states in which it releases a fork).

@@ -54,8 +54,14 @@ fn attack_revenue_grows_with_gamma() {
     let r0 = attack_revenue(p, 0.0, 2, 1);
     let r50 = attack_revenue(p, 0.5, 2, 1);
     let r100 = attack_revenue(p, 1.0, 2, 1);
-    assert!(r0 <= r50 + 2e-3, "gamma 0 ({r0}) should not beat gamma 0.5 ({r50})");
-    assert!(r50 <= r100 + 2e-3, "gamma 0.5 ({r50}) should not beat gamma 1 ({r100})");
+    assert!(
+        r0 <= r50 + 2e-3,
+        "gamma 0 ({r0}) should not beat gamma 0.5 ({r50})"
+    );
+    assert!(
+        r50 <= r100 + 2e-3,
+        "gamma 0.5 ({r50}) should not beat gamma 1 ({r100})"
+    );
 }
 
 /// Already at d = 2, f = 1 the attack achieves a higher ERRev than the
