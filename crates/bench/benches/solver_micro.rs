@@ -4,10 +4,13 @@
 //! policy iteration vs LP; bisection vs Dinkelbach search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfish_mining::baselines::SingleTreeAttack;
+use selfish_mining::experiments::{coarse_p_grid, PAPER_GAMMA_GRID};
 use selfish_mining::{
     available_actions, successors, AnalysisProcedure, AttackParams, SelfishMiningModel, SmState,
 };
 use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, RelativeValueIteration};
+use sm_sweep::SweepConfig;
 use std::collections::{HashMap, VecDeque};
 
 fn model() -> SelfishMiningModel {
@@ -275,11 +278,121 @@ fn bench_model_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// The seed's per-point analysis pipeline, reproduced verbatim for the
+/// before/after sweep benchmark: a cold Dinkelbach iteration from `β = 0`
+/// with pure (non-interleaved) relative value iteration at the seed's inner
+/// precision `10⁻⁶`, the exact revenue evaluated as two *separate*
+/// `iterative_gain` passes over the induced chain, and the historical
+/// `finalize` that re-solved the MDP at `β_low`. Kept self-contained in this
+/// bench so the comparison measures the pipeline this PR replaced, not
+/// today's (already accelerated) shared components in disguise.
+fn seed_dinkelbach_revenue(model: &SelfishMiningModel, epsilon: f64) -> f64 {
+    let solver = RelativeValueIteration {
+        epsilon: 1e-6,
+        evaluation_sweeps: 0,
+        ..Default::default()
+    };
+    let seed_revenue = |strategy: &sm_mdp::PositionalStrategy| -> f64 {
+        let chain = model.mdp().induced_chain(strategy).unwrap();
+        let r_adv = model
+            .adversary_rewards()
+            .strategy_rewards(model.mdp(), strategy)
+            .unwrap();
+        let r_hon = model
+            .honest_rewards()
+            .strategy_rewards(model.mdp(), strategy)
+            .unwrap();
+        let adv = sm_markov::iterative_gain(&chain, &r_adv, 1e-9, 5_000_000).unwrap();
+        let hon = sm_markov::iterative_gain(&chain, &r_hon, 1e-9, 5_000_000).unwrap();
+        adv / (adv + hon)
+    };
+    let mut beta = 0.0;
+    for _ in 0..200 {
+        let rewards = model.beta_rewards(beta).unwrap();
+        let result = solver.solve(model.mdp(), &rewards).unwrap();
+        let revenue = seed_revenue(&result.strategy);
+        if (revenue - beta).abs() < epsilon || result.gain.abs() <= 1e-9 {
+            // The seed's finalize: one more full solve at β_low plus one more
+            // revenue evaluation.
+            let rewards = model.beta_rewards(revenue.min(1.0)).unwrap();
+            let finalized = solver.solve(model.mdp(), &rewards).unwrap();
+            return seed_revenue(&finalized.strategy);
+        }
+        beta = revenue;
+    }
+    panic!("seed dinkelbach failed to converge");
+}
+
+/// Before/after of the parameterized-arena tentpole on the acceptance
+/// workload: the full Figure-2 coarse sweep (`coarse_p_grid` ×
+/// `PAPER_GAMMA_GRID` × the default attack grid, single-tree baseline
+/// included).
+///
+/// * `per_point_rebuild` — the pipeline this PR replaced: a full
+///   breadth-first model construction plus the seed's cold Dinkelbach
+///   analysis ([`seed_dinkelbach_revenue`]) for every single grid point.
+/// * `parametric_warm_engine` — the `sm-sweep` engine: one parametric arena
+///   per `(d, f)` shared across the grid, in-place `(p, γ)` re-instantiation
+///   per point, and warm-started solves along each `p` curve, fanned out
+///   over the worker pool.
+///
+/// Measured numbers are recorded in CHANGES.md / EXPERIMENTS.md.
+fn bench_figure2_coarse_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep/figure2_coarse");
+    group.sample_size(2);
+    let attack_grid = [(1usize, 1usize), (2, 1), (2, 2)];
+    let epsilon = 1e-3;
+    let ps = coarse_p_grid();
+
+    group.bench_function("per_point_rebuild", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &gamma in &PAPER_GAMMA_GRID {
+                for &p in &ps {
+                    for &(depth, forks) in &attack_grid {
+                        let params = AttackParams::new(p, gamma, depth, forks, 4).unwrap();
+                        let model = SelfishMiningModel::build(&params).unwrap();
+                        acc += seed_dinkelbach_revenue(&model, epsilon);
+                    }
+                    let single_tree = SingleTreeAttack {
+                        p,
+                        gamma,
+                        max_depth: 4,
+                        max_width: 5,
+                    }
+                    .analyse()
+                    .unwrap();
+                    acc += single_tree.relative_revenue;
+                }
+            }
+            acc
+        });
+    });
+
+    group.bench_function("parametric_warm_engine", |b| {
+        let config = SweepConfig {
+            attack_grid: attack_grid.to_vec(),
+            epsilon,
+            ..SweepConfig::default()
+        };
+        b.iter(|| {
+            config
+                .run(&PAPER_GAMMA_GRID, &ps)
+                .unwrap()
+                .iter()
+                .map(|point| point.attack_revenue.iter().sum::<f64>() + point.single_tree_revenue)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mean_payoff_methods,
     bench_search_strategies,
     bench_model_construction,
-    bench_construction_plus_vi
+    bench_construction_plus_vi,
+    bench_figure2_coarse_sweep
 );
 criterion_main!(benches);

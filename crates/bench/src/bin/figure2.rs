@@ -31,6 +31,13 @@ fn main() -> ExitCode {
             sm_bench::EXPENSIVE_ENV
         );
     }
+    // One engine run per panel: each run still fans its curve jobs out over
+    // the worker pool, while completed panels print incrementally and a
+    // failure names its γ — on the expensive grids a panel takes hours, so
+    // buffering all panels behind one all-γ run would discard finished work.
+    // (Re-building the per-(d, f) arenas per panel costs well under 1 % of a
+    // panel's runtime; `sm_bench::figure2_panels` is the fully batched
+    // variant.)
     for gamma in gammas {
         match sm_bench::figure2(gamma, epsilon) {
             Ok(panel) => {

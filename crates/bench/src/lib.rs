@@ -6,8 +6,10 @@
 //!
 //! * [`table1`] — runs the runtime measurements of Table 1 and renders them as
 //!   an aligned text table.
-//! * [`figure2`] — computes the expected-relative-revenue curves of Figure 2
-//!   (one panel per switching probability γ) and renders them as aligned
+//! * [`figure2`] / [`figure2_panels`] — compute the expected-relative-revenue
+//!   curves of Figure 2 (one panel per switching probability γ) through the
+//!   parallel `sm-sweep` engine (one parametric arena per `(d, f)`,
+//!   warm-started solves along each `p` curve) and render them as aligned
 //!   series, one row per adversarial resource value `p`.
 //!
 //! Expensive configurations (`d = 3, f = 2` and `d = 4, f = 2`) are gated
@@ -18,10 +20,11 @@
 #![warn(missing_docs)]
 
 use selfish_mining::experiments::{
-    coarse_p_grid, paper_p_grid, table1_row, table1_single_tree_row, Figure2Sweep, Table1Row,
+    coarse_p_grid, paper_p_grid, table1_row, table1_single_tree_row, Figure2Point, Table1Row,
     PAPER_ATTACK_GRID, PAPER_GAMMA_GRID,
 };
 use selfish_mining::SelfishMiningError;
+use sm_sweep::SweepConfig;
 use std::fmt::Write as _;
 
 /// Environment variable that unlocks the expensive configurations.
@@ -101,21 +104,52 @@ pub struct Figure2Panel {
 ///
 /// Propagates model-construction and solver errors.
 pub fn figure2(gamma: f64, epsilon: f64) -> Result<Figure2Panel, SelfishMiningError> {
+    let mut panels = figure2_panels(&[gamma], epsilon)?;
+    Ok(panels.pop().expect("one gamma yields one panel"))
+}
+
+/// Computes and renders every requested Figure 2 panel in **one** run of the
+/// parallel sweep engine (`sm-sweep`): each `(d, f)` parametric arena is
+/// built once for all panels and the `(d, f) × γ` curve jobs are fanned out
+/// over the worker pool with warm-started solves along each `p` curve.
+///
+/// # Errors
+///
+/// Propagates model-construction and solver errors.
+pub fn figure2_panels(
+    gammas: &[f64],
+    epsilon: f64,
+) -> Result<Vec<Figure2Panel>, SelfishMiningError> {
     let grid = attack_grid();
-    let sweep = Figure2Sweep {
+    let config = SweepConfig {
         attack_grid: grid.clone(),
         epsilon,
-        ..Figure2Sweep::default()
+        ..SweepConfig::default()
     };
-    let points = sweep.curve(gamma, &p_grid())?;
+    let ps = p_grid();
+    let points = config.run(gammas, &ps)?;
+    Ok(gammas
+        .iter()
+        .enumerate()
+        .map(|(gamma_index, &gamma)| {
+            let rows = &points[gamma_index * ps.len()..(gamma_index + 1) * ps.len()];
+            Figure2Panel {
+                gamma,
+                rendered: render_figure2_rows(&grid, rows),
+            }
+        })
+        .collect())
+}
 
+/// Renders one panel's rows as an aligned text series.
+fn render_figure2_rows(grid: &[(usize, usize)], points: &[Figure2Point]) -> String {
     let mut out = String::new();
     let _ = write!(out, "{:>6} {:>9} {:>12}", "p", "honest", "single-tree");
-    for (d, f) in &grid {
+    for (d, f) in grid {
         let _ = write!(out, " {:>11}", format!("d={d},f={f}"));
     }
     let _ = writeln!(out);
-    for point in &points {
+    for point in points {
         let _ = write!(
             out,
             "{:>6.2} {:>9.4} {:>12.4}",
@@ -126,10 +160,7 @@ pub fn figure2(gamma: f64, epsilon: f64) -> Result<Figure2Panel, SelfishMiningEr
         }
         let _ = writeln!(out);
     }
-    Ok(Figure2Panel {
-        gamma,
-        rendered: out,
-    })
+    out
 }
 
 /// The γ values of the paper's Figure 2.

@@ -15,6 +15,12 @@
 use crate::{SelfishMiningError, SelfishMiningModel};
 use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, PositionalStrategy};
 
+/// Iteration cap of the Dinkelbach-style acceleration. Each iteration
+/// strictly increases `β` towards the fixed point `ERRev*`, so well-behaved
+/// instances converge in a handful of iterations; the cap only guards
+/// against a broken inner solver.
+const DINKELBACH_ITERATION_LIMIT: usize = 200;
+
 /// Configuration of the analysis procedure.
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
@@ -42,12 +48,15 @@ impl Default for AnalysisConfig {
 impl AnalysisConfig {
     /// Creates a configuration with the given `ε` and the default inner
     /// solver, choosing the inner precision a couple of orders of magnitude
-    /// tighter than `ε`.
+    /// tighter than `ε` — tight enough that inner-solver noise is invisible
+    /// next to `ε` (the sign test additionally consumes the certified gain
+    /// interval, so a straddling solve can never flip a bracket), while not
+    /// wasting sweeps on precision no consumer observes.
     pub fn with_epsilon(epsilon: f64) -> Self {
         AnalysisConfig {
             epsilon,
             solver: MeanPayoffMethod::ValueIteration {
-                epsilon: (epsilon * 1e-3).max(1e-9),
+                epsilon: (epsilon * 1e-2).max(1e-9),
             },
             ..AnalysisConfig::default()
         }
@@ -59,10 +68,39 @@ impl AnalysisConfig {
 pub struct SolveStep {
     /// The `β` value the MDP was solved for.
     pub beta: f64,
-    /// The optimal mean payoff `MP*_β` reported by the solver.
+    /// The optimal mean payoff `MP*_β` reported by the solver (midpoint of
+    /// the certified interval for value iteration).
     pub mean_payoff: f64,
+    /// Certified lower bound on `MP*_β` (equals `mean_payoff` for the exact
+    /// solvers).
+    pub gain_lower: f64,
+    /// Certified upper bound on `MP*_β` (equals `mean_payoff` for the exact
+    /// solvers).
+    pub gain_upper: f64,
     /// Number of solver iterations.
     pub iterations: usize,
+}
+
+/// Warm-start state carried between consecutive Dinkelbach analyses of *the
+/// same model family at neighbouring parameter points* (see
+/// [`AnalysisProcedure::solve_dinkelbach_warm`]).
+#[derive(Debug, Clone)]
+pub struct DinkelbachWarmStart {
+    /// Starting `β` for the iteration — ideally a good guess of the target
+    /// instance's `ERRev*`, e.g. the (extrapolated) revenue of the analysis
+    /// at a neighbouring `p`. Any value in `[0, 1]` is *safe*: an undershoot
+    /// keeps the textbook monotone ascent, and after an overshoot the first
+    /// iteration returns the exact revenue of an achievable strategy (a true
+    /// lower bound), from which the ascent resumes — the termination test
+    /// `|revenue − β| < ε` brackets `ERRev*` within `ε` in both cases.
+    pub beta: f64,
+    /// Bias vector seeding the first inner relative-value-iteration solve
+    /// (ignored, and returned empty, for the exact inner solvers). An empty
+    /// vector means "start cold".
+    pub bias: Vec<f64>,
+    /// Bias vectors (one per base reward function) seeding the iterative
+    /// revenue evaluations on the induced chains. Empty means "start cold".
+    pub evaluation_bias: Vec<Vec<f64>>,
 }
 
 /// Result of the analysis: the `ε`-tight lower bound on `ERRev*`, the final
@@ -124,6 +162,9 @@ impl AnalysisProcedure {
         let mut beta_low: f64 = 0.0;
         let mut beta_up: f64 = 1.0;
         let mut steps = Vec::new();
+        // Strategy of the most recent solve that moved the lower end; reused
+        // by `finalize` so the bracket's endpoint is never re-solved.
+        let mut low_strategy: Option<PositionalStrategy> = None;
 
         while beta_up - beta_low >= self.config.epsilon {
             let beta = 0.5 * (beta_low + beta_up);
@@ -132,31 +173,71 @@ impl AnalysisProcedure {
             steps.push(SolveStep {
                 beta,
                 mean_payoff: result.gain,
+                gain_lower: result.gain_lower,
+                gain_upper: result.gain_upper,
                 iterations: result.iterations,
             });
-            if result.gain < -self.config.zero_tolerance {
+            // The inner solver only certifies `MP*_β ∈ [gain_lower,
+            // gain_upper]`; move the *upper* end of the bracket only when the
+            // whole certified interval clears the zero tolerance. Comparing
+            // the point estimate instead (as the pre-fix code did) let a
+            // solver-noise sign flip pull `β_up` below the true optimum and
+            // invalidate the returned bracket. When the interval straddles
+            // zero, `β` is within the certified precision of `ERRev*` and
+            // Algorithm 1's `MP_β ≥ 0` branch applies: the lower end moves.
+            if result.gain_upper < -self.config.zero_tolerance {
                 beta_up = beta;
             } else {
                 beta_low = beta;
+                low_strategy = Some(result.strategy);
             }
         }
 
-        self.finalize(model, beta_low, beta_up, steps)
+        self.finalize(model, beta_low, beta_up, steps, low_strategy, None)
     }
 
     /// Dinkelbach-style acceleration: instead of bisecting, the next `β` is
     /// the exact expected relative revenue of the strategy that was optimal
     /// for the current `β`. The iteration is monotone and converges to
     /// `ERRev*`; it terminates once consecutive values differ by less than
-    /// `ε` (or the mean payoff at the current `β` is zero).
+    /// `ε` (or the mean payoff at the current `β` is certified zero).
     ///
     /// # Errors
     ///
-    /// Same as [`AnalysisProcedure::solve`].
+    /// Same as [`AnalysisProcedure::solve`], plus
+    /// [`SelfishMiningError::ConvergenceFailure`] if the iteration cap is
+    /// exhausted.
     pub fn solve_dinkelbach(
         &self,
         model: &SelfishMiningModel,
     ) -> Result<AnalysisResult, SelfishMiningError> {
+        self.solve_dinkelbach_warm(model, None)
+            .map(|(result, _)| result)
+    }
+
+    /// [`AnalysisProcedure::solve_dinkelbach`] with warm-start plumbing, the
+    /// inner engine of the `(p, γ)` sweep: the iteration starts from
+    /// `warm.beta` instead of 0 and the first inner relative-value-iteration
+    /// solve is seeded with `warm.bias`; every subsequent inner solve is
+    /// seeded with its predecessor's final bias. On success the final
+    /// `(β_low, bias)` pair is returned for the next grid point.
+    ///
+    /// Correctness does not depend on the warm start: any finite bias vector
+    /// is a valid RVI starting point, and any `warm.beta` that lower-bounds
+    /// the instance's `ERRev*` (e.g. the certified `β_low` at a smaller `p`)
+    /// preserves the monotone convergence of the Dinkelbach iteration. The
+    /// bias seeding only applies to the
+    /// [`MeanPayoffMethod::ValueIteration`] inner solver; the exact solvers
+    /// run unseeded and return an empty carry-over bias.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisProcedure::solve_dinkelbach`].
+    pub fn solve_dinkelbach_warm(
+        &self,
+        model: &SelfishMiningModel,
+        warm: Option<&DinkelbachWarmStart>,
+    ) -> Result<(AnalysisResult, DinkelbachWarmStart), SelfishMiningError> {
         if self.config.epsilon.is_nan() || self.config.epsilon <= 0.0 {
             return Err(SelfishMiningError::InvalidParameter {
                 name: "epsilon",
@@ -164,57 +245,92 @@ impl AnalysisProcedure {
             });
         }
         let solver = MeanPayoffSolver::new(self.config.solver.clone());
-        let mut beta = 0.0;
+        let mut bias: Vec<f64> = warm.map(|w| w.bias.clone()).unwrap_or_default();
+        let mut evaluation_bias: Vec<Vec<f64>> =
+            warm.map(|w| w.evaluation_bias.clone()).unwrap_or_default();
+        let mut beta = warm.map(|w| w.beta.clamp(0.0, 1.0)).unwrap_or(0.0);
         let mut steps = Vec::new();
-        // ERRev* ≤ 1 and each iteration strictly increases β until the fixed
-        // point, so a small iteration cap suffices.
-        for _ in 0..200 {
+        for _ in 0..DINKELBACH_ITERATION_LIMIT {
             let rewards = model.beta_rewards(beta)?;
-            let result = solver.solve(model.mdp(), &rewards)?;
+            let seed = (!bias.is_empty()).then_some(bias.as_slice());
+            let (result, carry_bias) = solver.solve_seeded(model.mdp(), &rewards, seed)?;
+            bias = carry_bias;
             steps.push(SolveStep {
                 beta,
                 mean_payoff: result.gain,
+                gain_lower: result.gain_lower,
+                gain_upper: result.gain_upper,
                 iterations: result.iterations,
             });
-            let revenue = model.expected_relative_revenue(&result.strategy)?;
-            if (revenue - beta).abs() < self.config.epsilon
-                || result.gain.abs() <= self.config.zero_tolerance
-            {
-                return self.finalize(
+            let (revenue, eval_bias) =
+                model.expected_relative_revenue_seeded(&result.strategy, Some(&evaluation_bias))?;
+            evaluation_bias = eval_bias;
+            let certified_zero = result.gain_lower >= -self.config.zero_tolerance
+                && result.gain_upper <= self.config.zero_tolerance;
+            if (revenue - beta).abs() < self.config.epsilon || certified_zero {
+                // The strategy in hand is optimal for the final inner solve
+                // and `revenue` is its exact value — hand both to `finalize`
+                // so the MDP is not solved a second time.
+                let analysis = self.finalize(
                     model,
                     revenue.min(1.0),
                     (revenue + self.config.epsilon).min(1.0),
                     steps,
-                );
+                    Some(result.strategy),
+                    Some(revenue),
+                )?;
+                let carry = DinkelbachWarmStart {
+                    beta: analysis.beta_low,
+                    bias,
+                    evaluation_bias,
+                };
+                return Ok((analysis, carry));
             }
             beta = revenue;
         }
-        Err(SelfishMiningError::BracketingFailure {
-            beta_low: beta,
-            beta_up: 1.0,
+        Err(SelfishMiningError::ConvergenceFailure {
+            method: "dinkelbach",
+            iterations: DINKELBACH_ITERATION_LIMIT,
         })
     }
 
+    /// Assembles the final [`AnalysisResult`]. When the caller already holds
+    /// the optimal strategy of its last inner solve (both search variants
+    /// do), it is reused directly instead of re-solving the MDP at `β_low` —
+    /// the pre-fix code performed that redundant solve and doubled the final
+    /// solve cost.
     fn finalize(
         &self,
         model: &SelfishMiningModel,
         beta_low: f64,
         beta_up: f64,
         steps: Vec<SolveStep>,
+        strategy: Option<PositionalStrategy>,
+        strategy_revenue: Option<f64>,
     ) -> Result<AnalysisResult, SelfishMiningError> {
         if beta_low > beta_up {
             return Err(SelfishMiningError::BracketingFailure { beta_low, beta_up });
         }
-        let solver = MeanPayoffSolver::new(self.config.solver.clone());
-        let rewards = model.beta_rewards(beta_low)?;
-        let result = solver.solve(model.mdp(), &rewards)?;
-        let strategy_revenue = model.expected_relative_revenue(&result.strategy)?;
+        let strategy = match strategy {
+            Some(strategy) => strategy,
+            None => {
+                // Only reachable when no bisection step ever moved the lower
+                // end (e.g. ε ≥ 1): solve once at β_low for the strategy.
+                let solver = MeanPayoffSolver::new(self.config.solver.clone());
+                let rewards = model.beta_rewards(beta_low)?;
+                solver.solve(model.mdp(), &rewards)?.strategy
+            }
+        };
+        let strategy_revenue = match strategy_revenue {
+            Some(revenue) => revenue,
+            None => model.expected_relative_revenue(&strategy)?,
+        };
         Ok(AnalysisResult {
             expected_relative_revenue: beta_low,
             strategy_revenue,
             beta_low,
             beta_up,
-            strategy: result.strategy,
+            strategy,
             steps,
         })
     }

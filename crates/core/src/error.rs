@@ -37,6 +37,14 @@ pub enum SelfishMiningError {
         /// The upper end of the bracket.
         beta_up: f64,
     },
+    /// An iterative analysis procedure exhausted its iteration budget before
+    /// reaching the requested precision.
+    ConvergenceFailure {
+        /// The procedure that failed.
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
     /// An underlying MDP computation failed.
     Mdp(MdpError),
     /// An underlying Markov-chain computation failed.
@@ -60,6 +68,9 @@ impl fmt::Display for SelfishMiningError {
                 f,
                 "binary search failed to bracket the optimum (beta in [{beta_low}, {beta_up}])"
             ),
+            SelfishMiningError::ConvergenceFailure { method, iterations } => {
+                write!(f, "{method} did not converge after {iterations} iterations")
+            }
             SelfishMiningError::Mdp(err) => write!(f, "MDP error: {err}"),
             SelfishMiningError::Markov(err) => write!(f, "markov error: {err}"),
         }
@@ -100,6 +111,16 @@ mod tests {
         };
         assert!(err.to_string().contains("1000"));
         assert!(err.to_string().contains("500"));
+    }
+
+    #[test]
+    fn convergence_failure_reports_method_and_budget() {
+        let err = SelfishMiningError::ConvergenceFailure {
+            method: "dinkelbach",
+            iterations: 200,
+        };
+        let rendered = err.to_string();
+        assert!(rendered.contains("dinkelbach") && rendered.contains("200"));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! records the measured outputs next to the paper's reported values.
 
 use crate::baselines::{honest_relative_revenue, SingleTreeAttack};
-use crate::{AnalysisProcedure, AttackParams, SelfishMiningError, SelfishMiningModel};
+use crate::{
+    AnalysisProcedure, DinkelbachWarmStart, ParametricModel, SelfishMiningError, SelfishMiningModel,
+};
 use std::time::{Duration, Instant};
 
 /// The `(d, f)` grid evaluated in the paper (with `l = 4` throughout).
@@ -71,44 +73,137 @@ impl Figure2Sweep {
     }
 
     /// Computes one Figure 2 point: our attack on every `(d, f)` of the grid
-    /// plus both baselines, at the given `p` and `γ`.
+    /// plus both baselines, at the given `p` and `γ`. Implemented as a
+    /// one-point [`Figure2Sweep::curve`], so it runs on the parametric arena
+    /// like the full sweep.
     ///
     /// # Errors
     ///
     /// Propagates model-construction and solver errors.
     pub fn point(&self, p: f64, gamma: f64) -> Result<Figure2Point, SelfishMiningError> {
-        let mut attack_revenue = Vec::with_capacity(self.attack_grid.len());
-        for &(depth, forks) in &self.attack_grid {
-            let params = AttackParams::new(p, gamma, depth, forks, self.max_fork_length)?;
-            let model = SelfishMiningModel::build(&params)?;
-            let result = AnalysisProcedure::with_epsilon(self.epsilon).solve_dinkelbach(&model)?;
-            attack_revenue.push(result.strategy_revenue);
-        }
-        let single_tree = SingleTreeAttack {
-            p,
-            gamma,
-            max_depth: self.single_tree_depth,
-            max_width: self.single_tree_width,
-        }
-        .analyse()?;
-        Ok(Figure2Point {
-            p,
-            gamma,
-            attack_revenue,
-            honest_revenue: honest_relative_revenue(p)?,
-            single_tree_revenue: single_tree.relative_revenue,
-        })
+        let mut points = self.curve(gamma, &[p])?;
+        Ok(points.pop().expect("curve over one p yields one point"))
     }
 
     /// Computes a whole curve (one Figure 2 panel) for the given `γ` over the
     /// given values of `p`.
     ///
+    /// Each `(d, f)` configuration of the grid builds its
+    /// [`ParametricModel`] **once** and re-instantiates it per `p` in place;
+    /// consecutive points warm-start each other through
+    /// [`attack_curve`]. For the paper's ascending `p` grids this is several
+    /// times faster than the historical rebuild-per-point path (see
+    /// `EXPERIMENTS.md` for measurements).
+    ///
     /// # Errors
     ///
-    /// Propagates errors from [`Figure2Sweep::point`].
+    /// Propagates model-construction and solver errors.
     pub fn curve(&self, gamma: f64, ps: &[f64]) -> Result<Vec<Figure2Point>, SelfishMiningError> {
-        ps.iter().map(|&p| self.point(p, gamma)).collect()
+        let mut attack: Vec<Vec<f64>> = Vec::with_capacity(self.attack_grid.len());
+        for &(depth, forks) in &self.attack_grid {
+            let family = ParametricModel::build(depth, forks, self.max_fork_length)?;
+            attack.push(attack_curve(&family, gamma, ps, self.epsilon, true)?);
+        }
+        ps.iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let single_tree = SingleTreeAttack {
+                    p,
+                    gamma,
+                    max_depth: self.single_tree_depth,
+                    max_width: self.single_tree_width,
+                }
+                .analyse()?;
+                Ok(Figure2Point {
+                    p,
+                    gamma,
+                    attack_revenue: attack.iter().map(|curve| curve[i]).collect(),
+                    honest_revenue: honest_relative_revenue(p)?,
+                    single_tree_revenue: single_tree.relative_revenue,
+                })
+            })
+            .collect()
     }
+}
+
+/// Solves one attack curve — `ERRev` of a single `(d, f, l)` family at fixed
+/// `γ` over the given `p` values — on a shared parametric arena.
+///
+/// The family is instantiated once and refilled in place per point
+/// ([`ParametricModel::instantiate_into`]); with `warm_start` set, each
+/// point's Dinkelbach iteration is seeded with a `β` *extrapolated* from the
+/// two previous points of the curve (falling back to the neighbour's value
+/// for the second point) and with the neighbour's final bias vector for its
+/// first relative-value-iteration solve. A good seed collapses the analysis
+/// to a single inner solve plus one revenue evaluation per grid point; a bad
+/// seed merely costs extra iterations — over- and undershoots alike preserve
+/// the `ε` guarantee (see [`DinkelbachWarmStart`]).
+///
+/// This is the sequential building block the `sm-sweep` worker pool
+/// parallelizes across `(d, f) × γ` jobs.
+///
+/// # Errors
+///
+/// Propagates instantiation and solver errors.
+pub fn attack_curve(
+    family: &ParametricModel,
+    gamma: f64,
+    ps: &[f64],
+    epsilon: f64,
+    warm_start: bool,
+) -> Result<Vec<f64>, SelfishMiningError> {
+    let procedure = AnalysisProcedure::with_epsilon(epsilon);
+    let mut model: Option<SelfishMiningModel> = None;
+    let mut warm: Option<DinkelbachWarmStart> = None;
+    // The most recent (p, certified β_low) points, newest last, for the β
+    // extrapolation.
+    let mut history: Vec<(f64, f64)> = Vec::new();
+    let mut revenues = Vec::with_capacity(ps.len());
+    for &p in ps {
+        let instance = match model.as_mut() {
+            Some(instance) => {
+                family.instantiate_into(instance, p, gamma)?;
+                instance
+            }
+            None => model.insert(family.instantiate(p, gamma)?),
+        };
+        if let Some(w) = warm.as_mut() {
+            w.beta = extrapolate_beta(p, &history);
+        }
+        let (result, carry) = procedure.solve_dinkelbach_warm(instance, warm.as_ref())?;
+        revenues.push(result.strategy_revenue);
+        warm = if warm_start { Some(carry) } else { None };
+        if history.len() == 3 {
+            history.remove(0);
+        }
+        history.push((p, result.beta_low));
+    }
+    Ok(revenues)
+}
+
+/// Extrapolation of the revenue curve to seed the next point's Dinkelbach
+/// iteration: quadratic (Newton's divided differences) through the last
+/// three `(p, β_low)` points when available — the ERRev curves are smooth
+/// and convex enough that this usually lands within the analysis `ε`,
+/// collapsing the point to a single inner solve — degrading to linear, to
+/// the neighbouring value, and to a cold `0` as history shrinks. Clamped to
+/// `[0, 1]`; any seeding error is recovered by the iteration itself.
+fn extrapolate_beta(p: f64, history: &[(f64, f64)]) -> f64 {
+    let distinct = |a: f64, b: f64| (a - b).abs() > f64::EPSILON;
+    let estimate = match *history {
+        [(p0, r0), (p1, r1), (p2, r2)]
+            if distinct(p0, p1) && distinct(p1, p2) && distinct(p0, p2) =>
+        {
+            let d01 = (r1 - r0) / (p1 - p0);
+            let d12 = (r2 - r1) / (p2 - p1);
+            let d012 = (d12 - d01) / (p2 - p0);
+            r2 + d12 * (p - p2) + d012 * (p - p2) * (p - p1)
+        }
+        [.., (p1, r1), (p2, r2)] if distinct(p1, p2) => r2 + (r2 - r1) / (p2 - p1) * (p - p2),
+        [.., (_, r2)] => r2,
+        [] => 0.0,
+    };
+    estimate.clamp(0.0, 1.0)
 }
 
 /// The values of `p` used by the paper (0 to 0.3 in steps of 0.01).
@@ -141,7 +236,9 @@ pub struct Table1Row {
 }
 
 /// Measures one Table 1 row for our attack at `(d, f)` with the given
-/// parameters.
+/// parameters. The model is constructed through the production path —
+/// parametric arena plus instantiation — so the timing reflects the stack
+/// the sweep engine runs on.
 ///
 /// # Errors
 ///
@@ -155,8 +252,8 @@ pub fn table1_row(
     epsilon: f64,
 ) -> Result<Table1Row, SelfishMiningError> {
     let start = Instant::now();
-    let params = AttackParams::new(p, gamma, depth, forks, max_fork_length)?;
-    let model = SelfishMiningModel::build(&params)?;
+    let family = ParametricModel::build(depth, forks, max_fork_length)?;
+    let model = family.instantiate(p, gamma)?;
     let result = AnalysisProcedure::with_epsilon(epsilon).solve(&model)?;
     let elapsed: Duration = start.elapsed();
     Ok(Table1Row {

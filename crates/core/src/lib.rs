@@ -49,14 +49,21 @@ pub mod baselines;
 mod error;
 pub mod experiments;
 mod model;
+mod parametric;
 mod params;
 mod state;
 mod transition;
 
 pub use action::SmAction;
-pub use analysis::{AnalysisConfig, AnalysisProcedure, AnalysisResult, SolveStep};
+pub use analysis::{
+    AnalysisConfig, AnalysisProcedure, AnalysisResult, DinkelbachWarmStart, SolveStep,
+};
 pub use error::SelfishMiningError;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
+pub use parametric::ParametricModel;
 pub use params::AttackParams;
 pub use state::{Owner, Phase, SmState};
-pub use transition::{available_actions, successors, BlockRewards, Outcome};
+pub use transition::{
+    available_actions, successors, symbolic_successors, BlockRewards, Outcome, ProbTerm,
+    SymbolicOutcome,
+};

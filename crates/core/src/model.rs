@@ -15,6 +15,7 @@
 use crate::{available_actions, successors, AttackParams, SelfishMiningError, SmAction, SmState};
 use sm_mdp::{CsrMdpBuilder, Mdp, PositionalStrategy, TransitionRewards};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Default cap on the number of reachable states the builder will enumerate
 /// before giving up. The largest configuration evaluated in the paper
@@ -23,14 +24,19 @@ pub const DEFAULT_STATE_LIMIT: usize = 12_000_000;
 
 /// The fully constructed selfish-mining MDP together with its reward
 /// structures and the mapping back to structured states.
+///
+/// The state and action tables are behind [`Arc`]s: every `(p, γ)`
+/// instantiation of one [`crate::ParametricModel`] shares them (the reachable
+/// structure depends only on `(d, f, l)`), so cloning or re-instantiating a
+/// model never copies the structured state space.
 #[derive(Debug, Clone)]
 pub struct SelfishMiningModel {
-    params: AttackParams,
-    mdp: Mdp,
-    states: Vec<SmState>,
-    actions: Vec<Vec<SmAction>>,
-    adversary_rewards: TransitionRewards,
-    honest_rewards: TransitionRewards,
+    pub(crate) params: AttackParams,
+    pub(crate) mdp: Mdp,
+    pub(crate) states: Arc<Vec<SmState>>,
+    pub(crate) actions: Arc<Vec<Vec<SmAction>>>,
+    pub(crate) adversary_rewards: TransitionRewards,
+    pub(crate) honest_rewards: TransitionRewards,
 }
 
 impl SelfishMiningModel {
@@ -123,8 +129,8 @@ impl SelfishMiningModel {
         Ok(SelfishMiningModel {
             params: *params,
             mdp,
-            states,
-            actions,
+            states: Arc::new(states),
+            actions: Arc::new(actions),
             adversary_rewards,
             honest_rewards,
         })
@@ -202,10 +208,10 @@ impl SelfishMiningModel {
     /// computed from the gains of the induced chain:
     /// `ERRev(σ) = g_A(σ) / (g_A(σ) + g_H(σ))`.
     ///
-    /// The gains are evaluated with sparse iterative sweeps
-    /// ([`sm_markov::iterative_gain`]) so that the evaluation scales to the
-    /// larger attack configurations, where dense policy evaluation would be
-    /// prohibitive.
+    /// The gains are evaluated with sparse iterative sweeps — one fused pass
+    /// for both reward functions ([`sm_markov::iterative_gains`]) — so that
+    /// the evaluation scales to the larger attack configurations, where dense
+    /// policy evaluation would be prohibitive.
     ///
     /// # Errors
     ///
@@ -214,13 +220,33 @@ impl SelfishMiningModel {
         &self,
         strategy: &PositionalStrategy,
     ) -> Result<f64, SelfishMiningError> {
+        self.expected_relative_revenue_seeded(strategy, None)
+            .map(|(revenue, _)| revenue)
+    }
+
+    /// [`SelfishMiningModel::expected_relative_revenue`] warm-started from
+    /// the bias vectors of a previous evaluation (on a similar strategy
+    /// and/or neighbouring parameters), returning the converged bias vectors
+    /// for the next call. This is the evaluation hot path of the sweep
+    /// engine; any seed is *valid* (mis-shaped ones are simply ignored), it
+    /// only affects the sweep count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-evaluation errors.
+    pub fn expected_relative_revenue_seeded(
+        &self,
+        strategy: &PositionalStrategy,
+        seed: Option<&[Vec<f64>]>,
+    ) -> Result<(f64, Vec<Vec<f64>>), SelfishMiningError> {
         let chain = self.mdp.induced_chain(strategy)?;
         let r_adv = self
             .adversary_rewards
             .strategy_rewards(&self.mdp, strategy)?;
         let r_hon = self.honest_rewards.strategy_rewards(&self.mdp, strategy)?;
-        let adv = sm_markov::iterative_gain(&chain, &r_adv, 1e-9, 5_000_000)?;
-        let hon = sm_markov::iterative_gain(&chain, &r_hon, 1e-9, 5_000_000)?;
+        let (gains, bias) =
+            sm_markov::iterative_gains_seeded(&chain, &[&r_adv, &r_hon], 1e-9, 5_000_000, seed)?;
+        let (adv, hon) = (gains[0], gains[1]);
         if adv + hon <= 0.0 {
             // Blocks are finalized with positive rate under every strategy
             // (honest miners alone guarantee it), so this indicates a
@@ -230,7 +256,7 @@ impl SelfishMiningModel {
                 beta_up: hon,
             });
         }
-        Ok(adv / (adv + hon))
+        Ok((adv / (adv + hon), bias))
     }
 
     /// Renders a positional strategy as a list of `(state, action)` pairs in

@@ -1,0 +1,491 @@
+//! The parameterized transition arena: explore a `(d, f, l)` topology once,
+//! instantiate it for any `(p, γ)` in one linear pass.
+//!
+//! The reachable state space, the action lists and the whole CSR skeleton
+//! (`row_ptr` / `action_ptr` / `col`) of the selfish-mining MDP depend only
+//! on the structural parameters `(d, f, l)` — the numeric parameters `(p, γ)`
+//! only scale transition probabilities and, through them, the expected
+//! per-action block counts. [`ParametricModel`] exploits that: the
+//! breadth-first exploration runs once over the *symbolic* transition
+//! function ([`crate::symbolic_successors`]) and records, per arena
+//! transition, a small list of [`ProbTerm`] atoms;
+//! [`ParametricModel::instantiate`] then evaluates the atoms at concrete
+//! `(p, γ)` and fills the probability and reward buffers with no hashing and
+//! no BFS. Re-instantiating an existing model in place
+//! ([`ParametricModel::instantiate_into`]) performs zero allocations beyond
+//! the buffers already held by the model.
+//!
+//! Masked branches are kept *structurally*: at `γ = 0` the race-win outcome
+//! of a tie release still occupies its arena slot with probability 0 (and
+//! likewise the adversary split at `p = 0`), so one layout serves the entire
+//! parameter square. The induced-chain extraction and the recurrence
+//! classification ignore zero-probability entries, and
+//! `tests/parametric_equivalence.rs` pins the instantiation to the directly
+//! built model: bit-for-bit identical for interior parameters, identical
+//! solver results for the masked edges.
+
+use crate::{
+    available_actions, symbolic_successors, AttackParams, ProbTerm, SelfishMiningError,
+    SelfishMiningModel, SmAction, SmState, DEFAULT_STATE_LIMIT,
+};
+use sm_mdp::{CsrLayout, CsrMdp, Mdp, TransitionRewards};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One symbolic outcome recorded against a state-action pair, in discovery
+/// order: its probability atom and the block counts it finalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RewardAtom {
+    term: ProbTerm,
+    adversary: u32,
+    honest: u32,
+}
+
+/// The `(d, f, l)` family of selfish-mining MDPs: one shared CSR skeleton
+/// plus symbolic probability/reward terms, instantiable at any `(p, γ)`.
+///
+/// # Example
+///
+/// ```
+/// use selfish_mining::ParametricModel;
+///
+/// # fn main() -> Result<(), selfish_mining::SelfishMiningError> {
+/// let family = ParametricModel::build(2, 1, 4)?;
+/// let a = family.instantiate(0.30, 0.5)?;
+/// let mut b = family.instantiate(0.10, 0.0)?;
+/// assert_eq!(a.num_states(), b.num_states()); // same skeleton
+/// family.instantiate_into(&mut b, 0.25, 1.0)?; // refill in place, no rebuild
+/// assert_eq!(b.params().p, 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParametricModel {
+    depth: usize,
+    forks_per_block: usize,
+    max_fork_length: usize,
+    states: Arc<Vec<SmState>>,
+    actions: Arc<Vec<Vec<SmAction>>>,
+    layout: Arc<CsrLayout>,
+    names: Vec<String>,
+    name_of_pair: Vec<u32>,
+    /// Per arena transition, the range of its probability atoms in
+    /// `prob_atoms` (duplicate successors of one action merge into one slot
+    /// whose probability is the sum of the merged atoms). Length
+    /// `num_transitions + 1`.
+    prob_atom_ptr: Vec<u32>,
+    /// Probability atoms in arena (successor-sorted) order.
+    prob_atoms: Vec<ProbTerm>,
+    /// Per state-action pair, the range of its outcomes in `reward_atoms`.
+    /// Length `num_pairs + 1`.
+    reward_ptr: Vec<u32>,
+    /// Outcome atoms in discovery order, for the expected-reward sums.
+    reward_atoms: Vec<RewardAtom>,
+}
+
+impl ParametricModel {
+    /// Explores the `(depth, forks_per_block, max_fork_length)` topology with
+    /// the default state-space limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::InvalidParameter`] for zero structural
+    /// parameters and [`SelfishMiningError::StateSpaceTooLarge`] if the
+    /// reachable state space exceeds the limit.
+    pub fn build(
+        depth: usize,
+        forks_per_block: usize,
+        max_fork_length: usize,
+    ) -> Result<Self, SelfishMiningError> {
+        Self::build_with_limit(depth, forks_per_block, max_fork_length, DEFAULT_STATE_LIMIT)
+    }
+
+    /// Like [`ParametricModel::build`] with an explicit state-space limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParametricModel::build`].
+    pub fn build_with_limit(
+        depth: usize,
+        forks_per_block: usize,
+        max_fork_length: usize,
+        state_limit: usize,
+    ) -> Result<Self, SelfishMiningError> {
+        // The symbolic transition function reads only the structural fields;
+        // interior placeholders make the parameter set pass validation.
+        let params = AttackParams::new(0.5, 0.5, depth, forks_per_block, max_fork_length)?;
+        let initial = SmState::initial(&params);
+
+        let mut index_of: HashMap<SmState, usize> = HashMap::new();
+        let mut states: Vec<SmState> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        index_of.insert(initial.clone(), 0);
+        states.push(initial);
+        queue.push_back(0);
+
+        // The BFS mirrors `SelfishMiningModel::build_with_limit` exactly —
+        // same discovery order, same successor sorting — so that an interior
+        // instantiation reproduces the directly built arena bit for bit.
+        let mut row_ptr: Vec<usize> = vec![0];
+        let mut action_ptr: Vec<usize> = vec![0];
+        let mut col: Vec<usize> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut name_ids: HashMap<String, u32> = HashMap::new();
+        let mut name_of_pair: Vec<u32> = Vec::new();
+        let mut prob_atom_ptr: Vec<u32> = Vec::new();
+        let mut prob_atoms: Vec<ProbTerm> = Vec::new();
+        let mut reward_ptr: Vec<u32> = vec![0];
+        let mut reward_atoms: Vec<RewardAtom> = Vec::new();
+        let mut actions: Vec<Vec<SmAction>> = Vec::new();
+        let mut scratch: Vec<(usize, ProbTerm)> = Vec::new();
+
+        while let Some(index) = queue.pop_front() {
+            let state = states[index].clone();
+            let state_actions = available_actions(&params, &state);
+            for action in &state_actions {
+                let outcomes = symbolic_successors(&params, &state, action)?;
+                scratch.clear();
+                for outcome in outcomes {
+                    let target = match index_of.get(&outcome.state) {
+                        Some(&existing) => existing,
+                        None => {
+                            let new_index = states.len();
+                            if new_index >= state_limit {
+                                return Err(SelfishMiningError::StateSpaceTooLarge {
+                                    discovered: new_index + 1,
+                                    limit: state_limit,
+                                });
+                            }
+                            index_of.insert(outcome.state.clone(), new_index);
+                            states.push(outcome.state);
+                            queue.push_back(new_index);
+                            new_index
+                        }
+                    };
+                    reward_atoms.push(RewardAtom {
+                        term: outcome.term,
+                        adversary: outcome.rewards.adversary,
+                        honest: outcome.rewards.honest,
+                    });
+                    scratch.push((target, outcome.term));
+                }
+                reward_ptr.push(u32::try_from(reward_atoms.len()).expect("atom count fits u32"));
+
+                // Arena row: successors sorted, duplicates merged into one
+                // slot whose probability is the (ordered) sum of its atoms.
+                scratch.sort_by_key(|&(target, _)| target);
+                let action_start = col.len();
+                for &(target, term) in &scratch {
+                    if col.len() == action_start || *col.last().expect("non-empty row") != target {
+                        col.push(target);
+                        prob_atom_ptr
+                            .push(u32::try_from(prob_atoms.len()).expect("atom count fits u32"));
+                    }
+                    prob_atoms.push(term);
+                }
+                action_ptr.push(col.len());
+
+                let name = action.name();
+                let name_id = match name_ids.get(&name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = u32::try_from(names.len()).expect("name count fits u32");
+                        names.push(name.clone());
+                        name_ids.insert(name, id);
+                        id
+                    }
+                };
+                name_of_pair.push(name_id);
+            }
+            actions.push(state_actions);
+            row_ptr.push(name_of_pair.len());
+        }
+        prob_atom_ptr.push(u32::try_from(prob_atoms.len()).expect("atom count fits u32"));
+
+        let layout = CsrLayout::from_raw_parts(row_ptr, action_ptr, col)?;
+        Ok(ParametricModel {
+            depth,
+            forks_per_block,
+            max_fork_length,
+            states: Arc::new(states),
+            actions: Arc::new(actions),
+            layout: Arc::new(layout),
+            names,
+            name_of_pair,
+            prob_atom_ptr,
+            prob_atoms,
+            reward_ptr,
+            reward_atoms,
+        })
+    }
+
+    /// Attack depth `d` of the family.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Forking number `f` of the family.
+    pub fn forks_per_block(&self) -> usize {
+        self.forks_per_block
+    }
+
+    /// Maximal private fork length `l` of the family.
+    pub fn max_fork_length(&self) -> usize {
+        self.max_fork_length
+    }
+
+    /// Number of reachable states of the (parameter-independent) topology.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of state-action pairs of the shared arena.
+    pub fn num_pairs(&self) -> usize {
+        self.layout.num_pairs()
+    }
+
+    /// Number of transitions of the shared arena.
+    pub fn num_transitions(&self) -> usize {
+        self.layout.num_transitions()
+    }
+
+    /// The structured state at a given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn state(&self, index: usize) -> &SmState {
+        &self.states[index]
+    }
+
+    /// Instantiates the family at `(p, gamma)`: one linear pass filling fresh
+    /// probability and reward buffers over the shared skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::InvalidParameter`] if `p` or `gamma` lie
+    /// outside `[0, 1]`.
+    pub fn instantiate(
+        &self,
+        p: f64,
+        gamma: f64,
+    ) -> Result<SelfishMiningModel, SelfishMiningError> {
+        let params = AttackParams::new(
+            p,
+            gamma,
+            self.depth,
+            self.forks_per_block,
+            self.max_fork_length,
+        )?;
+        let mut prob = vec![0.0; self.layout.num_transitions()];
+        for (slot, value) in prob.iter_mut().enumerate() {
+            *value = self.slot_probability(slot, p, gamma);
+        }
+        let csr = CsrMdp::from_raw_parts(
+            Arc::clone(&self.layout),
+            prob,
+            self.names.clone(),
+            self.name_of_pair.clone(),
+            0,
+        )?;
+        let mdp = Mdp::from(csr);
+
+        let transitions = self.layout.num_transitions();
+        let mut adversary = Vec::with_capacity(transitions);
+        let mut honest = Vec::with_capacity(transitions);
+        for pair in 0..self.layout.num_pairs() {
+            let (adv, hon) = self.pair_rewards(pair, p, gamma);
+            let len = self.layout.transition_range(pair).len();
+            adversary.resize(adversary.len() + len, adv);
+            honest.resize(honest.len() + len, hon);
+        }
+        let adversary_rewards = TransitionRewards::from_transition_values(&mdp, adversary)?;
+        let honest_rewards = TransitionRewards::from_transition_values(&mdp, honest)?;
+
+        Ok(SelfishMiningModel {
+            params,
+            mdp,
+            states: Arc::clone(&self.states),
+            actions: Arc::clone(&self.actions),
+            adversary_rewards,
+            honest_rewards,
+        })
+    }
+
+    /// Re-instantiates an existing model of this family at new `(p, gamma)`
+    /// values *in place*: the probability and reward buffers are rewritten
+    /// through [`sm_mdp::CsrMdp::reweight_in_place`] and
+    /// [`sm_mdp::TransitionRewards::values_mut`] with no allocation, no
+    /// hashing and no BFS. This is the per-worker hot path of the sweep
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::InvalidParameter`] for out-of-range
+    /// `p` / `gamma`, or a shape error if `model` was not produced by this
+    /// family (its arena must share this family's layout).
+    pub fn instantiate_into(
+        &self,
+        model: &mut SelfishMiningModel,
+        p: f64,
+        gamma: f64,
+    ) -> Result<(), SelfishMiningError> {
+        let params = AttackParams::new(
+            p,
+            gamma,
+            self.depth,
+            self.forks_per_block,
+            self.max_fork_length,
+        )?;
+        if !Arc::ptr_eq(&model.mdp.csr().layout_arc(), &self.layout) {
+            return Err(SelfishMiningError::Mdp(
+                sm_mdp::MdpError::RewardShapeMismatch {
+                    detail: "model was not instantiated from this parametric family".to_string(),
+                },
+            ));
+        }
+        model.params = params;
+        model
+            .mdp
+            .csr_mut()
+            .reweight_in_place(|slot| self.slot_probability(slot, p, gamma));
+        // Per-pair expected block counts, replicated over each pair's
+        // transition range exactly like the fresh construction does; one
+        // atom walk per pair fills both reward buffers.
+        let adversary = model.adversary_rewards.values_mut();
+        let honest = model.honest_rewards.values_mut();
+        for pair in 0..self.layout.num_pairs() {
+            let (adv, hon) = self.pair_rewards(pair, p, gamma);
+            let range = self.layout.transition_range(pair);
+            adversary[range.clone()].fill(adv);
+            honest[range].fill(hon);
+        }
+        Ok(())
+    }
+
+    /// Probability of arena transition `slot` at `(p, gamma)`: the ordered
+    /// sum of its atoms (one atom per merged duplicate successor, summed in
+    /// the same order the streaming builder merges them).
+    #[inline]
+    fn slot_probability(&self, slot: usize, p: f64, gamma: f64) -> f64 {
+        let range = self.prob_atom_ptr[slot] as usize..self.prob_atom_ptr[slot + 1] as usize;
+        self.prob_atoms[range]
+            .iter()
+            .fold(0.0, |acc, term| acc + term.eval(p, gamma))
+    }
+
+    /// Expected `(adversary, honest)` block counts of state-action pair
+    /// `pair` at `(p, gamma)`, accumulated over the outcomes in discovery
+    /// order — the same order (and therefore the same floating-point result)
+    /// as the fresh model construction.
+    #[inline]
+    fn pair_rewards(&self, pair: usize, p: f64, gamma: f64) -> (f64, f64) {
+        let range = self.reward_ptr[pair] as usize..self.reward_ptr[pair + 1] as usize;
+        let mut adversary = 0.0;
+        let mut honest = 0.0;
+        for atom in &self.reward_atoms[range] {
+            let probability = atom.term.eval(p, gamma);
+            adversary += probability * f64::from(atom.adversary);
+            honest += probability * f64::from(atom.honest);
+        }
+        (adversary, honest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    #[test]
+    fn family_matches_fresh_build_on_interior_parameters() {
+        let family = ParametricModel::build(2, 1, 3).unwrap();
+        let params = AttackParams::new(0.3, 0.5, 2, 1, 3).unwrap();
+        let fresh = SelfishMiningModel::build(&params).unwrap();
+        let inst = family.instantiate(0.3, 0.5).unwrap();
+        assert_eq!(inst.num_states(), fresh.num_states());
+        for s in 0..fresh.num_states() {
+            assert_eq!(inst.state(s), fresh.state(s));
+            assert_eq!(inst.actions_of(s), fresh.actions_of(s));
+        }
+        assert_eq!(inst.mdp(), fresh.mdp());
+        assert_eq!(
+            inst.adversary_rewards().values(),
+            fresh.adversary_rewards().values()
+        );
+        assert_eq!(
+            inst.honest_rewards().values(),
+            fresh.honest_rewards().values()
+        );
+        assert_eq!(inst.params(), fresh.params());
+    }
+
+    #[test]
+    fn masked_branches_are_kept_structurally() {
+        let family = ParametricModel::build(1, 1, 2).unwrap();
+        let masked = family.instantiate(0.3, 0.0).unwrap();
+        let params = AttackParams::new(0.3, 0.0, 1, 1, 2).unwrap();
+        let fresh = SelfishMiningModel::build(&params).unwrap();
+        // The γ = 0 topology prunes the race-win branch, the parametric
+        // arena keeps it with probability 0 — so the masked model has at
+        // least as many states/transitions and still validates.
+        assert!(masked.num_states() >= fresh.num_states());
+        masked.mdp().validate().unwrap();
+        assert!(masked.mdp().csr().probabilities().contains(&0.0));
+    }
+
+    #[test]
+    fn instantiate_into_matches_direct_instantiation() {
+        let family = ParametricModel::build(2, 2, 3).unwrap();
+        let mut reused = family.instantiate(0.4, 0.25).unwrap();
+        for &(p, gamma) in &[(0.2, 0.75), (0.0, 0.5), (0.3, 0.0), (0.35, 1.0)] {
+            family.instantiate_into(&mut reused, p, gamma).unwrap();
+            let direct = family.instantiate(p, gamma).unwrap();
+            assert_eq!(reused.mdp(), direct.mdp());
+            assert_eq!(
+                reused.adversary_rewards().values(),
+                direct.adversary_rewards().values()
+            );
+            assert_eq!(
+                reused.honest_rewards().values(),
+                direct.honest_rewards().values()
+            );
+            assert_eq!(reused.params(), direct.params());
+        }
+    }
+
+    #[test]
+    fn instantiate_into_rejects_foreign_models() {
+        let family = ParametricModel::build(1, 1, 2).unwrap();
+        let other = ParametricModel::build(1, 1, 2).unwrap();
+        let mut model = other.instantiate(0.3, 0.5).unwrap();
+        assert!(family.instantiate_into(&mut model, 0.3, 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ParametricModel::build(0, 1, 2).is_err());
+        let family = ParametricModel::build(1, 1, 2).unwrap();
+        assert!(family.instantiate(1.5, 0.5).is_err());
+        assert!(family.instantiate(0.5, -0.1).is_err());
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        assert!(matches!(
+            ParametricModel::build_with_limit(2, 2, 4, 10),
+            Err(SelfishMiningError::StateSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_reaches_every_phase() {
+        let family = ParametricModel::build(2, 1, 3).unwrap();
+        let mut phases = std::collections::HashSet::new();
+        for s in 0..family.num_states() {
+            phases.insert(family.state(s).phase);
+        }
+        assert_eq!(phases.len(), 3);
+        assert!(phases.contains(&Phase::AdversaryFound));
+    }
+}

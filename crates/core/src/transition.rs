@@ -59,6 +59,75 @@ pub struct Outcome {
     pub rewards: BlockRewards,
 }
 
+/// A *parametric* transition probability: the probability of one outcome as a
+/// symbolic term over the numeric attack parameters `(p, γ)`, closed over the
+/// structural data (the state's mining-slot count `σ`) that the transition
+/// function derives from `(d, f, l)` alone.
+///
+/// Every outcome of the selfish-mining transition function is one of these
+/// five atoms; a whole `(d, f, l)` topology can therefore be explored once
+/// and re-instantiated for any `(p, γ)` by evaluating the atoms
+/// ([`ProbTerm::eval`]) — this is what [`crate::ParametricModel`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbTerm {
+    /// Probability 1 — a deterministic outcome.
+    One,
+    /// `p / ((1 − p) + p·σ)` — the adversary extends one of its `σ` mining
+    /// positions (Section 3.2's `(p, k)`-mining split).
+    AdversaryShare {
+        /// The state's number of mining slots `σ`.
+        slots: u32,
+    },
+    /// `(1 − p) / ((1 − p) + p·σ)` — honest miners find the next proof.
+    HonestShare {
+        /// The state's number of mining slots `σ`.
+        slots: u32,
+    },
+    /// `γ` — honest miners switch to the revealed fork after a tie release.
+    Gamma,
+    /// `1 − γ` — honest miners keep the public chain after a tie release.
+    OneMinusGamma,
+}
+
+impl ProbTerm {
+    /// Evaluates the term at concrete parameter values.
+    ///
+    /// The arithmetic mirrors the numeric transition function expression for
+    /// expression, so instantiating a parametric topology reproduces the
+    /// directly-built model bit for bit.
+    #[inline]
+    pub fn eval(self, p: f64, gamma: f64) -> f64 {
+        match self {
+            ProbTerm::One => 1.0,
+            ProbTerm::AdversaryShare { slots } => {
+                let sigma = slots as f64;
+                p / ((1.0 - p) + p * sigma)
+            }
+            ProbTerm::HonestShare { slots } => {
+                let sigma = slots as f64;
+                (1.0 - p) / ((1.0 - p) + p * sigma)
+            }
+            ProbTerm::Gamma => gamma,
+            ProbTerm::OneMinusGamma => 1.0 - gamma,
+        }
+    }
+}
+
+/// A single outcome of the *parametric* transition function: like
+/// [`Outcome`], but with the probability as a symbolic [`ProbTerm`] instead
+/// of a number, and with every branch present regardless of whether the
+/// numeric parameters would mask it (e.g. the race-win branch at `γ = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicOutcome {
+    /// Successor state.
+    pub state: SmState,
+    /// Parametric probability of this outcome (the terms of one action
+    /// evaluate to a distribution summing to 1 for every valid `(p, γ)`).
+    pub term: ProbTerm,
+    /// Blocks finalized on this outcome.
+    pub rewards: BlockRewards,
+}
+
 /// The set of actions available in `state` (the paper's `A(s)`).
 ///
 /// Dominated releases (forks strictly shorter than the public chain they
@@ -93,7 +162,13 @@ pub fn available_actions(params: &AttackParams, state: &SmState) -> Vec<SmAction
     actions
 }
 
-/// Applies `action` in `state` and returns all probabilistic outcomes.
+/// Applies `action` in `state` and returns all probabilistic outcomes with
+/// positive probability at the parameters' `(p, γ)`.
+///
+/// This is the numeric view of [`symbolic_successors`]: the symbolic terms
+/// are evaluated at `(params.p, params.gamma)` and masked (zero-probability)
+/// branches are dropped, exactly as the pre-parametric transition function
+/// did.
 ///
 /// # Errors
 ///
@@ -105,23 +180,55 @@ pub fn successors(
     state: &SmState,
     action: &SmAction,
 ) -> Result<Vec<Outcome>, SelfishMiningError> {
+    let symbolic = symbolic_successors(params, state, action)?;
+    Ok(symbolic
+        .into_iter()
+        .filter_map(|outcome| {
+            let probability = outcome.term.eval(params.p, params.gamma);
+            (probability > 0.0).then_some(Outcome {
+                state: outcome.state,
+                probability,
+                rewards: outcome.rewards,
+            })
+        })
+        .collect())
+}
+
+/// Applies `action` in `state` and returns all *parametric* outcomes: the
+/// full branch structure of the transition function, with probabilities as
+/// symbolic [`ProbTerm`]s over `(p, γ)`.
+///
+/// Unlike [`successors`], the result depends only on the structural
+/// parameters `(d, f, l)` — `params.p` and `params.gamma` are never read —
+/// and zero-probability branches (the adversary split at `p = 0`, the race
+/// branches at `γ ∈ {0, 1}`) are kept. This is the exploration primitive of
+/// [`crate::ParametricModel`].
+///
+/// # Errors
+///
+/// Same as [`successors`].
+pub fn symbolic_successors(
+    params: &AttackParams,
+    state: &SmState,
+    action: &SmAction,
+) -> Result<Vec<SymbolicOutcome>, SelfishMiningError> {
     match (state.phase, action) {
         (Phase::Mining, SmAction::Mine) => Ok(mining_outcomes(params, state)),
         (Phase::Mining, SmAction::Release { .. }) => Err(unavailable(state, action)),
         (Phase::AdversaryFound, SmAction::Mine) => {
             let mut next = state.clone();
             next.phase = Phase::Mining;
-            Ok(vec![Outcome {
+            Ok(vec![SymbolicOutcome {
                 state: next,
-                probability: 1.0,
+                term: ProbTerm::One,
                 rewards: BlockRewards::ZERO,
             }])
         }
         (Phase::HonestFound, SmAction::Mine) => {
             let (next, rewards) = incorporate_pending_honest_block(params, state);
-            Ok(vec![Outcome {
+            Ok(vec![SymbolicOutcome {
                 state: next,
-                probability: 1.0,
+                term: ProbTerm::One,
                 rewards,
             }])
         }
@@ -144,68 +251,52 @@ fn unavailable(state: &SmState, action: &SmAction) -> SelfishMiningError {
 }
 
 /// Outcomes of the `mine` action in a `Mining`-phase state: nature decides who
-/// finds the next proof.
-fn mining_outcomes(params: &AttackParams, state: &SmState) -> Vec<Outcome> {
-    let p = params.p;
-    let sigma = state.mining_slots(params) as f64;
-    let denominator = (1.0 - p) + p * sigma;
+/// finds the next proof. The split is parametric — `σ` adversary branches
+/// weighing `p / ((1−p) + p·σ)` each plus one honest branch — so the function
+/// emits symbolic terms; `p = 1` is well defined because every depth offers
+/// at least one mining slot (`σ ≥ d ≥ 1`), keeping the denominator positive
+/// for every `p ∈ [0, 1]`.
+fn mining_outcomes(params: &AttackParams, state: &SmState) -> Vec<SymbolicOutcome> {
+    let slots = u32::try_from(state.mining_slots(params)).expect("mining slots bounded by d·(f+1)");
     let mut outcomes = Vec::new();
 
-    if denominator <= 0.0 {
-        // p = 0 and no honest resource cannot happen (p ∈ [0,1]); the only
-        // degenerate case is p = 1 with no mining slots, which cannot occur
-        // because every depth always offers at least one slot. Defensive
-        // fallback: stay in place.
-        return vec![Outcome {
-            state: state.clone(),
-            probability: 1.0,
-            rewards: BlockRewards::ZERO,
-        }];
-    }
-
-    let adversary_share = p / denominator;
-    if adversary_share > 0.0 {
-        for depth in 1..=params.depth {
-            // Extend every non-empty fork.
-            for fork in 1..=params.forks_per_block {
-                let len = state.fork_length(params, depth, fork);
-                if len == 0 {
-                    continue;
-                }
-                let mut next = state.clone();
-                *next.fork_length_mut(params, depth, fork) =
-                    len.saturating_add(1).min(params.max_fork_length as u8);
-                next.phase = Phase::AdversaryFound;
-                outcomes.push(Outcome {
-                    state: next,
-                    probability: adversary_share,
-                    rewards: BlockRewards::ZERO,
-                });
+    for depth in 1..=params.depth {
+        // Extend every non-empty fork.
+        for fork in 1..=params.forks_per_block {
+            let len = state.fork_length(params, depth, fork);
+            if len == 0 {
+                continue;
             }
-            // Start one new fork in the lowest-index empty slot, if any.
-            if let Some(fork) = state.first_empty_fork(params, depth) {
-                let mut next = state.clone();
-                *next.fork_length_mut(params, depth, fork) = 1;
-                next.phase = Phase::AdversaryFound;
-                outcomes.push(Outcome {
-                    state: next,
-                    probability: adversary_share,
-                    rewards: BlockRewards::ZERO,
-                });
-            }
+            let mut next = state.clone();
+            *next.fork_length_mut(params, depth, fork) =
+                len.saturating_add(1).min(params.max_fork_length as u8);
+            next.phase = Phase::AdversaryFound;
+            outcomes.push(SymbolicOutcome {
+                state: next,
+                term: ProbTerm::AdversaryShare { slots },
+                rewards: BlockRewards::ZERO,
+            });
+        }
+        // Start one new fork in the lowest-index empty slot, if any.
+        if let Some(fork) = state.first_empty_fork(params, depth) {
+            let mut next = state.clone();
+            *next.fork_length_mut(params, depth, fork) = 1;
+            next.phase = Phase::AdversaryFound;
+            outcomes.push(SymbolicOutcome {
+                state: next,
+                term: ProbTerm::AdversaryShare { slots },
+                rewards: BlockRewards::ZERO,
+            });
         }
     }
 
-    let honest_share = (1.0 - p) / denominator;
-    if honest_share > 0.0 {
-        let mut next = state.clone();
-        next.phase = Phase::HonestFound;
-        outcomes.push(Outcome {
-            state: next,
-            probability: honest_share,
-            rewards: BlockRewards::ZERO,
-        });
-    }
+    let mut next = state.clone();
+    next.phase = Phase::HonestFound;
+    outcomes.push(SymbolicOutcome {
+        state: next,
+        term: ProbTerm::HonestShare { slots },
+        rewards: BlockRewards::ZERO,
+    });
     outcomes
 }
 
@@ -266,7 +357,7 @@ fn release_outcomes(
     depth: usize,
     fork: usize,
     length: usize,
-) -> Result<Vec<Outcome>, SelfishMiningError> {
+) -> Result<Vec<SymbolicOutcome>, SelfishMiningError> {
     let action = SmAction::Release {
         depth,
         fork,
@@ -291,9 +382,9 @@ fn release_outcomes(
             // No pending honest block: `length ≥ depth` means the published
             // chain is strictly longer than the public one, so it is adopted
             // with probability 1.
-            Ok(vec![Outcome {
+            Ok(vec![SymbolicOutcome {
                 state: accepted,
-                probability: 1.0,
+                term: ProbTerm::One,
                 rewards: accept_rewards,
             }])
         }
@@ -302,33 +393,28 @@ fn release_outcomes(
                 // Strictly longer than the public chain including the pending
                 // honest block: adopted with probability 1, the pending block
                 // is orphaned.
-                return Ok(vec![Outcome {
+                return Ok(vec![SymbolicOutcome {
                     state: accepted,
-                    probability: 1.0,
+                    term: ProbTerm::One,
                     rewards: accept_rewards,
                 }]);
             }
             // Tie (`length == depth`): a race decided by the switching
             // probability γ. On rejection the pending honest block is
             // incorporated and the adversary keeps its (shifted) forks.
-            let gamma = params.gamma;
-            let mut outcomes = Vec::with_capacity(2);
-            if gamma > 0.0 {
-                outcomes.push(Outcome {
+            let (rejected, reject_rewards) = incorporate_pending_honest_block(params, state);
+            Ok(vec![
+                SymbolicOutcome {
                     state: accepted,
-                    probability: gamma,
+                    term: ProbTerm::Gamma,
                     rewards: accept_rewards,
-                });
-            }
-            if gamma < 1.0 {
-                let (rejected, reject_rewards) = incorporate_pending_honest_block(params, state);
-                outcomes.push(Outcome {
+                },
+                SymbolicOutcome {
                     state: rejected,
-                    probability: 1.0 - gamma,
+                    term: ProbTerm::OneMinusGamma,
                     rewards: reject_rewards,
-                });
-            }
-            Ok(outcomes)
+                },
+            ])
         }
         Phase::Mining => unreachable!("handled above"),
     }
@@ -708,6 +794,101 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_outcomes_evaluate_to_the_numeric_transition_function() {
+        // Across a parameter sweep including the masked edges, evaluating the
+        // symbolic outcomes and dropping zero-probability branches must
+        // reproduce `successors` exactly (same order, same bits).
+        let cases = [
+            (0.3, 0.5),
+            (0.0, 0.5),
+            (1.0, 0.5),
+            (0.3, 0.0),
+            (0.3, 1.0),
+            (0.7, 0.25),
+        ];
+        for &(pv, gamma) in &cases {
+            let p = params(pv, gamma, 2, 2, 3);
+            for a in 0..=3u8 {
+                for b in 0..=3u8 {
+                    for phase in [Phase::Mining, Phase::HonestFound, Phase::AdversaryFound] {
+                        let s = SmState {
+                            forks: vec![a, b, 0, 1],
+                            owners: vec![Owner::Honest],
+                            phase,
+                        };
+                        for action in available_actions(&p, &s) {
+                            let numeric = successors(&p, &s, &action).unwrap();
+                            let symbolic = symbolic_successors(&p, &s, &action).unwrap();
+                            let evaluated: Vec<Outcome> = symbolic
+                                .iter()
+                                .filter_map(|o| {
+                                    let probability = o.term.eval(pv, gamma);
+                                    (probability > 0.0).then(|| Outcome {
+                                        state: o.state.clone(),
+                                        probability,
+                                        rewards: o.rewards,
+                                    })
+                                })
+                                .collect();
+                            assert_eq!(numeric, evaluated);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_outcomes_keep_masked_branches() {
+        // γ = 0 numerically masks the race-win branch of a tie release; the
+        // symbolic view must keep it.
+        let p = params(0.3, 0.0, 1, 1, 4);
+        let mut s = SmState::initial(&p);
+        s.phase = Phase::HonestFound;
+        *s.fork_length_mut(&p, 1, 1) = 1;
+        let action = SmAction::Release {
+            depth: 1,
+            fork: 1,
+            length: 1,
+        };
+        let symbolic = symbolic_successors(&p, &s, &action).unwrap();
+        assert_eq!(symbolic.len(), 2);
+        assert_eq!(symbolic[0].term, ProbTerm::Gamma);
+        assert_eq!(symbolic[1].term, ProbTerm::OneMinusGamma);
+        assert_eq!(successors(&p, &s, &action).unwrap().len(), 1);
+
+        // p = 0 masks the adversary split of the mine action.
+        let p0 = params(0.0, 0.5, 1, 1, 4);
+        let mut s0 = SmState::initial(&p0);
+        *s0.fork_length_mut(&p0, 1, 1) = 1;
+        let symbolic = symbolic_successors(&p0, &s0, &SmAction::Mine).unwrap();
+        assert!(symbolic
+            .iter()
+            .any(|o| matches!(o.term, ProbTerm::AdversaryShare { .. })));
+        assert!(successors(&p0, &s0, &SmAction::Mine)
+            .unwrap()
+            .iter()
+            .all(|o| o.state.phase == Phase::HonestFound));
+    }
+
+    #[test]
+    fn prob_terms_form_a_distribution_for_every_parameter_choice() {
+        let p = params(0.5, 0.5, 2, 2, 3);
+        let mut s = SmState::initial(&p);
+        *s.fork_length_mut(&p, 1, 1) = 2;
+        for &(pv, gamma) in &[(0.0, 0.0), (1.0, 1.0), (0.3, 0.7), (1.0, 0.0)] {
+            for action in available_actions(&p, &s) {
+                let total: f64 = symbolic_successors(&p, &s, &action)
+                    .unwrap()
+                    .iter()
+                    .map(|o| o.term.eval(pv, gamma))
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-12, "sum {total} at ({pv},{gamma})");
             }
         }
     }

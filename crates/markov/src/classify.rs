@@ -51,12 +51,17 @@ impl StronglyConnectedComponents {
                 component_of[s] = ci;
             }
         }
-        // A component is closed (recurrent) iff no transition leaves it.
+        // A component is closed (recurrent) iff no positive-probability
+        // transition leaves it (structural zero-probability entries, as kept
+        // by parametric arenas for masked branches, are not edges).
         let mut recurrent = Vec::new();
         for (ci, comp) in components.iter().enumerate() {
             let closed = comp.iter().all(|&s| {
-                let (targets, _) = chain.successors(s);
-                targets.iter().all(|&t| component_of[t] == ci)
+                let (targets, probs) = chain.successors(s);
+                targets
+                    .iter()
+                    .zip(probs)
+                    .all(|(&t, &p)| p == 0.0 || component_of[t] == ci)
             });
             if closed {
                 recurrent.push(ci);
@@ -152,10 +157,15 @@ impl Tarjan {
                 self.stack.push(v);
                 self.on_stack[v] = true;
             }
-            let (targets, _) = chain.successors(v);
+            let (targets, probs) = chain.successors(v);
             if child_pos < targets.len() {
                 let w = targets[child_pos];
                 work.last_mut().expect("work stack is non-empty").1 += 1;
+                if probs[child_pos] == 0.0 {
+                    // Masked (structurally kept, numerically zero) branch:
+                    // not an edge of the chain.
+                    continue;
+                }
                 match self.index_of[w] {
                     None => work.push((w, 0)),
                     Some(w_index) => {

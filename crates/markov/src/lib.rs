@@ -45,7 +45,10 @@ pub use chain::MarkovChain;
 pub use classify::{StateClass, StronglyConnectedComponents};
 pub use error::MarkovError;
 pub use hitting::HittingAnalysis;
-pub use reward::{iterative_gain, long_run_average_reward, total_expected_reward_until_absorption};
+pub use reward::{
+    iterative_gain, iterative_gains, iterative_gains_seeded, long_run_average_reward,
+    total_expected_reward_until_absorption,
+};
 pub use stationary::{StationaryDistribution, StationaryMethod};
 
 /// Tolerance used when validating that rows are probability distributions.

@@ -133,38 +133,119 @@ pub fn iterative_gain(
     epsilon: f64,
     max_iterations: usize,
 ) -> Result<f64, MarkovError> {
+    let gains = iterative_gains(chain, &[rewards], epsilon, max_iterations)?;
+    Ok(gains[0])
+}
+
+/// [`iterative_gain`] over *several* reward vectors at once, sharing the
+/// chain sweeps: the transition arrays (the memory-bound part of a sweep) are
+/// walked once per iteration while one bias vector per reward function is
+/// updated in the same pass. Evaluating the selfish-mining revenue ratio
+/// `g_A / (g_A + g_H)` needs the gains of `r_A` and `r_H` under the *same*
+/// chain, which this computes at nearly the cost of one.
+///
+/// Each reward's own span certifies its gain to within `epsilon`; the sweep
+/// loop runs until every span has closed (gains whose span closed early stop
+/// being refined — their certified interval is frozen).
+///
+/// # Errors
+///
+/// Same as [`iterative_gain`]; the dimension check applies to every reward
+/// vector.
+pub fn iterative_gains(
+    chain: &MarkovChain,
+    rewards: &[&[f64]],
+    epsilon: f64,
+    max_iterations: usize,
+) -> Result<Vec<f64>, MarkovError> {
+    iterative_gains_seeded(chain, rewards, epsilon, max_iterations, None).map(|(gains, _)| gains)
+}
+
+/// [`iterative_gains`] warm-started from previously converged bias vectors
+/// (one per reward function), returning the final bias vectors for the next
+/// call. Seeding with the bias of a *similar* chain — e.g. the one induced at
+/// the previous point of a parameter sweep — cuts the sweep count; any finite
+/// seed is valid (the per-sweep span sandwich certifies the gain regardless
+/// of the starting bias) and seeds of the wrong shape are ignored.
+///
+/// # Errors
+///
+/// Same as [`iterative_gains`].
+pub fn iterative_gains_seeded(
+    chain: &MarkovChain,
+    rewards: &[&[f64]],
+    epsilon: f64,
+    max_iterations: usize,
+    seed: Option<&[Vec<f64>]>,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), MarkovError> {
     let n = chain.num_states();
-    if rewards.len() != n {
-        return Err(MarkovError::RewardDimensionMismatch {
-            expected: n,
-            actual: rewards.len(),
-        });
+    for reward in rewards {
+        if reward.len() != n {
+            return Err(MarkovError::RewardDimensionMismatch {
+                expected: n,
+                actual: reward.len(),
+            });
+        }
+    }
+    let k = rewards.len();
+    if k == 0 {
+        return Ok((Vec::new(), Vec::new()));
     }
     // Lazy (aperiodicity) transformation with τ = 0.9: same stationary
     // distribution and gain, guaranteed convergence of the span.
     let tau = 0.9;
-    let mut h = vec![0.0; n];
-    let mut next = vec![0.0; n];
+    let mut h = match seed {
+        Some(seed)
+            if seed.len() == k
+                && seed
+                    .iter()
+                    .all(|b| b.len() == n && b.iter().all(|v| v.is_finite())) =>
+        {
+            seed.to_vec()
+        }
+        _ => vec![vec![0.0; n]; k],
+    };
+    let mut next = vec![vec![0.0; n]; k];
+    let mut gain = vec![f64::NAN; k];
+    let mut open = vec![true; k];
     for _ in 0..max_iterations {
-        let mut min_delta = f64::INFINITY;
-        let mut max_delta = f64::NEG_INFINITY;
+        let mut min_delta = vec![f64::INFINITY; k];
+        let mut max_delta = vec![f64::NEG_INFINITY; k];
         for s in 0..n {
             let (targets, probs) = chain.successors(s);
-            let mut value = rewards[s] + (1.0 - tau) * h[s];
-            for (&t, &p) in targets.iter().zip(probs) {
-                value += tau * p * h[t];
+            for r in 0..k {
+                if !open[r] {
+                    continue;
+                }
+                let h_r = &h[r];
+                let mut value = rewards[r][s] + (1.0 - tau) * h_r[s];
+                for (&t, &p) in targets.iter().zip(probs) {
+                    value += tau * p * h_r[t];
+                }
+                let delta = value - h_r[s];
+                min_delta[r] = min_delta[r].min(delta);
+                max_delta[r] = max_delta[r].max(delta);
+                next[r][s] = value;
             }
-            let delta = value - h[s];
-            min_delta = min_delta.min(delta);
-            max_delta = max_delta.max(delta);
-            next[s] = value;
         }
-        let offset = next[0];
-        for s in 0..n {
-            h[s] = next[s] - offset;
+        let mut any_open = false;
+        for r in 0..k {
+            if !open[r] {
+                continue;
+            }
+            let offset = next[r][0];
+            for s in 0..n {
+                h[r][s] = next[r][s] - offset;
+            }
+            if max_delta[r] - min_delta[r] < epsilon {
+                gain[r] = 0.5 * (min_delta[r] + max_delta[r]);
+                open[r] = false;
+            } else {
+                any_open = true;
+            }
         }
-        if max_delta - min_delta < epsilon {
-            return Ok(0.5 * (min_delta + max_delta));
+        if !any_open {
+            return Ok((gain, h));
         }
     }
     Err(MarkovError::ConvergenceFailure {
@@ -259,6 +340,41 @@ mod tests {
         let chain = MarkovChain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
         let gain = iterative_gain(&chain, &[1.0, 0.0], 1e-10, 200_000).unwrap();
         assert!((gain - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fused_gains_match_separate_evaluations() {
+        let chain = MarkovChain::from_rows(vec![
+            vec![(0, 0.2), (1, 0.5), (2, 0.3)],
+            vec![(0, 0.6), (2, 0.4)],
+            vec![(1, 1.0)],
+        ])
+        .unwrap();
+        let r1 = [3.0, 0.0, 1.0];
+        let r2 = [0.0, 2.0, 0.5];
+        let fused = iterative_gains(&chain, &[&r1, &r2], 1e-10, 200_000).unwrap();
+        let g1 = iterative_gain(&chain, &r1, 1e-10, 200_000).unwrap();
+        let g2 = iterative_gain(&chain, &r2, 1e-10, 200_000).unwrap();
+        assert!((fused[0] - g1).abs() < 1e-9);
+        assert!((fused[1] - g2).abs() < 1e-9);
+        assert!(iterative_gains(&chain, &[], 1e-10, 10).unwrap().is_empty());
+        assert!(iterative_gains(&chain, &[&r1[..2]], 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn seeded_gains_reuse_converged_bias() {
+        let chain =
+            MarkovChain::from_rows(vec![vec![(0, 0.7), (1, 0.3)], vec![(0, 0.6), (1, 0.4)]])
+                .unwrap();
+        let r = [3.0, 0.0];
+        let (cold, bias) = iterative_gains_seeded(&chain, &[&r], 1e-10, 200_000, None).unwrap();
+        let (warm, _) = iterative_gains_seeded(&chain, &[&r], 1e-10, 200_000, Some(&bias)).unwrap();
+        assert!((cold[0] - warm[0]).abs() < 1e-9);
+        // A mis-shaped seed is ignored rather than rejected.
+        let bad_seed = vec![vec![0.0; 7]];
+        let (ignored, _) =
+            iterative_gains_seeded(&chain, &[&r], 1e-10, 200_000, Some(&bad_seed)).unwrap();
+        assert!((ignored[0] - cold[0]).abs() < 1e-9);
     }
 
     #[test]

@@ -109,6 +109,64 @@ impl CsrLayout {
     pub fn transition_range(&self, pair: usize) -> Range<usize> {
         self.action_ptr[pair]..self.action_ptr[pair + 1]
     }
+
+    /// Assembles a layout directly from its three index arrays, validating the
+    /// CSR invariants: both pointer arrays must start at 0, be monotone and
+    /// end at the length of the array they index, and every successor in `col`
+    /// must be a valid state.
+    ///
+    /// This is the construction path used by builders that assemble the index
+    /// arrays themselves (e.g. the parametric selfish-mining arena, which
+    /// shares one layout across every `(p, γ)` instantiation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidState`] for an out-of-range successor and
+    /// [`MdpError::RewardShapeMismatch`] (with a description) for malformed
+    /// pointer arrays.
+    pub fn from_raw_parts(
+        row_ptr: Vec<usize>,
+        action_ptr: Vec<usize>,
+        col: Vec<usize>,
+    ) -> Result<CsrLayout, MdpError> {
+        let shape_error = |detail: String| MdpError::RewardShapeMismatch { detail };
+        if row_ptr.first() != Some(&0) || action_ptr.first() != Some(&0) {
+            return Err(shape_error(
+                "CSR pointer arrays must be non-empty and start at 0".to_string(),
+            ));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) || action_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(shape_error(
+                "CSR pointer arrays must be monotonically non-decreasing".to_string(),
+            ));
+        }
+        let num_pairs = action_ptr.len() - 1;
+        if *row_ptr.last().expect("checked non-empty") != num_pairs {
+            return Err(shape_error(format!(
+                "row_ptr ends at {} but the arena has {num_pairs} pairs",
+                row_ptr.last().expect("checked non-empty")
+            )));
+        }
+        if *action_ptr.last().expect("checked non-empty") != col.len() {
+            return Err(shape_error(format!(
+                "action_ptr ends at {} but the arena has {} transitions",
+                action_ptr.last().expect("checked non-empty"),
+                col.len()
+            )));
+        }
+        let num_states = row_ptr.len() - 1;
+        if let Some(&target) = col.iter().find(|&&t| t >= num_states) {
+            return Err(MdpError::InvalidState {
+                state: target,
+                num_states,
+            });
+        }
+        Ok(CsrLayout {
+            row_ptr,
+            action_ptr,
+            col,
+        })
+    }
 }
 
 /// A finite MDP stored as one flat CSR transition arena: index arrays in a
@@ -130,6 +188,86 @@ pub struct CsrMdp {
 }
 
 impl CsrMdp {
+    /// Assembles an arena from an already-validated layout plus the aligned
+    /// probability buffer and interned action-name table.
+    ///
+    /// This is the zero-rebuild path used by parametric model families: the
+    /// layout (and the `Arc` it lives behind) is shared across every
+    /// instantiation, only the probability buffer is fresh. Shapes are
+    /// checked here; *distribution* validity (rows summing to 1) is the
+    /// caller's responsibility — run [`CsrMdp::validate`] when in doubt.
+    /// Zero-probability transitions are allowed: a parametric arena keeps
+    /// masked branches (e.g. `γ = 0` race outcomes) structurally and masks
+    /// them numerically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::RewardShapeMismatch`] if `prob` or `name_of_pair`
+    /// are not aligned with the layout or reference missing names, and
+    /// [`MdpError::InvalidState`] for an out-of-range initial state.
+    pub fn from_raw_parts(
+        layout: Arc<CsrLayout>,
+        prob: Vec<f64>,
+        names: Vec<String>,
+        name_of_pair: Vec<u32>,
+        initial_state: usize,
+    ) -> Result<CsrMdp, MdpError> {
+        if prob.len() != layout.num_transitions() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "probability buffer has {} entries, arena has {} transitions",
+                    prob.len(),
+                    layout.num_transitions()
+                ),
+            });
+        }
+        if name_of_pair.len() != layout.num_pairs() {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "name table covers {} pairs, arena has {}",
+                    name_of_pair.len(),
+                    layout.num_pairs()
+                ),
+            });
+        }
+        if let Some(&id) = name_of_pair.iter().find(|&&id| id as usize >= names.len()) {
+            return Err(MdpError::RewardShapeMismatch {
+                detail: format!(
+                    "pair references action name {id}, table has {} entries",
+                    names.len()
+                ),
+            });
+        }
+        if initial_state >= layout.num_states() {
+            return Err(MdpError::InvalidState {
+                state: initial_state,
+                num_states: layout.num_states(),
+            });
+        }
+        Ok(CsrMdp {
+            layout,
+            prob,
+            names,
+            name_of_pair,
+            initial_state,
+        })
+    }
+
+    /// Rewrites every transition probability in place: `weight(k)` is the new
+    /// probability of arena transition `k` (the one targeting
+    /// `layout.col()[k]`).
+    ///
+    /// The layout, action names and reward alignments are untouched, which is
+    /// what lets a parametric model family re-instantiate an arena for new
+    /// parameter values in one linear pass with no rebuild. The caller is
+    /// responsible for keeping every per-pair distribution valid (summing to
+    /// 1); [`CsrMdp::validate`] checks that invariant.
+    pub fn reweight_in_place(&mut self, mut weight: impl FnMut(usize) -> f64) {
+        for (k, p) in self.prob.iter_mut().enumerate() {
+            *p = weight(k);
+        }
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.layout.num_states()
@@ -256,6 +394,12 @@ impl CsrMdp {
     /// no re-sorting: arena rows are already sorted by successor). The chain
     /// constructor re-validates the assembled CSR arrays in one pass.
     ///
+    /// Zero-probability transitions are dropped during the copy: arenas
+    /// produced by the builders never contain them, but parametric
+    /// instantiations keep masked branches (e.g. `γ = 0` race outcomes)
+    /// structurally, and those must not register as edges of the induced
+    /// chain (they would corrupt its recurrence classification).
+    ///
     /// # Errors
     ///
     /// Returns [`MdpError::InvalidAction`] if the strategy selects an action
@@ -298,8 +442,15 @@ impl CsrMdp {
             let range = self
                 .layout
                 .transition_range(self.layout.pair_index(state, strategy.action(state)));
-            col.extend_from_slice(&self.layout.col()[range.clone()]);
-            prob.extend_from_slice(&self.prob[range]);
+            for (&target, &p) in self.layout.col()[range.clone()]
+                .iter()
+                .zip(&self.prob[range])
+            {
+                if p > 0.0 {
+                    col.push(target);
+                    prob.push(p);
+                }
+            }
             row_ptr.push(col.len());
         }
         Ok(MarkovChain::from_csr_parts(row_ptr, col, prob)?)
@@ -627,6 +778,118 @@ mod tests {
         b.begin_state();
         b.add_action("a", &[(0, 1.0)]).unwrap();
         assert!(matches!(b.finish(7), Err(MdpError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn layout_from_raw_parts_validates_invariants() {
+        // A valid 2-state layout round-trips.
+        let layout = CsrLayout::from_raw_parts(vec![0, 1, 2], vec![0, 1, 2], vec![1, 0]).unwrap();
+        assert_eq!(layout.num_states(), 2);
+        assert_eq!(layout.num_pairs(), 2);
+        assert_eq!(layout.num_transitions(), 2);
+        // Pointer arrays must start at 0...
+        assert!(CsrLayout::from_raw_parts(vec![1, 2], vec![0], vec![]).is_err());
+        assert!(CsrLayout::from_raw_parts(vec![], vec![0], vec![]).is_err());
+        // ...be monotone...
+        assert!(CsrLayout::from_raw_parts(vec![0, 2, 1], vec![0, 1, 2], vec![0, 0]).is_err());
+        // ...and end at the right totals.
+        assert!(CsrLayout::from_raw_parts(vec![0, 1], vec![0, 1, 2], vec![0, 0]).is_err());
+        assert!(CsrLayout::from_raw_parts(vec![0, 1], vec![0, 3], vec![0, 0]).is_err());
+        // Successors must be in range.
+        assert!(matches!(
+            CsrLayout::from_raw_parts(vec![0, 1], vec![0, 1], vec![5]),
+            Err(MdpError::InvalidState { state: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn mdp_from_raw_parts_checks_shapes_and_allows_masked_zeros() {
+        let layout = Arc::new(
+            CsrLayout::from_raw_parts(vec![0, 1, 2], vec![0, 2, 3], vec![0, 1, 0]).unwrap(),
+        );
+        // Zero-probability ("masked") entries are allowed as long as rows
+        // still sum to 1.
+        let csr = CsrMdp::from_raw_parts(
+            Arc::clone(&layout),
+            vec![1.0, 0.0, 1.0],
+            vec!["a".to_string()],
+            vec![0, 0],
+            0,
+        )
+        .unwrap();
+        csr.validate().unwrap();
+        assert_eq!(csr.successors(0, 0), (&[0usize, 1][..], &[1.0f64, 0.0][..]));
+
+        // Misaligned probability buffer, name table and initial state fail.
+        assert!(CsrMdp::from_raw_parts(
+            Arc::clone(&layout),
+            vec![1.0],
+            vec!["a".to_string()],
+            vec![0, 0],
+            0
+        )
+        .is_err());
+        assert!(CsrMdp::from_raw_parts(
+            Arc::clone(&layout),
+            vec![1.0, 0.0, 1.0],
+            vec!["a".to_string()],
+            vec![0],
+            0
+        )
+        .is_err());
+        assert!(CsrMdp::from_raw_parts(
+            Arc::clone(&layout),
+            vec![1.0, 0.0, 1.0],
+            vec!["a".to_string()],
+            vec![0, 7],
+            0
+        )
+        .is_err());
+        assert!(CsrMdp::from_raw_parts(
+            layout,
+            vec![1.0, 0.0, 1.0],
+            vec!["a".to_string()],
+            vec![0, 0],
+            9
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reweight_in_place_rewrites_the_probability_buffer() {
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        b.add_action("a", &[(0, 0.25), (1, 0.75)]).unwrap();
+        b.begin_state();
+        b.add_action("b", &[(0, 1.0)]).unwrap();
+        let mut mdp = b.finish(0).unwrap();
+        let new_probs = [0.5, 0.5, 1.0];
+        mdp.csr_mut().reweight_in_place(|k| new_probs[k]);
+        assert_eq!(mdp.csr().probabilities(), &new_probs);
+        mdp.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_chain_drops_masked_zero_probability_entries() {
+        let layout = Arc::new(
+            CsrLayout::from_raw_parts(vec![0, 1, 2], vec![0, 2, 3], vec![0, 1, 1]).unwrap(),
+        );
+        // State 0's only action keeps a masked (probability-0) edge to the
+        // absorbing state 1; the induced chain must not contain that edge, so
+        // state 0 is correctly classified as its own recurrent class.
+        let csr = CsrMdp::from_raw_parts(
+            layout,
+            vec![1.0, 0.0, 1.0],
+            vec!["a".to_string()],
+            vec![0, 0],
+            0,
+        )
+        .unwrap();
+        let strategy = crate::PositionalStrategy::uniform_first_action(2);
+        let chain = csr.induced_chain(&strategy).unwrap();
+        assert_eq!(chain.successors(0), (&[0usize][..], &[1.0f64][..]));
+        let scc = chain.classify();
+        assert_eq!(scc.recurrent_classes().len(), 2);
     }
 
     #[test]

@@ -45,6 +45,14 @@ impl Mdp {
         &self.csr
     }
 
+    /// Mutable access to the underlying arena, for in-place reweighting of
+    /// the probability buffer ([`CsrMdp::reweight_in_place`]). The index
+    /// arrays are behind a shared [`std::sync::Arc`] and cannot be mutated
+    /// through this handle.
+    pub fn csr_mut(&mut self) -> &mut CsrMdp {
+        &mut self.csr
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.csr.num_states()
@@ -149,6 +157,13 @@ impl Mdp {
     /// (i.e. following any action), in breadth-first order.
     pub fn reachable_states(&self) -> Vec<usize> {
         self.csr.reachable_states()
+    }
+}
+
+impl From<CsrMdp> for Mdp {
+    /// Wraps an externally assembled arena (see [`CsrMdp::from_raw_parts`]).
+    fn from(csr: CsrMdp) -> Self {
+        Mdp { csr }
     }
 }
 

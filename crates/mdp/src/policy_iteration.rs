@@ -188,6 +188,12 @@ impl PolicyIteration {
             });
         }
         let n = mdp.num_states();
+        // Mirror the value-iteration guard: a state with an empty action range
+        // has no policy to iterate on and must fail loudly, not via a later
+        // panic or a NaN evaluation.
+        if let Some(state) = (0..n).find(|&s| mdp.num_actions(s) == 0) {
+            return Err(MdpError::NoActions { state });
+        }
         let tol = self.improvement_tolerance;
         let mut strategy = PositionalStrategy::uniform_first_action(n);
 
@@ -341,6 +347,27 @@ mod tests {
             "policy iteration {pi_gain} vs value iteration {}",
             vi.gain
         );
+    }
+
+    #[test]
+    fn empty_action_range_fails_loudly() {
+        use crate::csr::{CsrLayout, CsrMdp};
+        use std::sync::Arc;
+        let layout = CsrLayout::from_raw_parts(vec![0, 1, 1], vec![0, 1], vec![0]).unwrap();
+        let csr = CsrMdp::from_raw_parts(
+            Arc::new(layout),
+            vec![1.0],
+            vec!["loop".to_string()],
+            vec![0],
+            0,
+        )
+        .unwrap();
+        let mdp = crate::Mdp::from(csr);
+        let rewards = TransitionRewards::zeros(&mdp);
+        assert!(matches!(
+            PolicyIteration::default().solve(&mdp, &rewards),
+            Err(MdpError::NoActions { state: 1 })
+        ));
     }
 
     #[test]

@@ -101,6 +101,14 @@ impl TransitionRewards {
         &self.values
     }
 
+    /// Mutable access to the flat per-transition reward buffer, for callers
+    /// that refill rewards in place (parametric re-instantiation). The
+    /// buffer's length and its alignment with the arena are fixed; the values
+    /// themselves carry no invariant.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// The reward of the `transition_index`-th successor of `(state, action)`.
     ///
     /// # Panics

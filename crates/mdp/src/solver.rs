@@ -91,36 +91,71 @@ impl MeanPayoffSolver {
         mdp: &Mdp,
         rewards: &TransitionRewards,
     ) -> Result<MeanPayoffResult, MdpError> {
+        self.solve_seeded(mdp, rewards, None)
+            .map(|(result, _)| result)
+    }
+
+    /// [`MeanPayoffSolver::solve`] with warm-start plumbing for solve chains
+    /// (parameter sweeps, Dinkelbach iterations): for the value-iteration
+    /// method the solve is seeded with a previous bias vector and the final
+    /// bias is returned for the next call. The exact methods ignore the seed
+    /// and return an empty carry-over; a mis-shaped seed is ignored rather
+    /// than rejected (it is an accelerator, not an input).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MeanPayoffSolver::solve`].
+    pub fn solve_seeded(
+        &self,
+        mdp: &Mdp,
+        rewards: &TransitionRewards,
+        seed: Option<&[f64]>,
+    ) -> Result<(MeanPayoffResult, Vec<f64>), MdpError> {
         match &self.method {
             MeanPayoffMethod::ValueIteration { epsilon } => {
-                let outcome = RelativeValueIteration::with_epsilon(*epsilon).solve(mdp, rewards)?;
-                Ok(MeanPayoffResult {
-                    gain: outcome.gain,
-                    gain_lower: outcome.gain_lower,
-                    gain_upper: outcome.gain_upper,
-                    strategy: outcome.strategy,
-                    iterations: outcome.iterations,
-                })
+                let solver = RelativeValueIteration::with_epsilon(*epsilon);
+                let outcome = match seed {
+                    Some(bias) if bias.len() == mdp.num_states() => {
+                        solver.solve_from(mdp, rewards, bias)?
+                    }
+                    _ => solver.solve(mdp, rewards)?,
+                };
+                Ok((
+                    MeanPayoffResult {
+                        gain: outcome.gain,
+                        gain_lower: outcome.gain_lower,
+                        gain_upper: outcome.gain_upper,
+                        strategy: outcome.strategy,
+                        iterations: outcome.iterations,
+                    },
+                    outcome.bias,
+                ))
             }
             MeanPayoffMethod::PolicyIteration => {
                 let (gain, strategy) = PolicyIteration::default().solve(mdp, rewards)?;
-                Ok(MeanPayoffResult {
-                    gain,
-                    gain_lower: gain,
-                    gain_upper: gain,
-                    strategy,
-                    iterations: 0,
-                })
+                Ok((
+                    MeanPayoffResult {
+                        gain,
+                        gain_lower: gain,
+                        gain_upper: gain,
+                        strategy,
+                        iterations: 0,
+                    },
+                    Vec::new(),
+                ))
             }
             MeanPayoffMethod::LinearProgramming => {
                 let (gain, strategy) = LinearProgrammingSolver::default().solve(mdp, rewards)?;
-                Ok(MeanPayoffResult {
-                    gain,
-                    gain_lower: gain,
-                    gain_upper: gain,
-                    strategy,
-                    iterations: 0,
-                })
+                Ok((
+                    MeanPayoffResult {
+                        gain,
+                        gain_lower: gain,
+                        gain_upper: gain,
+                        strategy,
+                        iterations: 0,
+                    },
+                    Vec::new(),
+                ))
             }
         }
     }
@@ -202,6 +237,25 @@ mod tests {
             .evaluate_strategy(&mdp, &rewards, &result.strategy)
             .unwrap();
         assert!((evaluated - result.gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_solve_matches_cold_solve_and_returns_a_carry_bias() {
+        let (mdp, rewards) = model();
+        let solver = MeanPayoffSolver::new(MeanPayoffMethod::ValueIteration { epsilon: 1e-9 });
+        let (cold, bias) = solver.solve_seeded(&mdp, &rewards, None).unwrap();
+        assert_eq!(bias.len(), mdp.num_states());
+        let (warm, _) = solver.solve_seeded(&mdp, &rewards, Some(&bias)).unwrap();
+        assert!((warm.gain - cold.gain).abs() < 2e-9);
+        assert_eq!(warm.strategy, cold.strategy);
+        assert!(warm.iterations <= cold.iterations);
+        // Mis-shaped seeds are ignored, not rejected.
+        let (ignored, _) = solver.solve_seeded(&mdp, &rewards, Some(&[0.0])).unwrap();
+        assert!((ignored.gain - cold.gain).abs() < 2e-9);
+        // Exact methods return an empty carry-over.
+        let exact = MeanPayoffSolver::new(MeanPayoffMethod::PolicyIteration);
+        let (_, carry) = exact.solve_seeded(&mdp, &rewards, Some(&bias)).unwrap();
+        assert!(carry.is_empty());
     }
 
     #[test]

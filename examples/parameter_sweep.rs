@@ -1,27 +1,37 @@
 //! Parameter sweep: how the optimal expected relative revenue changes with the
 //! adversarial resource `p` and the switching probability `γ` — a scaled-down,
-//! quickly-running version of the paper's Figure 2.
+//! quickly-running version of the paper's Figure 2, driven by the parallel
+//! sweep engine (`sm-sweep`): one parametric arena per `(d, f)` configuration,
+//! curve jobs fanned out over a worker pool, and warm-started solves along
+//! each `p` curve. CI runs this example on every push to exercise the
+//! parallel path end to end.
 //!
 //! ```text
 //! cargo run --release --example parameter_sweep
 //! ```
 
-use selfish_mining::experiments::Figure2Sweep;
+use selfish_mining::experiments::coarse_p_grid;
+use selfish_mining_repro::sweep::SweepConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sweep = Figure2Sweep {
+    let config = SweepConfig {
         attack_grid: vec![(1, 1), (2, 1)],
         epsilon: 1e-3,
-        ..Figure2Sweep::default()
+        ..SweepConfig::default()
     };
-    let ps = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
-    for gamma in [0.0, 0.5, 1.0] {
+    let ps = coarse_p_grid();
+    // γ = 0 and γ = 1 exercise the masked (structurally kept,
+    // numerically zero) branches of the parametric arena.
+    let gammas = [0.0, 0.5, 1.0];
+    let points = config.run(&gammas, &ps)?;
+
+    for (gamma_index, gamma) in gammas.iter().enumerate() {
         println!("gamma = {gamma}");
         println!(
             "{:>6} {:>9} {:>12} {:>11} {:>11}",
             "p", "honest", "single-tree", "d=1,f=1", "d=2,f=1"
         );
-        for point in sweep.curve(gamma, &ps)? {
+        for point in &points[gamma_index * ps.len()..(gamma_index + 1) * ps.len()] {
             println!(
                 "{:>6.2} {:>9.4} {:>12.4} {:>11.4} {:>11.4}",
                 point.p,

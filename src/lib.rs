@@ -13,6 +13,8 @@
 //! * [`chain`] — the discrete-time longest-chain blockchain simulator.
 //! * [`selfish_mining`] — the paper's selfish-mining MDP, the Algorithm 1
 //!   analysis procedure and the baselines.
+//! * [`sweep`] — the parallel `(p, γ)` sweep engine over the parametric
+//!   transition arena (worker pool + warm-started solves).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the reproduction
 //! of every table and figure of the paper.
@@ -24,5 +26,6 @@ pub use sm_linalg as linalg;
 pub use sm_markov as markov;
 pub use sm_mdp as mdp;
 pub use sm_proofs as proofs;
+pub use sm_sweep as sweep;
 
 pub use selfish_mining;

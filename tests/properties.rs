@@ -97,6 +97,39 @@ fn expected_relative_revenue_is_well_formed() {
     }
 }
 
+/// Across the whole random parameter grid, instantiating the parametric
+/// arena reproduces the direct builder: identical arena (bit for bit) for
+/// interior parameters, and a validating superset topology at the masked
+/// edges.
+#[test]
+fn parametric_instantiation_matches_fresh_build_on_the_grid() {
+    for params in attack_params_grid() {
+        let fresh = SelfishMiningModel::build(&params).unwrap();
+        let family = selfish_mining::ParametricModel::build(
+            params.depth,
+            params.forks_per_block,
+            params.max_fork_length,
+        )
+        .unwrap();
+        let instantiated = family.instantiate(params.p, params.gamma).unwrap();
+        instantiated.mdp().validate().unwrap();
+        let interior = params.p > 0.0 && params.p < 1.0 && params.gamma > 0.0 && params.gamma < 1.0;
+        if interior {
+            assert_eq!(instantiated.mdp(), fresh.mdp(), "params {params:?}");
+            assert_eq!(
+                instantiated.adversary_rewards().values(),
+                fresh.adversary_rewards().values()
+            );
+            assert_eq!(
+                instantiated.honest_rewards().values(),
+                fresh.honest_rewards().values()
+            );
+        } else {
+            assert!(instantiated.num_states() >= fresh.num_states());
+        }
+    }
+}
+
 /// On random small MDPs the three mean-payoff solvers agree.
 #[test]
 fn mean_payoff_solvers_agree_on_random_mdps() {
