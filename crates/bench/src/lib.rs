@@ -88,11 +88,14 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out
 }
 
-/// One rendered Figure 2 panel: the γ it belongs to and its rows.
+/// One Figure 2 panel: the γ it belongs to, its data points and the rendered
+/// rows.
 #[derive(Debug, Clone)]
 pub struct Figure2Panel {
     /// The switching probability of the panel.
     pub gamma: f64,
+    /// The panel's data, one [`Figure2Point`] per `p` in sweep order.
+    pub points: Vec<Figure2Point>,
     /// Rendered text of the panel.
     pub rendered: String,
 }
@@ -132,10 +135,11 @@ pub fn figure2_panels(
         .iter()
         .enumerate()
         .map(|(gamma_index, &gamma)| {
-            let rows = &points[gamma_index * ps.len()..(gamma_index + 1) * ps.len()];
+            let rows = points[gamma_index * ps.len()..(gamma_index + 1) * ps.len()].to_vec();
             Figure2Panel {
                 gamma,
-                rendered: render_figure2_rows(&grid, rows),
+                rendered: render_figure2_rows(&grid, &rows),
+                points: rows,
             }
         })
         .collect())

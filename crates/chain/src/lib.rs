@@ -29,14 +29,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod block;
 mod metrics;
 mod simulator;
 mod strategy;
 
+pub use arrival::{ArrivalEvent, ArrivalSource, BernoulliSource, PowLotterySource};
 pub use block::{BlockId, BlockTree, MinerClass};
 pub use metrics::SimulationReport;
 pub use simulator::{SimulationConfig, Simulator};
 pub use strategy::{
     AdversaryAction, AdversaryStrategy, AdversaryView, HonestStrategy, Sm1Strategy, TableStrategy,
+    UnknownViewPolicy,
 };

@@ -40,7 +40,13 @@ impl SimulationReport {
     }
 
     /// Empirical relative revenue of the adversary
-    /// (`revenue_A / (revenue_A + revenue_H)`); 0 when no block is stable yet.
+    /// (`revenue_A / (revenue_A + revenue_H)`).
+    ///
+    /// When zero blocks were committed the ratio is `0/0`; instead of
+    /// propagating a `NaN` into downstream statistics, the report defines the
+    /// value as `0.0` — no committed block means no evidence of adversarial
+    /// revenue. [`SimulationReport::chain_quality`] mirrors the convention
+    /// with `1.0`. Both are always finite.
     pub fn relative_revenue(&self) -> f64 {
         let total = self.total_blocks();
         if total == 0 {
@@ -49,9 +55,17 @@ impl SimulationReport {
         self.adversary_blocks as f64 / total as f64
     }
 
-    /// Empirical chain quality, the complement of the relative revenue.
+    /// Empirical chain quality, the honest fraction of the stable chain.
+    ///
+    /// Defined as `1.0` when zero blocks were committed (see
+    /// [`SimulationReport::relative_revenue`] for the zero-block convention);
+    /// never `NaN`.
     pub fn chain_quality(&self) -> f64 {
-        1.0 - self.relative_revenue()
+        let total = self.total_blocks();
+        if total == 0 {
+            return 1.0;
+        }
+        self.honest_blocks as f64 / total as f64
     }
 
     /// Empirical block rate: stable blocks produced per simulated step.
@@ -92,6 +106,20 @@ mod tests {
         assert_eq!(r.relative_revenue(), 0.0);
         assert_eq!(r.chain_quality(), 1.0);
         assert_eq!(r.blocks_per_step(), 0.0);
+    }
+
+    #[test]
+    fn zero_committed_blocks_yield_finite_defined_metrics() {
+        // 0/0 must not leak a NaN into the Monte-Carlo statistics: an empty
+        // stable chain reports zero revenue and full quality by convention.
+        for steps in [0, 100] {
+            let r = SimulationReport::new("empty".into(), steps, 0, 0, 0);
+            assert!(r.relative_revenue().is_finite());
+            assert!(r.chain_quality().is_finite());
+            assert!(r.blocks_per_step().is_finite());
+            assert_eq!(r.relative_revenue(), 0.0);
+            assert_eq!(r.chain_quality(), 1.0);
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The discrete-time simulation loop.
 
 use crate::{
-    AdversaryAction, AdversaryStrategy, AdversaryView, BlockId, BlockTree, MinerClass,
-    SimulationReport,
+    AdversaryAction, AdversaryStrategy, AdversaryView, ArrivalEvent, ArrivalSource,
+    BernoulliSource, BlockId, BlockTree, MinerClass, SimulationReport,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,7 +91,27 @@ impl Simulator {
 
     /// Runs the simulation with the given adversary strategy and returns the
     /// measured report.
+    ///
+    /// Blocks arrive through the ideal [`BernoulliSource`] sharing the
+    /// simulation RNG; seeded runs are bit-for-bit identical to the
+    /// historical inlined lottery. Use [`Simulator::run_with_source`] to run
+    /// on a different arrival realisation (e.g. the proof-backed lottery).
     pub fn run(&self, strategy: &mut dyn AdversaryStrategy) -> SimulationReport {
+        self.run_with_source(strategy, &mut BernoulliSource::new(self.config.p))
+    }
+
+    /// Runs the simulation with the given adversary strategy, drawing block
+    /// arrivals from the given [`ArrivalSource`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source reports an adversarial position outside
+    /// `0..sigma` (a contract violation of the source).
+    pub fn run_with_source(
+        &self,
+        strategy: &mut dyn AdversaryStrategy,
+        source: &mut dyn ArrivalSource,
+    ) -> SimulationReport {
         let config = self.config;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut state = SimulationState {
@@ -104,24 +124,23 @@ impl Simulator {
         for _ in 0..config.steps {
             let roots = self.window_roots(&state);
             let slots = self.mining_slots(&state, &roots);
-            let sigma = slots.len() as f64;
-            let denominator = (1.0 - config.p) + config.p * sigma;
-            let adversary_wins =
-                denominator > 0.0 && rng.gen_range(0.0..denominator) < config.p * sigma;
 
-            if adversary_wins {
-                // Pick one of the adversary's mining positions uniformly.
-                let (root, slot) = slots[rng.gen_range(0..slots.len())];
-                self.extend_fork(&mut state, root, slot);
-                let view = self.view(&state, &roots, false, true);
-                let action = strategy.decide(&view);
-                self.apply_action(&mut state, &roots, action, None, &mut rng);
-            } else {
-                // Honest block found; it is pending until the adversary reacts.
-                let pending = state.tree.add_block(state.public_tip, MinerClass::Honest);
-                let view = self.view(&state, &roots, true, false);
-                let action = strategy.decide(&view);
-                self.apply_action(&mut state, &roots, action, Some(pending), &mut rng);
+            match source.next_block(&mut rng, slots.len()) {
+                ArrivalEvent::Adversary { position } => {
+                    let (root, slot) = slots[position];
+                    self.extend_fork(&mut state, root, slot);
+                    let view = self.view(&state, &roots, false, true);
+                    let action = strategy.decide(&view);
+                    self.apply_action(&mut state, &roots, action, None, &mut rng);
+                }
+                ArrivalEvent::Honest => {
+                    // Honest block found; it is pending until the adversary
+                    // reacts.
+                    let pending = state.tree.add_block(state.public_tip, MinerClass::Honest);
+                    let view = self.view(&state, &roots, true, false);
+                    let action = strategy.decide(&view);
+                    self.apply_action(&mut state, &roots, action, Some(pending), &mut rng);
+                }
             }
         }
 
@@ -452,6 +471,30 @@ mod tests {
         assert_eq!(a.adversary_blocks, b.adversary_blocks);
         let c = Simulator::new(config(0.3, 0.5, 10_000, 10)).run(&mut Sm1Strategy);
         assert!(c.honest_blocks != a.honest_blocks || c.adversary_blocks != a.adversary_blocks);
+    }
+
+    #[test]
+    fn run_is_the_bernoulli_source_run() {
+        // `run` must stay bit-for-bit identical to an explicit Bernoulli
+        // arrival source: both share the simulation RNG with the same draw
+        // sequence.
+        let simulator = Simulator::new(config(0.35, 0.5, 20_000, 13));
+        let direct = simulator.run(&mut Sm1Strategy);
+        let via_source =
+            simulator.run_with_source(&mut Sm1Strategy, &mut crate::BernoulliSource::new(0.35));
+        assert_eq!(direct, via_source);
+    }
+
+    #[test]
+    fn pow_lottery_source_yields_consistent_honest_share() {
+        let simulator = Simulator::new(config(0.3, 0.5, 60_000, 4));
+        let mut source = crate::PowLotterySource::new(0.3, 17);
+        let report = simulator.run_with_source(&mut HonestStrategy, &mut source);
+        let revenue = report.relative_revenue();
+        assert!(
+            (revenue - 0.3).abs() < 0.03,
+            "pow-lottery honest revenue {revenue} should be near 0.3"
+        );
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub trait AdversaryStrategy {
     fn name(&self) -> &str {
         "adversary"
     }
+
+    /// Number of decision points this strategy had no explicit policy for
+    /// (0 for strategies that are total by construction). Table-backed
+    /// strategies report their fallback hits here so that conformance runs
+    /// can surface coverage gaps between the MDP and the simulator.
+    fn unknown_views(&self) -> u64 {
+        0
+    }
 }
 
 /// The honest baseline: publish every block immediately, never withhold.
@@ -134,24 +142,55 @@ impl AdversaryStrategy for Sm1Strategy {
     }
 }
 
-/// A strategy defined by an explicit lookup table from views to actions, with
-/// a fallback of [`AdversaryAction::Wait`] for unknown views.
+/// What a [`TableStrategy`] does when asked to decide a view it has no entry
+/// for.
 ///
-/// The workspace integration tests build such a table from the ε-optimal
-/// positional strategy computed by the MDP analysis and replay it in the
-/// simulator to cross-validate the two implementations.
+/// A table compiled from an MDP strategy covers every view the MDP reaches;
+/// a miss therefore either means the simulator wandered into territory the
+/// model prunes (benign, but worth counting) or that the two implementations
+/// disagree on the state space (a bug). The policy makes that choice
+/// explicit instead of silently waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnknownViewPolicy {
+    /// Play [`AdversaryAction::Wait`] and count the miss (see
+    /// [`TableStrategy::unknown_views`]). The default, and what conformance
+    /// runs use: the run completes and the report surfaces the coverage gap.
+    #[default]
+    Wait,
+    /// Panic with the offending view. For strict certification debugging
+    /// where any coverage gap must abort immediately.
+    Panic,
+}
+
+/// A strategy defined by an explicit lookup table from views to actions, with
+/// an explicit [`UnknownViewPolicy`] for views without an entry.
+///
+/// `selfish_mining::StrategyExport` compiles the ε-optimal positional
+/// strategy computed by the MDP analysis into such a table; the conformance
+/// subsystem replays it in the simulator to cross-validate the two
+/// implementations.
 #[derive(Debug, Clone, Default)]
 pub struct TableStrategy {
     table: HashMap<AdversaryView, AdversaryAction>,
     name: String,
+    policy: UnknownViewPolicy,
+    unknown_views: u64,
 }
 
 impl TableStrategy {
-    /// Creates a table strategy with the given name.
+    /// Creates a table strategy with the given name and the default
+    /// [`UnknownViewPolicy::Wait`] fallback.
     pub fn new(name: impl Into<String>) -> Self {
+        TableStrategy::with_policy(name, UnknownViewPolicy::default())
+    }
+
+    /// Creates a table strategy with the given name and unknown-view policy.
+    pub fn with_policy(name: impl Into<String>, policy: UnknownViewPolicy) -> Self {
         TableStrategy {
             table: HashMap::new(),
             name: name.into(),
+            policy,
+            unknown_views: 0,
         }
     }
 
@@ -169,18 +208,50 @@ impl TableStrategy {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// The policy applied to views without an entry.
+    pub fn policy(&self) -> UnknownViewPolicy {
+        self.policy
+    }
+
+    /// Number of decisions that fell through to the unknown-view policy since
+    /// construction (or the last [`TableStrategy::reset_unknown_views`]).
+    pub fn unknown_views(&self) -> u64 {
+        self.unknown_views
+    }
+
+    /// Resets the unknown-view counter, e.g. between simulation runs sharing
+    /// one table.
+    pub fn reset_unknown_views(&mut self) {
+        self.unknown_views = 0;
+    }
 }
 
 impl AdversaryStrategy for TableStrategy {
     fn decide(&mut self, view: &AdversaryView) -> AdversaryAction {
-        self.table
-            .get(view)
-            .copied()
-            .unwrap_or(AdversaryAction::Wait)
+        match self.table.get(view) {
+            Some(&action) => action,
+            None => match self.policy {
+                UnknownViewPolicy::Wait => {
+                    self.unknown_views += 1;
+                    AdversaryAction::Wait
+                }
+                UnknownViewPolicy::Panic => {
+                    panic!(
+                        "table strategy '{}' has no entry for view {view:?}",
+                        self.name
+                    )
+                }
+            },
+        }
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn unknown_views(&self) -> u64 {
+        self.unknown_views
     }
 }
 
@@ -276,6 +347,33 @@ mod tests {
             AdversaryAction::Wait
         );
         assert_eq!(table.name(), "from-mdp");
+        assert_eq!(table.unknown_views(), 1);
+        assert_eq!(AdversaryStrategy::unknown_views(&table), 1);
+        table.reset_unknown_views();
+        assert_eq!(table.unknown_views(), 0);
+    }
+
+    #[test]
+    fn known_views_do_not_count_as_unknown() {
+        let mut table = TableStrategy::with_policy("strict", UnknownViewPolicy::Wait);
+        let v = view(vec![vec![1]], true, false);
+        table.insert(v.clone(), AdversaryAction::Wait);
+        assert_eq!(table.policy(), UnknownViewPolicy::Wait);
+        let _ = table.decide(&v);
+        assert_eq!(table.unknown_views(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no entry for view")]
+    fn panic_policy_aborts_on_unknown_views() {
+        let mut table = TableStrategy::with_policy("strict", UnknownViewPolicy::Panic);
+        let _ = table.decide(&view(vec![vec![1]], true, false));
+    }
+
+    #[test]
+    fn builtin_strategies_are_total() {
+        assert_eq!(AdversaryStrategy::unknown_views(&HonestStrategy), 0);
+        assert_eq!(AdversaryStrategy::unknown_views(&Sm1Strategy), 0);
     }
 
     #[test]

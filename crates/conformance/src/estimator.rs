@@ -1,0 +1,471 @@
+//! The batched parallel Monte-Carlo revenue estimator.
+//!
+//! Replicas are independent seeded [`Simulator`] runs; their relative
+//! revenues stream into a Welford mean/variance accumulator that feeds a CLT
+//! confidence interval. A sequential stopping rule runs batches of replicas
+//! until the interval half-width drops below the tolerance or the replica
+//! budget is exhausted. The replica fan-out reuses the `sm-sweep` worker-pool
+//! pattern (a [`std::thread::scope`] pool draining an atomic index), and the
+//! result is **bit-identical for any worker count**: replica `i`'s seeds are
+//! a pure function of the master seed and `i`, and the accumulator always
+//! folds the per-replica results in replica order.
+
+use crate::ConformanceError;
+use sm_chain::{
+    AdversaryStrategy, ArrivalSource, BernoulliSource, PowLotterySource, SimulationConfig,
+    Simulator,
+};
+
+/// Which realisation of the block-arrival lottery the replicas run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalKind {
+    /// The ideal Bernoulli lottery drawn from the simulation RNG
+    /// ([`sm_chain::BernoulliSource`]).
+    Bernoulli,
+    /// The proof-backed hashcash lottery from `sm-proofs`
+    /// ([`sm_chain::PowLotterySource`]).
+    PowLottery,
+}
+
+impl ArrivalKind {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalKind::Bernoulli => "bernoulli",
+            ArrivalKind::PowLottery => "pow-lottery",
+        }
+    }
+
+    /// Builds a seeded source of this kind for resource share `p`.
+    fn source(&self, p: f64, seed: u64) -> Box<dyn ArrivalSource> {
+        match self {
+            ArrivalKind::Bernoulli => Box::new(BernoulliSource::new(p)),
+            ArrivalKind::PowLottery => Box::new(PowLotterySource::new(p, seed)),
+        }
+    }
+}
+
+/// Configuration of the Monte-Carlo estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorConfig {
+    /// Per-replica simulation parameters. `simulation.seed` is the **master
+    /// seed**: replica `i` derives its simulation and arrival-source seeds
+    /// from it by deterministic mixing, so one config describes the entire
+    /// replica family.
+    pub simulation: SimulationConfig,
+    /// Target half-width of the confidence interval: the sequential stopping
+    /// rule ends the run once `z_score · σ̂ / √n ≤ tolerance`.
+    pub tolerance: f64,
+    /// Normal quantile scaling the interval (1.96 ≈ 95 %, 3.0 ≈ 99.7 %).
+    pub z_score: f64,
+    /// Replicas to run before the stopping rule is first consulted (at least
+    /// 2 are always run — the variance estimate needs them).
+    pub min_replicas: usize,
+    /// Replicas per stopping-rule round. Batching keeps the stopping
+    /// decision a function of replica *count* only, which the determinism
+    /// guarantee relies on.
+    pub batch: usize,
+    /// Hard replica budget; the estimate is flagged unconverged when the
+    /// budget is exhausted before the tolerance is met.
+    pub max_replicas: usize,
+    /// Worker threads; `0` uses [`std::thread::available_parallelism`]. The
+    /// estimate is bit-identical for every choice.
+    pub workers: usize,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            simulation: SimulationConfig::default(),
+            tolerance: 4e-3,
+            z_score: 3.0,
+            min_replicas: 4,
+            batch: 4,
+            max_replicas: 64,
+            workers: 0,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    fn validate(&self) -> Result<(), ConformanceError> {
+        if self.tolerance.is_nan() || self.tolerance <= 0.0 {
+            return Err(ConformanceError::InvalidConfig {
+                name: "tolerance",
+                constraint: "must be positive",
+            });
+        }
+        if self.z_score.is_nan() || self.z_score <= 0.0 {
+            return Err(ConformanceError::InvalidConfig {
+                name: "z_score",
+                constraint: "must be positive",
+            });
+        }
+        if self.batch == 0 {
+            return Err(ConformanceError::InvalidConfig {
+                name: "batch",
+                constraint: "must be positive",
+            });
+        }
+        if self.max_replicas < 2 {
+            return Err(ConformanceError::InvalidConfig {
+                name: "max_replicas",
+                constraint: "must be at least 2 (the variance estimate needs two replicas)",
+            });
+        }
+        Ok(())
+    }
+
+    /// The effective worker count for a round of `replicas` replicas.
+    fn worker_count(&self, replicas: usize) -> usize {
+        crate::effective_workers(self.workers, replicas)
+    }
+}
+
+/// A Monte-Carlo estimate of the expected relative revenue with its CLT
+/// confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Label of the arrival source the replicas ran on.
+    pub source: &'static str,
+    /// Sample mean of the per-replica relative revenues.
+    pub mean: f64,
+    /// Unbiased sample variance of the per-replica relative revenues.
+    pub variance: f64,
+    /// Half-width of the confidence interval, `z · σ̂ / √n`.
+    pub half_width: f64,
+    /// Number of replicas that contributed.
+    pub replicas: usize,
+    /// Simulated steps per replica.
+    pub steps_per_replica: usize,
+    /// Whether the stopping rule met the tolerance within the budget.
+    pub converged: bool,
+    /// Total decision points across all replicas for which the strategy had
+    /// no explicit policy (0 for a table that covers everything the
+    /// simulator reaches).
+    pub unknown_views: u64,
+}
+
+impl Estimate {
+    /// Lower end of the confidence interval.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper end of the confidence interval.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the confidence interval overlaps `[lower, upper]`.
+    pub fn overlaps(&self, lower: f64, upper: f64) -> bool {
+        self.lower() <= upper && lower <= self.upper()
+    }
+
+    /// Whether two estimates' confidence intervals overlap.
+    pub fn agrees_with(&self, other: &Estimate) -> bool {
+        self.overlaps(other.lower(), other.upper())
+    }
+
+    /// Distance between the confidence interval and `[lower, upper]`
+    /// (0 when they overlap).
+    pub fn gap_to(&self, lower: f64, upper: f64) -> f64 {
+        (lower - self.upper()).max(self.lower() - upper).max(0.0)
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// CLT half-width `z · σ̂ / √n` of the accumulated sample — the one
+    /// expression both the stopping rule and the final estimate use.
+    fn half_width(&self, z_score: f64) -> f64 {
+        z_score * (self.variance() / self.count as f64).sqrt()
+    }
+}
+
+/// The two seeds of replica `index`: one for the simulation RNG, one for the
+/// arrival source. Pure in `(master, index)`, which is what makes the
+/// estimator deterministic for any worker count.
+fn replica_seeds(master: u64, index: usize) -> (u64, u64) {
+    let base = crate::splitmix(master ^ crate::splitmix(2 * index as u64));
+    (
+        base,
+        crate::splitmix(master ^ crate::splitmix(2 * index as u64 + 1)),
+    )
+}
+
+/// One replica's contribution: its relative revenue and the number of
+/// unknown-view fallbacks its strategy hit.
+fn run_replica<S>(
+    config: &EstimatorConfig,
+    strategy: &S,
+    kind: ArrivalKind,
+    index: usize,
+) -> (f64, u64)
+where
+    S: AdversaryStrategy + Clone,
+{
+    let (sim_seed, source_seed) = replica_seeds(config.simulation.seed, index);
+    let simulator = Simulator::new(SimulationConfig {
+        seed: sim_seed,
+        ..config.simulation
+    });
+    let mut replica_strategy = strategy.clone();
+    // The clone inherits the prototype's miss counter (e.g. from a prior run
+    // of the same table); report only the misses this replica adds.
+    let baseline_misses = replica_strategy.unknown_views();
+    let mut source = kind.source(config.simulation.p, source_seed);
+    let report = simulator.run_with_source(&mut replica_strategy, source.as_mut());
+    (
+        report.relative_revenue(),
+        replica_strategy.unknown_views() - baseline_misses,
+    )
+}
+
+/// Runs replicas `first..first + count` and returns their contributions in
+/// replica order, fanning them over the shared scoped worker pool.
+fn run_round<S>(
+    config: &EstimatorConfig,
+    strategy: &S,
+    kind: ArrivalKind,
+    first: usize,
+    count: usize,
+) -> Vec<(f64, u64)>
+where
+    S: AdversaryStrategy + Clone + Send + Sync,
+{
+    crate::run_indexed_jobs(config.worker_count(count), count, |offset| {
+        run_replica(config, strategy, kind, first + offset)
+    })
+}
+
+/// Estimates the expected relative revenue of `strategy` under the given
+/// arrival realisation.
+///
+/// Replicas run in batches of [`EstimatorConfig::batch`]; after each batch
+/// the CLT interval is recomputed and the run stops once its half-width
+/// reaches [`EstimatorConfig::tolerance`] (sequential stopping rule) or
+/// [`EstimatorConfig::max_replicas`] is exhausted. The returned estimate is
+/// **bit-identical for any** [`EstimatorConfig::workers`] **count** given the
+/// same master seed.
+///
+/// # Errors
+///
+/// Returns [`ConformanceError::InvalidConfig`] for non-positive tolerances,
+/// an empty batch or a replica budget below 2.
+pub fn estimate_revenue<S>(
+    config: &EstimatorConfig,
+    strategy: &S,
+    kind: ArrivalKind,
+) -> Result<Estimate, ConformanceError>
+where
+    S: AdversaryStrategy + Clone + Send + Sync,
+{
+    config.validate()?;
+    let min_replicas = config.min_replicas.max(2).min(config.max_replicas);
+    let mut welford = Welford::default();
+    let mut unknown_views = 0u64;
+    let mut converged = false;
+    let mut next_index = 0usize;
+    while next_index < config.max_replicas {
+        let round = config.batch.min(config.max_replicas - next_index);
+        for (revenue, misses) in run_round(config, strategy, kind, next_index, round) {
+            welford.push(revenue);
+            unknown_views += misses;
+        }
+        next_index += round;
+        if welford.count >= min_replicas && welford.half_width(config.z_score) <= config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    Ok(Estimate {
+        source: kind.label(),
+        mean: welford.mean,
+        variance: welford.variance(),
+        half_width: welford.half_width(config.z_score),
+        replicas: welford.count,
+        steps_per_replica: config.simulation.steps,
+        converged,
+        unknown_views,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_chain::HonestStrategy;
+
+    fn config(p: f64, steps: usize, seed: u64) -> EstimatorConfig {
+        EstimatorConfig {
+            simulation: SimulationConfig {
+                p,
+                gamma: 0.5,
+                depth: 2,
+                forks_per_block: 1,
+                max_fork_length: 4,
+                steps,
+                seed,
+            },
+            ..EstimatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn honest_estimate_converges_to_p() {
+        let estimate = estimate_revenue(
+            &config(0.3, 20_000, 1),
+            &HonestStrategy,
+            ArrivalKind::Bernoulli,
+        )
+        .unwrap();
+        assert!(estimate.replicas >= 4);
+        assert!(estimate.half_width > 0.0);
+        assert!(
+            (estimate.mean - 0.3).abs() <= estimate.half_width + 5e-3,
+            "mean {} vs 0.3 (hw {})",
+            estimate.mean,
+            estimate.half_width
+        );
+        assert_eq!(estimate.unknown_views, 0);
+        assert_eq!(estimate.source, "bernoulli");
+    }
+
+    #[test]
+    fn estimator_is_bit_identical_across_worker_counts() {
+        let base = EstimatorConfig {
+            // A tolerance no run meets forces the full budget, so every
+            // worker count runs the same replicas.
+            tolerance: 1e-12,
+            max_replicas: 10,
+            batch: 3,
+            ..config(0.25, 5_000, 77)
+        };
+        let reference = estimate_revenue(
+            &EstimatorConfig {
+                workers: 1,
+                ..base.clone()
+            },
+            &HonestStrategy,
+            ArrivalKind::PowLottery,
+        )
+        .unwrap();
+        for workers in [2, 5, 8] {
+            let estimate = estimate_revenue(
+                &EstimatorConfig {
+                    workers,
+                    ..base.clone()
+                },
+                &HonestStrategy,
+                ArrivalKind::PowLottery,
+            )
+            .unwrap();
+            assert_eq!(reference, estimate, "workers = {workers}");
+        }
+        assert!(!reference.converged);
+        assert_eq!(reference.replicas, 10);
+    }
+
+    #[test]
+    fn degenerate_resource_has_zero_variance_and_converges_immediately() {
+        let estimate = estimate_revenue(
+            &config(0.0, 2_000, 3),
+            &HonestStrategy,
+            ArrivalKind::Bernoulli,
+        )
+        .unwrap();
+        assert_eq!(estimate.mean, 0.0);
+        assert_eq!(estimate.variance, 0.0);
+        assert_eq!(estimate.half_width, 0.0);
+        assert!(estimate.converged);
+        assert_eq!(estimate.replicas, 4);
+    }
+
+    #[test]
+    fn interval_helpers_are_consistent() {
+        let estimate = Estimate {
+            source: "bernoulli",
+            mean: 0.3,
+            variance: 1e-6,
+            half_width: 0.01,
+            replicas: 8,
+            steps_per_replica: 1000,
+            converged: true,
+            unknown_views: 0,
+        };
+        assert!(estimate.overlaps(0.29, 0.295));
+        assert!(estimate.overlaps(0.305, 0.4));
+        assert!(!estimate.overlaps(0.32, 0.4));
+        assert_eq!(estimate.gap_to(0.29, 0.295), 0.0);
+        assert!((estimate.gap_to(0.35, 0.4) - 0.04).abs() < 1e-12);
+        let other = Estimate {
+            mean: 0.305,
+            ..estimate.clone()
+        };
+        assert!(estimate.agrees_with(&other));
+    }
+
+    #[test]
+    fn stale_prototype_miss_counters_are_not_double_counted() {
+        use sm_chain::{AdversaryStrategy as _, AdversaryView, TableStrategy};
+        let cfg = config(0.3, 2_000, 9);
+        // An empty table misses (and counts) every decision point.
+        let fresh = TableStrategy::new("empty");
+        let clean = estimate_revenue(&cfg, &fresh, ArrivalKind::Bernoulli).unwrap();
+        assert!(clean.unknown_views > 0);
+        // A prototype whose counter was dirtied before the run must report
+        // the same per-replica misses, not the inherited baseline on top.
+        let mut dirty = TableStrategy::new("empty");
+        for _ in 0..7 {
+            let _ = dirty.decide(&AdversaryView {
+                fork_lengths: vec![vec![9]],
+                owners: vec![],
+                pending_honest_block: true,
+                just_mined: false,
+            });
+        }
+        let dirtied = estimate_revenue(&cfg, &dirty, ArrivalKind::Bernoulli).unwrap();
+        assert_eq!(clean, dirtied);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad_tol = EstimatorConfig {
+            tolerance: 0.0,
+            ..config(0.3, 100, 1)
+        };
+        assert!(estimate_revenue(&bad_tol, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+        let bad_batch = EstimatorConfig {
+            batch: 0,
+            ..config(0.3, 100, 1)
+        };
+        assert!(estimate_revenue(&bad_batch, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+        let bad_budget = EstimatorConfig {
+            max_replicas: 1,
+            ..config(0.3, 100, 1)
+        };
+        assert!(estimate_revenue(&bad_budget, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+    }
+}

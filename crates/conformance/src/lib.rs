@@ -1,0 +1,305 @@
+//! Statistical conformance between the exact MDP analysis and the
+//! operational selfish-mining process.
+//!
+//! The paper's central claim is that the mean-payoff MDP analysis and the
+//! block-level simulation describe the *same* system; this crate turns that
+//! claim into a first-class, certifiable artifact. For a solved grid point it
+//!
+//! 1. compiles the ε-optimal positional strategy into a simulator table
+//!    ([`selfish_mining::StrategyExport`]),
+//! 2. estimates the strategy's empirical relative revenue with a batched,
+//!    parallel Monte-Carlo estimator ([`estimate_revenue`]) — many seeded
+//!    [`sm_chain::Simulator`] replicas fanned over a scoped worker pool,
+//!    Welford statistics, a CLT confidence interval and a sequential
+//!    stopping rule, bit-identical for any worker count —
+//! 3. and compares that confidence interval against the certified
+//!    `[β_low, β_up]` revenue bracket of the solve
+//!    ([`ConformancePoint`], [`ConformanceReport`]).
+//!
+//! Replicas can draw block arrivals from the ideal Bernoulli lottery or from
+//! the proof-backed hashcash lottery of `sm-proofs`
+//! ([`ArrivalKind`]); running both cross-checks two independent realisations
+//! of the arrival law against each other *and* against the solver.
+//!
+//! The `sm-sweep` crate drives this machinery across whole `(p, γ)` grids;
+//! `examples/conformance.rs` runs the coarse Figure-2 grid end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimator;
+mod pool;
+mod report;
+
+pub use estimator::{estimate_revenue, ArrivalKind, Estimate, EstimatorConfig};
+pub use pool::{effective_workers, run_indexed_jobs};
+pub use report::{ConformancePoint, ConformanceReport};
+
+use selfish_mining::experiments::CertifiedSolve;
+use selfish_mining::{SelfishMiningError, StrategyExport};
+use sm_chain::{SimulationConfig, UnknownViewPolicy};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the conformance subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConformanceError {
+    /// An estimator or settings field violates its constraint.
+    InvalidConfig {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// An underlying model-construction or analysis step failed.
+    Analysis(SelfishMiningError),
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::InvalidConfig { name, constraint } => {
+                write!(
+                    f,
+                    "conformance config field {name} violates constraint: {constraint}"
+                )
+            }
+            ConformanceError::Analysis(err) => write!(f, "analysis error: {err}"),
+        }
+    }
+}
+
+impl Error for ConformanceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConformanceError::Analysis(err) => Some(err),
+            ConformanceError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SelfishMiningError> for ConformanceError {
+    fn from(err: SelfishMiningError) -> Self {
+        ConformanceError::Analysis(err)
+    }
+}
+
+/// Grid-independent knobs of a conformance pass: everything the Monte-Carlo
+/// witness needs except the `(d, f, p, γ)` coordinates, which come from the
+/// solved grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceSettings {
+    /// Simulated time steps per replica.
+    pub steps: usize,
+    /// Target half-width of the per-point confidence interval.
+    pub tolerance: f64,
+    /// Normal quantile scaling the interval (3.0 ≈ 99.7 %).
+    pub z_score: f64,
+    /// Replicas before the stopping rule is first consulted.
+    pub min_replicas: usize,
+    /// Replicas per stopping-rule round.
+    pub batch: usize,
+    /// Hard per-point replica budget.
+    pub max_replicas: usize,
+    /// Worker threads of the replica pool; `0` = available parallelism. The
+    /// estimates are bit-identical for every choice.
+    pub workers: usize,
+    /// Master seed; per-point seeds mix in the point's coordinates so that
+    /// no two grid points share a replica stream.
+    pub master_seed: u64,
+    /// Numerical slack widening the certificate in the conformance
+    /// comparison. The solver certifies `[β_low, β_up]` only up to its inner
+    /// precision (e.g. at `p = 0` it reports `β_low ≈ 2·10⁻¹⁰` where the
+    /// simulation is exactly 0); the slack absorbs that floating-point noise
+    /// without masking real disagreement.
+    pub certificate_slack: f64,
+    /// The arrival realisations to witness each point under.
+    pub sources: Vec<ArrivalKind>,
+}
+
+impl Default for ConformanceSettings {
+    /// Tuned so a coarse-grid pass stays in tens of seconds while the CLT
+    /// interval is a few 10⁻³ wide: 60 000 steps per replica, 3σ intervals,
+    /// up to 64 replicas stopping at half-width ≤ 4·10⁻³, both arrival
+    /// sources.
+    fn default() -> Self {
+        ConformanceSettings {
+            steps: 60_000,
+            tolerance: 4e-3,
+            z_score: 3.0,
+            min_replicas: 4,
+            batch: 4,
+            max_replicas: 64,
+            workers: 1,
+            master_seed: 0x5EED_C0DE,
+            certificate_slack: 1e-6,
+            sources: vec![ArrivalKind::Bernoulli, ArrivalKind::PowLottery],
+        }
+    }
+}
+
+impl ConformanceSettings {
+    /// The estimator configuration for one `(d, f, p, γ)` point. The master
+    /// seed is mixed with the point's coordinates so every grid point owns
+    /// an independent, reproducible replica stream.
+    pub fn estimator_config(
+        &self,
+        p: f64,
+        gamma: f64,
+        depth: usize,
+        forks: usize,
+        max_fork_length: usize,
+    ) -> EstimatorConfig {
+        let mut seed = self.master_seed;
+        for word in [
+            p.to_bits(),
+            gamma.to_bits(),
+            depth as u64,
+            forks as u64,
+            max_fork_length as u64,
+        ] {
+            seed = splitmix(seed ^ splitmix(word));
+        }
+        EstimatorConfig {
+            simulation: SimulationConfig {
+                p,
+                gamma,
+                depth,
+                forks_per_block: forks,
+                max_fork_length,
+                steps: self.steps,
+                seed,
+            },
+            tolerance: self.tolerance,
+            z_score: self.z_score,
+            min_replicas: self.min_replicas,
+            batch: self.batch,
+            max_replicas: self.max_replicas,
+            workers: self.workers,
+        }
+    }
+}
+
+/// SplitMix64 finalizer for all seed derivation in this crate (per-point and
+/// per-replica streams share one mixer by design).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Certifies one solved grid point: exports the ε-optimal strategy into the
+/// simulator and estimates its revenue under every configured arrival
+/// source.
+///
+/// The export handle only reads the family's *structure*, so one handle —
+/// built via [`StrategyExport::from_family`] (no instantiation at all) or
+/// [`StrategyExport::new`] over any `(p, γ)` instantiation — serves every
+/// point of its `(d, f, l)` family; the simulation parameters come from
+/// `solve` itself.
+///
+/// # Errors
+///
+/// Propagates export errors ([`SelfishMiningError::InvalidParameter`] for a
+/// strategy/model mismatch) and estimator configuration errors.
+pub fn certify_point(
+    export: &StrategyExport<'_>,
+    solve: &CertifiedSolve,
+    settings: &ConformanceSettings,
+) -> Result<ConformancePoint, ConformanceError> {
+    if settings.sources.is_empty() {
+        return Err(ConformanceError::InvalidConfig {
+            name: "sources",
+            constraint: "must name at least one arrival source",
+        });
+    }
+    // Unknown views wait (and are counted in the report) rather than panic:
+    // a replica is allowed to wander where the MDP prunes, and the report
+    // surfaces how often that happened.
+    let table = export.table(&solve.strategy, UnknownViewPolicy::Wait)?;
+    let table_entries = table.len();
+    let config = settings.estimator_config(
+        solve.p,
+        solve.gamma,
+        export.depth(),
+        export.forks_per_block(),
+        export.max_fork_length(),
+    );
+    let estimates = settings
+        .sources
+        .iter()
+        .map(|&kind| estimate_revenue(&config, &table, kind))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ConformancePoint {
+        depth: export.depth(),
+        forks: export.forks_per_block(),
+        max_fork_length: export.max_fork_length(),
+        p: solve.p,
+        gamma: solve.gamma,
+        certified_lower: solve.beta_low,
+        certified_upper: solve.beta_up,
+        slack: settings.certificate_slack,
+        strategy_revenue: solve.strategy_revenue,
+        table_entries,
+        estimates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfish_mining::experiments::attack_curve_certified;
+    use selfish_mining::ParametricModel;
+
+    #[test]
+    fn certify_point_witnesses_a_small_solve() {
+        let family = ParametricModel::build(2, 1, 4).unwrap();
+        let solves = attack_curve_certified(&family, 0.5, &[0.3], 5e-3, true).unwrap();
+        let settings = ConformanceSettings {
+            steps: 30_000,
+            max_replicas: 24,
+            ..ConformanceSettings::default()
+        };
+        let point =
+            certify_point(&StrategyExport::from_family(&family), &solves[0], &settings).unwrap();
+        assert_eq!(point.estimates.len(), 2);
+        assert_eq!(point.depth, 2);
+        assert!(point.table_entries > 0);
+        assert!(
+            point.conforms(),
+            "CI should overlap the certificate: {point:?}"
+        );
+        assert!(point.sources_agree(), "sources disagree: {point:?}");
+    }
+
+    #[test]
+    fn per_point_seeds_differ() {
+        let settings = ConformanceSettings::default();
+        let a = settings.estimator_config(0.1, 0.5, 2, 1, 4);
+        let b = settings.estimator_config(0.2, 0.5, 2, 1, 4);
+        let c = settings.estimator_config(0.1, 0.0, 2, 1, 4);
+        assert_ne!(a.simulation.seed, b.simulation.seed);
+        assert_ne!(a.simulation.seed, c.simulation.seed);
+        // Same coordinates → same seed (reproducibility).
+        let again = settings.estimator_config(0.1, 0.5, 2, 1, 4);
+        assert_eq!(a.simulation.seed, again.simulation.seed);
+    }
+
+    #[test]
+    fn empty_source_list_is_rejected() {
+        let family = ParametricModel::build(1, 1, 2).unwrap();
+        let solves = attack_curve_certified(&family, 0.5, &[0.2], 1e-2, true).unwrap();
+        let settings = ConformanceSettings {
+            sources: vec![],
+            ..ConformanceSettings::default()
+        };
+        assert!(matches!(
+            certify_point(&StrategyExport::from_family(&family), &solves[0], &settings),
+            Err(ConformanceError::InvalidConfig {
+                name: "sources",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! The workspace's shared scoped worker pool for independent indexed jobs.
+//!
+//! Both the Monte-Carlo estimator (replicas) and the sweep engine (curve
+//! jobs, conformance jobs) fan deterministic, independent work items over a
+//! [`std::thread::scope`] pool: workers drain an atomic index and results
+//! are collected **in job order**, so the output is identical for any worker
+//! count — only wall-clock time changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a configured worker count against a job count: `0` means
+/// [`std::thread::available_parallelism`], and the result is clamped to
+/// `[1, jobs]` so no idle threads are spawned.
+pub fn effective_workers(configured: usize, jobs: usize) -> usize {
+    let configured = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    configured.clamp(1, jobs.max(1))
+}
+
+/// Runs jobs `0..count` and returns their results in job order, fanning them
+/// over `workers` scoped threads (clamped to `[1, count]`; a single worker
+/// runs inline without spawning).
+///
+/// # Panics
+///
+/// Propagates panics from `job` (a panicking job poisons its slot and the
+/// collection phase re-panics).
+pub fn run_indexed_jobs<T, F>(workers: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    if workers <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let outcome = job(index);
+                *slots[index].lock().expect("job slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("worker pool completed every job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order_for_any_worker_count() {
+        let reference: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [0, 1, 2, 8, 64] {
+            assert_eq!(
+                run_indexed_jobs(workers, 37, |i| i * i),
+                reference,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_job_lists_are_fine() {
+        assert_eq!(run_indexed_jobs(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn effective_workers_resolves_and_clamps() {
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert_eq!(effective_workers(5, 0), 1);
+    }
+}

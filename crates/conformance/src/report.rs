@@ -1,0 +1,266 @@
+//! Conformance reports: per-point comparison of the Monte-Carlo confidence
+//! interval against the solver's ε-certificate, and the aggregate verdict.
+
+use crate::Estimate;
+use std::fmt::Write as _;
+
+/// One `(d, f, p, γ)` grid point of a conformance run: the solver's
+/// certified revenue bracket next to one Monte-Carlo estimate per arrival
+/// source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformancePoint {
+    /// Attack depth `d` of the point.
+    pub depth: usize,
+    /// Forking number `f` of the point.
+    pub forks: usize,
+    /// Maximal private fork length `l`.
+    pub max_fork_length: usize,
+    /// Adversarial resource share `p`.
+    pub p: f64,
+    /// Switching probability `γ`.
+    pub gamma: f64,
+    /// Certified lower end of the solver's revenue bracket (`β_low`).
+    pub certified_lower: f64,
+    /// Certified upper end of the solver's revenue bracket (`β_up`).
+    pub certified_upper: f64,
+    /// Numerical slack widening the certificate in the comparison (the
+    /// solver's bounds carry floating-point noise at the scale of its inner
+    /// precision; see `ConformanceSettings::certificate_slack`).
+    pub slack: f64,
+    /// Exact expected relative revenue of the exported strategy (lies inside
+    /// the certificate).
+    pub strategy_revenue: f64,
+    /// Number of decision views the exported table covers.
+    pub table_entries: usize,
+    /// One Monte-Carlo estimate per arrival source, in configuration order.
+    pub estimates: Vec<Estimate>,
+}
+
+impl ConformancePoint {
+    /// The certificate widened by the numerical slack: the interval the
+    /// conformance comparison actually runs against.
+    pub fn certificate(&self) -> (f64, f64) {
+        (
+            self.certified_lower - self.slack,
+            self.certified_upper + self.slack,
+        )
+    }
+
+    /// Whether every source's confidence interval overlaps the (slack-
+    /// widened) certificate.
+    pub fn conforms(&self) -> bool {
+        let (lower, upper) = self.certificate();
+        self.estimates
+            .iter()
+            .all(|estimate| estimate.overlaps(lower, upper))
+    }
+
+    /// Whether all pairs of source estimates overlap each other (the
+    /// Bernoulli-vs-proof-backed cross-check).
+    pub fn sources_agree(&self) -> bool {
+        self.estimates
+            .iter()
+            .enumerate()
+            .all(|(i, a)| self.estimates.iter().skip(i + 1).all(|b| a.agrees_with(b)))
+    }
+
+    /// Largest distance between any source's confidence interval and the
+    /// slack-widened certificate (0 if and only if the point conforms).
+    pub fn worst_gap(&self) -> f64 {
+        let (lower, upper) = self.certificate();
+        self.estimates
+            .iter()
+            .map(|estimate| estimate.gap_to(lower, upper))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total unknown-view fallbacks across all sources' replicas.
+    pub fn unknown_views(&self) -> u64 {
+        self.estimates.iter().map(|e| e.unknown_views).sum()
+    }
+}
+
+/// The full grid's conformance verdict: one [`ConformancePoint`] per solved
+/// `(d, f, p, γ)` point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConformanceReport {
+    /// Points ordered by γ (input order), then `(d, f)` (grid order), then
+    /// `p` (input order).
+    pub points: Vec<ConformancePoint>,
+}
+
+impl ConformanceReport {
+    /// Number of grid points in the report.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether every point's every source conforms to its certificate.
+    pub fn all_conform(&self) -> bool {
+        self.points.iter().all(ConformancePoint::conforms)
+    }
+
+    /// Whether the arrival sources agree with each other at every point.
+    pub fn sources_agree(&self) -> bool {
+        self.points.iter().all(ConformancePoint::sources_agree)
+    }
+
+    /// The points whose confidence interval misses the certificate.
+    pub fn violations(&self) -> Vec<&ConformancePoint> {
+        self.points.iter().filter(|p| !p.conforms()).collect()
+    }
+
+    /// Largest CI-to-certificate gap across the grid (0 when everything
+    /// conforms).
+    pub fn worst_gap(&self) -> f64 {
+        self.points
+            .iter()
+            .map(ConformancePoint::worst_gap)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total unknown-view fallbacks across the whole grid.
+    pub fn unknown_views(&self) -> u64 {
+        self.points
+            .iter()
+            .map(ConformancePoint::unknown_views)
+            .sum()
+    }
+
+    /// Renders the report as an aligned text table, one row per (point,
+    /// source).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>5} {:>6} {:>6} {:>12} {:>22} {:>20} {:>9} {:>8} {:>7}",
+            "d",
+            "f",
+            "p",
+            "gamma",
+            "source",
+            "certificate",
+            "simulated CI",
+            "replicas",
+            "unknown",
+            "verdict"
+        );
+        for point in &self.points {
+            let (lower, upper) = point.certificate();
+            for estimate in &point.estimates {
+                let ok = estimate.overlaps(lower, upper);
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>5} {:>6.2} {:>6.2} {:>12} [{:>9.6}, {:>9.6}] [{:>8.6}, {:>8.6}] {:>9} {:>8} {:>7}",
+                    point.depth,
+                    point.forks,
+                    point.p,
+                    point.gamma,
+                    estimate.source,
+                    point.certified_lower,
+                    point.certified_upper,
+                    estimate.lower(),
+                    estimate.upper(),
+                    estimate.replicas,
+                    estimate.unknown_views,
+                    if ok { "ok" } else { "MISS" }
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(source: &'static str, mean: f64, half_width: f64) -> Estimate {
+        Estimate {
+            source,
+            mean,
+            variance: 1e-6,
+            half_width,
+            replicas: 8,
+            steps_per_replica: 1000,
+            converged: true,
+            unknown_views: 0,
+        }
+    }
+
+    fn point(mean: f64) -> ConformancePoint {
+        ConformancePoint {
+            depth: 2,
+            forks: 1,
+            max_fork_length: 4,
+            p: 0.3,
+            gamma: 0.5,
+            certified_lower: 0.33,
+            certified_upper: 0.34,
+            slack: 0.0,
+            strategy_revenue: 0.335,
+            table_entries: 42,
+            estimates: vec![
+                estimate("bernoulli", mean, 0.005),
+                estimate("pow-lottery", mean + 0.002, 0.005),
+            ],
+        }
+    }
+
+    #[test]
+    fn conforming_point_reports_ok() {
+        let p = point(0.335);
+        assert!(p.conforms());
+        assert!(p.sources_agree());
+        assert_eq!(p.worst_gap(), 0.0);
+        let report = ConformanceReport { points: vec![p] };
+        assert!(report.all_conform());
+        assert!(report.sources_agree());
+        assert!(report.violations().is_empty());
+        assert_eq!(report.len(), 1);
+        assert!(!report.is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("bernoulli"));
+        assert!(rendered.contains("pow-lottery"));
+        assert!(rendered.contains(" ok"));
+        assert!(!rendered.contains("MISS"));
+    }
+
+    #[test]
+    fn violating_point_is_surfaced_with_its_gap() {
+        let p = point(0.40);
+        assert!(!p.conforms());
+        assert!(p.worst_gap() > 0.05);
+        let report = ConformanceReport {
+            points: vec![point(0.335), p],
+        };
+        assert!(!report.all_conform());
+        assert_eq!(report.violations().len(), 1);
+        assert!(report.worst_gap() > 0.05);
+        assert!(report.render().contains("MISS"));
+    }
+
+    #[test]
+    fn source_disagreement_is_detected() {
+        let mut p = point(0.335);
+        p.estimates[1].mean = 0.36;
+        assert!(!p.sources_agree());
+    }
+
+    #[test]
+    fn certificate_slack_absorbs_solver_noise() {
+        // A CI missing the raw certificate by less than the slack conforms:
+        // the solver's bounds are only certified up to its inner precision.
+        let mut p = point(0.33 - 0.005 - 5e-10);
+        assert!(!p.conforms());
+        p.slack = 1e-6;
+        assert!(p.conforms());
+        assert_eq!(p.certificate(), (0.33 - 1e-6, 0.34 + 1e-6));
+        assert_eq!(p.worst_gap(), 0.0);
+    }
+}

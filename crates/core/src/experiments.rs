@@ -10,6 +10,7 @@ use crate::baselines::{honest_relative_revenue, SingleTreeAttack};
 use crate::{
     AnalysisProcedure, DinkelbachWarmStart, ParametricModel, SelfishMiningError, SelfishMiningModel,
 };
+use sm_mdp::PositionalStrategy;
 use std::time::{Duration, Instant};
 
 /// The `(d, f)` grid evaluated in the paper (with `l = 4` throughout).
@@ -152,13 +153,58 @@ pub fn attack_curve(
     epsilon: f64,
     warm_start: bool,
 ) -> Result<Vec<f64>, SelfishMiningError> {
+    Ok(
+        attack_curve_certified(family, gamma, ps, epsilon, warm_start)?
+            .into_iter()
+            .map(|solve| solve.strategy_revenue)
+            .collect(),
+    )
+}
+
+/// One certified point of an attack curve: the ε-certificate on `ERRev*`
+/// together with the ε-optimal strategy achieving it — everything the
+/// statistical-conformance subsystem needs to independently witness the
+/// solve with a Monte-Carlo replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedSolve {
+    /// Adversarial resource share of the point.
+    pub p: f64,
+    /// Switching probability of the point.
+    pub gamma: f64,
+    /// Certified lower end of the revenue bracket (`ERRev* − ε ≤ β_low ≤
+    /// ERRev*`).
+    pub beta_low: f64,
+    /// Certified upper end of the revenue bracket (`ERRev* ≤ β_up`).
+    pub beta_up: f64,
+    /// Exact expected relative revenue of `strategy`, which also lies inside
+    /// `[β_low, β_up]`.
+    pub strategy_revenue: f64,
+    /// The ε-optimal positional strategy of the point.
+    pub strategy: PositionalStrategy,
+}
+
+/// [`attack_curve`] returning the full per-point certificates instead of the
+/// bare revenues: same shared arena, same in-place re-instantiation, same
+/// warm-start schedule — [`attack_curve`] is this function with everything
+/// but `strategy_revenue` dropped.
+///
+/// # Errors
+///
+/// Propagates instantiation and solver errors.
+pub fn attack_curve_certified(
+    family: &ParametricModel,
+    gamma: f64,
+    ps: &[f64],
+    epsilon: f64,
+    warm_start: bool,
+) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
     let procedure = AnalysisProcedure::with_epsilon(epsilon);
     let mut model: Option<SelfishMiningModel> = None;
     let mut warm: Option<DinkelbachWarmStart> = None;
     // The most recent (p, certified β_low) points, newest last, for the β
     // extrapolation.
     let mut history: Vec<(f64, f64)> = Vec::new();
-    let mut revenues = Vec::with_capacity(ps.len());
+    let mut solves = Vec::with_capacity(ps.len());
     for &p in ps {
         let instance = match model.as_mut() {
             Some(instance) => {
@@ -171,14 +217,21 @@ pub fn attack_curve(
             w.beta = extrapolate_beta(p, &history);
         }
         let (result, carry) = procedure.solve_dinkelbach_warm(instance, warm.as_ref())?;
-        revenues.push(result.strategy_revenue);
         warm = if warm_start { Some(carry) } else { None };
         if history.len() == 3 {
             history.remove(0);
         }
         history.push((p, result.beta_low));
+        solves.push(CertifiedSolve {
+            p,
+            gamma,
+            beta_low: result.beta_low,
+            beta_up: result.beta_up,
+            strategy_revenue: result.strategy_revenue,
+            strategy: result.strategy,
+        });
     }
-    Ok(revenues)
+    Ok(solves)
 }
 
 /// Extrapolation of the revenue curve to seed the next point's Dinkelbach
@@ -340,6 +393,32 @@ mod tests {
         let tree = table1_single_tree_row(0.3, 0.5, 4, 5).unwrap();
         assert!(tree.num_states > 0);
         assert_eq!(tree.attack, "single-tree selfish mining");
+    }
+
+    #[test]
+    fn certified_curve_brackets_its_own_revenue() {
+        let family = ParametricModel::build(2, 1, 4).unwrap();
+        let ps = [0.1, 0.2, 0.3];
+        let epsilon = 5e-3;
+        let solves = attack_curve_certified(&family, 0.5, &ps, epsilon, true).unwrap();
+        let revenues = attack_curve(&family, 0.5, &ps, epsilon, true).unwrap();
+        assert_eq!(solves.len(), ps.len());
+        for (solve, (&p, &revenue)) in solves.iter().zip(ps.iter().zip(&revenues)) {
+            assert_eq!(solve.p, p);
+            assert_eq!(solve.gamma, 0.5);
+            // attack_curve is the projection of the certified curve.
+            assert_eq!(solve.strategy_revenue, revenue);
+            assert!(
+                solve.beta_low <= solve.strategy_revenue + 1e-12
+                    && solve.strategy_revenue <= solve.beta_up + 1e-12,
+                "revenue {} outside certificate [{}, {}]",
+                solve.strategy_revenue,
+                solve.beta_low,
+                solve.beta_up
+            );
+            assert!(solve.beta_up - solve.beta_low <= epsilon + 1e-12);
+            assert_eq!(solve.strategy.num_states(), family.num_states());
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod analysis;
 pub mod baselines;
 mod error;
 pub mod experiments;
+mod export;
 mod model;
 mod parametric;
 mod params;
@@ -59,6 +60,7 @@ pub use analysis::{
     AnalysisConfig, AnalysisProcedure, AnalysisResult, DinkelbachWarmStart, SolveStep,
 };
 pub use error::SelfishMiningError;
+pub use export::StrategyExport;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
 pub use parametric::ParametricModel;
 pub use params::AttackParams;

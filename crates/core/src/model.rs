@@ -179,6 +179,16 @@ impl SelfishMiningModel {
         &self.actions[state]
     }
 
+    /// The full structured state table, in MDP index order.
+    pub(crate) fn states_slice(&self) -> &[SmState] {
+        &self.states
+    }
+
+    /// The full per-state action table, in MDP index order.
+    pub(crate) fn actions_slice(&self) -> &[Vec<SmAction>] {
+        &self.actions
+    }
+
     /// Reward structure `r_A`: expected number of adversary blocks finalized
     /// per state-action pair.
     pub fn adversary_rewards(&self) -> &TransitionRewards {

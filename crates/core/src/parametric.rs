@@ -258,6 +258,25 @@ impl ParametricModel {
         &self.states[index]
     }
 
+    /// The action list of a state, in the arena's action-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn actions_of(&self, state: usize) -> &[SmAction] {
+        &self.actions[state]
+    }
+
+    /// The full structured state table, in arena index order.
+    pub(crate) fn states_slice(&self) -> &[SmState] {
+        &self.states
+    }
+
+    /// The full per-state action table, in arena index order.
+    pub(crate) fn actions_slice(&self) -> &[Vec<SmAction>] {
+        &self.actions
+    }
+
     /// Instantiates the family at `(p, gamma)`: one linear pass filling fresh
     /// probability and reward buffers over the shared skeleton.
     ///

@@ -28,10 +28,14 @@
 #![warn(missing_docs)]
 
 use selfish_mining::baselines::{honest_relative_revenue, SingleTreeAttack};
-use selfish_mining::experiments::{attack_curve, Figure2Point};
-use selfish_mining::{ParametricModel, SelfishMiningError};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use selfish_mining::experiments::{attack_curve, attack_curve_certified, Figure2Point};
+use selfish_mining::{ParametricModel, SelfishMiningError, StrategyExport};
+use sm_conformance::{
+    certify_point, effective_workers, run_indexed_jobs, ConformanceError, ConformancePoint,
+    ConformanceReport,
+};
+
+pub use sm_conformance::ConformanceSettings;
 
 /// Configuration of a grid sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,13 +105,7 @@ impl SweepConfig {
     /// Propagates the first model-construction or solver error any job hits.
     pub fn run(&self, gammas: &[f64], ps: &[f64]) -> Result<Vec<Figure2Point>, SelfishMiningError> {
         // Build each (d, f) family once, up front; jobs share them read-only.
-        let families: Vec<Arc<ParametricModel>> = self
-            .attack_grid
-            .iter()
-            .map(|&(depth, forks)| {
-                ParametricModel::build(depth, forks, self.max_fork_length).map(Arc::new)
-            })
-            .collect::<Result<_, _>>()?;
+        let families = self.build_families()?;
 
         let mut jobs: Vec<CurveJob> = Vec::with_capacity((families.len() + 1) * gammas.len());
         for gamma_index in 0..gammas.len() {
@@ -121,30 +119,13 @@ impl SweepConfig {
         }
 
         let workers = self.worker_count(jobs.len());
-        let next_job = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<CurveResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else {
-                        break;
-                    };
-                    let outcome = self.run_job(job, &families, gammas, ps);
-                    *results[index].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
+        let results: Vec<CurveResult> = run_indexed_jobs(workers, jobs.len(), |index| {
+            self.run_job(&jobs[index], &families, gammas, ps)
         });
 
         // Assemble per-(γ, p) points from the per-curve result rows.
         let mut curves: Vec<Vec<f64>> = Vec::with_capacity(results.len());
-        for slot in results {
-            let outcome = slot
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("worker pool completed every job");
+        for outcome in results {
             curves.push(outcome?);
         }
         let mut points = Vec::with_capacity(gammas.len() * ps.len());
@@ -167,11 +148,83 @@ impl SweepConfig {
         Ok(points)
     }
 
+    /// Runs the optional statistical-conformance pass over the grid: every
+    /// `(d, f) × γ` attack curve is solved with full certificates
+    /// ([`attack_curve_certified`], same arenas and warm starts as
+    /// [`SweepConfig::run`]), each point's ε-optimal strategy is exported
+    /// into the simulator, and a batched Monte-Carlo estimate per configured
+    /// arrival source is compared against the certified `[β_low, β_up]`
+    /// revenue bracket.
+    ///
+    /// Curve jobs fan out over the same worker pool as the revenue sweep and
+    /// the Monte-Carlo replica seeds are pure functions of
+    /// `settings.master_seed` and the point coordinates, so the report is
+    /// deterministic for any worker count — of this pool *and* of the
+    /// estimator's. Points are ordered by `γ` (input order), then `(d, f)`
+    /// (grid order), then `p` (input order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first model-construction, solver or estimator error
+    /// any job hits.
+    pub fn run_conformance(
+        &self,
+        gammas: &[f64],
+        ps: &[f64],
+        settings: &ConformanceSettings,
+    ) -> Result<ConformanceReport, ConformanceError> {
+        let families = self.build_families()?;
+
+        // One job per (γ, config) attack curve, in output order.
+        let jobs: Vec<(usize, usize)> = (0..gammas.len())
+            .flat_map(|gamma_index| (0..families.len()).map(move |config| (gamma_index, config)))
+            .collect();
+        let workers = self.worker_count(jobs.len());
+        let results = run_indexed_jobs(workers, jobs.len(), |index| {
+            let (gamma_index, config) = jobs[index];
+            self.certify_curve(&families[config], gammas[gamma_index], ps, settings)
+        });
+
+        let mut points = Vec::with_capacity(jobs.len() * ps.len());
+        for outcome in results {
+            points.extend(outcome?);
+        }
+        Ok(ConformanceReport { points })
+    }
+
+    /// Builds each `(d, f)` family of the grid once; jobs share them
+    /// read-only.
+    fn build_families(&self) -> Result<Vec<ParametricModel>, SelfishMiningError> {
+        self.attack_grid
+            .iter()
+            .map(|&(depth, forks)| ParametricModel::build(depth, forks, self.max_fork_length))
+            .collect()
+    }
+
+    /// Solves one `(d, f) × γ` curve with certificates and witnesses every
+    /// point with the Monte-Carlo estimator.
+    fn certify_curve(
+        &self,
+        family: &ParametricModel,
+        gamma: f64,
+        ps: &[f64],
+        settings: &ConformanceSettings,
+    ) -> Result<Vec<ConformancePoint>, ConformanceError> {
+        let solves = attack_curve_certified(family, gamma, ps, self.epsilon, self.warm_start)?;
+        // The export reads only the family's shared skeleton — no per-(p, γ)
+        // instantiation is needed.
+        let export = StrategyExport::from_family(family);
+        solves
+            .iter()
+            .map(|solve| certify_point(&export, solve, settings))
+            .collect()
+    }
+
     /// Runs one curve job to completion on the calling worker thread.
     fn run_job(
         &self,
         job: &CurveJob,
-        families: &[Arc<ParametricModel>],
+        families: &[ParametricModel],
         gammas: &[f64],
         ps: &[f64],
     ) -> CurveResult {
@@ -204,14 +257,7 @@ impl SweepConfig {
 
     /// The effective worker count for a given number of jobs.
     fn worker_count(&self, jobs: usize) -> usize {
-        let configured = if self.workers == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.workers
-        };
-        configured.clamp(1, jobs.max(1))
+        effective_workers(self.workers, jobs)
     }
 }
 
@@ -309,5 +355,80 @@ mod tests {
             ..SweepConfig::default()
         };
         assert!(config.run(&[0.5], &[0.1]).is_err());
+    }
+
+    fn small_conformance_settings() -> ConformanceSettings {
+        ConformanceSettings {
+            steps: 12_000,
+            max_replicas: 12,
+            tolerance: 8e-3,
+            ..ConformanceSettings::default()
+        }
+    }
+
+    #[test]
+    fn conformance_pass_certifies_a_small_grid() {
+        let config = SweepConfig {
+            attack_grid: vec![(2, 1)],
+            epsilon: 5e-3,
+            workers: 2,
+            ..SweepConfig::default()
+        };
+        let report = config
+            .run_conformance(&[0.5], &[0.15, 0.3], &small_conformance_settings())
+            .unwrap();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.points[0].p, 0.15);
+        assert_eq!(report.points[1].p, 0.3);
+        assert!(
+            report.all_conform(),
+            "violations: {:?}",
+            report.violations()
+        );
+        assert!(report.sources_agree());
+    }
+
+    #[test]
+    fn conformance_report_is_deterministic_across_worker_counts() {
+        let report = |sweep_workers: usize, estimator_workers: usize| {
+            SweepConfig {
+                attack_grid: vec![(1, 1), (2, 1)],
+                epsilon: 1e-2,
+                workers: sweep_workers,
+                ..SweepConfig::default()
+            }
+            .run_conformance(
+                &[0.0, 1.0],
+                &[0.1, 0.3],
+                &ConformanceSettings {
+                    steps: 5_000,
+                    max_replicas: 8,
+                    tolerance: 1e-2,
+                    workers: estimator_workers,
+                    ..ConformanceSettings::default()
+                },
+            )
+            .unwrap()
+        };
+        let reference = report(1, 1);
+        assert_eq!(reference.len(), 8);
+        assert_eq!(
+            reference,
+            report(4, 2),
+            "sweep/estimator pools must not affect the report"
+        );
+    }
+
+    #[test]
+    fn conformance_pass_with_empty_p_grid_is_empty() {
+        let config = SweepConfig {
+            attack_grid: vec![(1, 1)],
+            ..SweepConfig::default()
+        };
+        let report = config
+            .run_conformance(&[0.5], &[], &small_conformance_settings())
+            .unwrap();
+        assert!(report.is_empty());
+        assert!(report.all_conform());
     }
 }

@@ -1,0 +1,79 @@
+//! Statistical conformance of the exact analysis and the simulator, run
+//! end to end over the coarse Figure-2 grid: every `(p, γ)` point is solved
+//! with an ε-certificate, its ε-optimal strategy is exported into the
+//! block-level simulator, and a batched Monte-Carlo estimate — under both
+//! the ideal Bernoulli lottery and the proof-backed PoW lottery — must
+//! overlap the certified `[β_low, β_up]` revenue bracket.
+//!
+//! ```text
+//! cargo run --release --example conformance             # coarse Figure-2 grid
+//! cargo run --release --example conformance -- reduced  # CI-sized sub-grid
+//! ```
+//!
+//! The process exits non-zero if any point fails to conform or the two
+//! arrival sources disagree, so CI can gate on it.
+
+use selfish_mining::experiments::coarse_p_grid;
+use selfish_mining_repro::sweep::{ConformanceSettings, SweepConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let reduced = std::env::args().any(|arg| arg == "reduced");
+    let (attack_grid, gammas, ps) = if reduced {
+        (vec![(2, 1)], vec![0.0, 0.5, 1.0], vec![0.1, 0.2, 0.3])
+    } else {
+        (vec![(1, 1), (2, 1)], vec![0.0, 0.5, 1.0], coarse_p_grid())
+    };
+    let config = SweepConfig {
+        attack_grid,
+        epsilon: 1e-3,
+        ..SweepConfig::default()
+    };
+    // Defaults: 60k steps per replica, up to 64 replicas stopping at a
+    // 3σ half-width of 4e-3, both arrival sources, deterministic seeds.
+    let settings = ConformanceSettings::default();
+
+    println!(
+        "conformance sweep: {} gamma panels x {} p values, grid {:?}, epsilon {}, {} steps/replica",
+        gammas.len(),
+        ps.len(),
+        config.attack_grid,
+        config.epsilon,
+        settings.steps,
+    );
+    let report = match config.run_conformance(&gammas, &ps, &settings) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("conformance sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{}", report.render());
+    println!(
+        "points: {}   worst CI-to-certificate gap: {:.6}   unknown views: {}",
+        report.len(),
+        report.worst_gap(),
+        report.unknown_views(),
+    );
+
+    let mut failed = false;
+    if !report.all_conform() {
+        failed = true;
+        eprintln!(
+            "CONFORMANCE FAILURE: {} of {} points have a simulated CI outside the certificate",
+            report.violations().len(),
+            report.len()
+        );
+    }
+    if !report.sources_agree() {
+        failed = true;
+        eprintln!("SOURCE DISAGREEMENT: the Bernoulli and PoW-lottery estimates diverge");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("all points conform; arrival sources agree");
+        ExitCode::SUCCESS
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`chain`] — the discrete-time longest-chain blockchain simulator.
 //! * [`selfish_mining`] — the paper's selfish-mining MDP, the Algorithm 1
 //!   analysis procedure and the baselines.
+//! * [`conformance`] — statistical conformance: parallel Monte-Carlo
+//!   estimation of exported strategies and solver-vs-simulator
+//!   certification.
 //! * [`sweep`] — the parallel `(p, γ)` sweep engine over the parametric
 //!   transition arena (worker pool + warm-started solves).
 //!
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub use sm_chain as chain;
+pub use sm_conformance as conformance;
 pub use sm_linalg as linalg;
 pub use sm_markov as markov;
 pub use sm_mdp as mdp;

@@ -6,62 +6,12 @@
 
 use selfish_mining::baselines::honest_relative_revenue;
 use selfish_mining::{
-    available_actions, AnalysisProcedure, AttackParams, Phase, SelfishMiningModel, SmAction,
+    available_actions, AnalysisProcedure, AttackParams, SelfishMiningModel, StrategyExport,
 };
-use sm_chain::{
-    AdversaryAction, AdversaryView, HonestStrategy, SimulationConfig, Simulator, TableStrategy,
-};
+use sm_chain::{HonestStrategy, SimulationConfig, Simulator, UnknownViewPolicy};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-/// Replays the ε-optimal MDP strategy inside the simulator by translating
-/// every MDP state in which it releases a fork into a [`TableStrategy`] entry.
-fn table_from_mdp(
-    model: &SelfishMiningModel,
-    strategy: &sm_mdp::PositionalStrategy,
-) -> TableStrategy {
-    let params = model.params();
-    let mut table = TableStrategy::new("mdp-optimal");
-    for state_index in 0..model.num_states() {
-        let state = model.state(state_index);
-        if state.phase == Phase::Mining {
-            continue;
-        }
-        let action = model.action(state_index, strategy.action(state_index));
-        let view = AdversaryView {
-            fork_lengths: (1..=params.depth)
-                .map(|depth| {
-                    (1..=params.forks_per_block)
-                        .map(|fork| state.fork_length(params, depth, fork) as usize)
-                        .collect()
-                })
-                .collect(),
-            owners: (1..params.depth)
-                .map(|depth| match state.owner(depth) {
-                    selfish_mining::Owner::Honest => sm_chain::MinerClass::Honest,
-                    selfish_mining::Owner::Adversary => sm_chain::MinerClass::Adversary,
-                })
-                .collect(),
-            pending_honest_block: state.phase == Phase::HonestFound,
-            just_mined: state.phase == Phase::AdversaryFound,
-        };
-        let table_action = match action {
-            SmAction::Mine => AdversaryAction::Wait,
-            SmAction::Release {
-                depth,
-                fork,
-                length,
-            } => AdversaryAction::Release {
-                depth: *depth,
-                fork: *fork,
-                length: *length,
-            },
-        };
-        table.insert(view, table_action);
-    }
-    table
-}
 
 /// The honest strategy's empirical relative revenue matches its analytic value
 /// `p` in the simulator.
@@ -99,7 +49,12 @@ fn simulator_matches_mdp_value_for_optimal_strategy() {
         .solve_dinkelbach(&model)
         .unwrap();
 
-    let mut strategy = table_from_mdp(&model, &result.strategy);
+    // The export is the production API the conformance subsystem uses; the
+    // strict policy certifies that the MDP covers every view the simulator
+    // reaches in these runs.
+    let mut strategy = StrategyExport::new(&model)
+        .table(&result.strategy, UnknownViewPolicy::Panic)
+        .expect("strategy export succeeds");
     assert!(
         !strategy.is_empty(),
         "the optimal strategy must act somewhere"

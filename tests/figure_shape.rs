@@ -116,6 +116,74 @@ fn attack_revenue_is_monotone_in_p() {
     }
 }
 
+/// Golden shape of the batched `figure2_panels` driver: each panel's curves
+/// are monotone in `p`, the `(d, f)` refinements are ordered panel-wide, the
+/// honest column is exactly `p`, and the γ panels are ordered against each
+/// other — the qualitative content of the paper's Figure 2, asserted on the
+/// full sweep output rather than on hand-picked points.
+#[test]
+fn figure2_panels_have_golden_shape() {
+    let epsilon = 5e-3;
+    let tolerance = 2.0 * epsilon;
+    let gammas = [0.0, 0.5];
+    let panels = sm_bench::figure2_panels(&gammas, epsilon).unwrap();
+    assert_eq!(panels.len(), gammas.len());
+    let configs = sm_bench::attack_grid().len();
+    for (panel, &gamma) in panels.iter().zip(&gammas) {
+        assert_eq!(panel.gamma, gamma);
+        assert!(!panel.points.is_empty());
+        // Rendered text: one header plus one row per p, all columns present.
+        assert_eq!(panel.rendered.lines().count(), panel.points.len() + 1);
+        assert!(panel.rendered.contains("single-tree"));
+        assert!(panel.rendered.contains("d=2,f=2"));
+        for (i, point) in panel.points.iter().enumerate() {
+            assert_eq!(point.gamma, gamma);
+            assert_eq!(point.attack_revenue.len(), configs);
+            // The honest baseline is exactly p.
+            assert!((point.honest_revenue - point.p).abs() < 1e-12);
+            assert!((0.0..1.0).contains(&point.single_tree_revenue));
+            for (config, &revenue) in point.attack_revenue.iter().enumerate() {
+                // Every attack weakly dominates honest mining.
+                assert!(
+                    revenue >= point.honest_revenue - tolerance,
+                    "gamma={gamma} p={} config {config}: {revenue} below honest {}",
+                    point.p,
+                    point.honest_revenue
+                );
+                // Ordering across (d, f) refinements within the point.
+                if config > 0 {
+                    assert!(
+                        revenue >= point.attack_revenue[config - 1] - tolerance,
+                        "gamma={gamma} p={}: config {config} ({revenue}) below config {}",
+                        point.p,
+                        config - 1
+                    );
+                }
+                // Monotonicity in p along the curve.
+                if i > 0 {
+                    let previous = panel.points[i - 1].attack_revenue[config];
+                    assert!(
+                        revenue >= previous - tolerance,
+                        "gamma={gamma} config {config}: revenue drops from {previous} to {revenue} at p={}",
+                        point.p
+                    );
+                }
+            }
+        }
+    }
+    // Panels are ordered by γ: larger switching probability cannot hurt.
+    for (low, high) in panels[0].points.iter().zip(&panels[1].points) {
+        assert_eq!(low.p, high.p);
+        for (a, b) in low.attack_revenue.iter().zip(&high.attack_revenue) {
+            assert!(
+                b >= &(a - tolerance),
+                "p={}: gamma=0.5 ({b}) below gamma=0 ({a})",
+                low.p
+            );
+        }
+    }
+}
+
 /// Chain quality (1 - ERRev) degrades below the fair value 1 - p once the
 /// adversary uses the attack with d >= 2 — the security message of the paper.
 #[test]
