@@ -19,8 +19,7 @@
 //! ```
 //! use sm_chain::{HonestStrategy, SimulationConfig, Simulator};
 //!
-//! let config = SimulationConfig { p: 0.3, gamma: 0.5, depth: 2, forks_per_block: 1,
-//!     max_fork_length: 4, steps: 20_000, seed: 7 };
+//! let config = SimulationConfig { p: 0.3, steps: 20_000, seed: 7, ..SimulationConfig::default() };
 //! let report = Simulator::new(config).run(&mut HonestStrategy);
 //! // Honest behaviour earns roughly the proportional share.
 //! assert!((report.relative_revenue() - 0.3).abs() < 0.05);
@@ -38,7 +37,7 @@ mod strategy;
 pub use arrival::{ArrivalEvent, ArrivalSource, BernoulliSource, PowLotterySource};
 pub use block::{BlockId, BlockTree, MinerClass};
 pub use metrics::SimulationReport;
-pub use simulator::{SimulationConfig, Simulator};
+pub use simulator::{MiningRegime, SimulationConfig, Simulator};
 pub use strategy::{
     AdversaryAction, AdversaryStrategy, AdversaryView, HonestStrategy, Sm1Strategy, TableStrategy,
     UnknownViewPolicy,

@@ -8,6 +8,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Which block positions the adversary mines on, mirroring the MDP-side
+/// transition filter of restricted attack scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MiningRegime {
+    /// The paper's `(p, k)`-mining: every open position of the fork window —
+    /// each non-empty fork plus one fresh fork per root with a free slot.
+    #[default]
+    AllSlots,
+    /// Honest-behaviour mining: only positions rooted at the public tip.
+    /// This is the simulator half of the degenerate honest-mining scenario
+    /// (`σ = 1`), whose revenue is the proportional share `p`.
+    TipOnly,
+}
+
 /// Configuration of a simulation run. The parameters mirror the MDP's
 /// [`selfish-mining` attack parameters](https://docs.rs) so that computed
 /// strategies can be replayed faithfully.
@@ -28,6 +42,9 @@ pub struct SimulationConfig {
     pub steps: usize,
     /// RNG seed (runs are fully deterministic given the seed).
     pub seed: u64,
+    /// The positions the adversary mines on ([`MiningRegime::AllSlots`]
+    /// unless replaying a scenario with a restricted mining split).
+    pub mining: MiningRegime,
 }
 
 impl Default for SimulationConfig {
@@ -40,6 +57,7 @@ impl Default for SimulationConfig {
             max_fork_length: 4,
             steps: 100_000,
             seed: 42,
+            mining: MiningRegime::AllSlots,
         }
     }
 }
@@ -173,10 +191,15 @@ impl Simulator {
     }
 
     /// All positions the adversary currently mines on: every non-empty fork
-    /// (extend it) plus, per root with a free slot, one new fork.
+    /// (extend it) plus, per root with a free slot, one new fork. Under
+    /// [`MiningRegime::TipOnly`] only the tip root's positions count.
     fn mining_slots(&self, state: &SimulationState, roots: &[BlockId]) -> Vec<(BlockId, usize)> {
+        let considered = match self.config.mining {
+            MiningRegime::AllSlots => roots,
+            MiningRegime::TipOnly => &roots[..roots.len().min(1)],
+        };
         let mut slots = Vec::new();
-        for &root in roots {
+        for &root in considered {
             let fork_slots = state.forks.get(&root);
             let mut has_empty = false;
             let mut first_empty = 0;
@@ -416,6 +439,7 @@ mod tests {
             max_fork_length: 4,
             steps,
             seed,
+            mining: MiningRegime::AllSlots,
         }
     }
 
@@ -449,11 +473,9 @@ mod tests {
         let report = Simulator::new(SimulationConfig {
             p: 0.4,
             gamma: 1.0,
-            depth: 2,
-            forks_per_block: 1,
-            max_fork_length: 4,
             steps: 120_000,
             seed: 11,
+            ..SimulationConfig::default()
         })
         .run(&mut Sm1Strategy);
         assert!(
@@ -494,6 +516,41 @@ mod tests {
         assert!(
             (revenue - 0.3).abs() < 0.03,
             "pow-lottery honest revenue {revenue} should be near 0.3"
+        );
+    }
+
+    #[test]
+    fn tip_only_regime_earns_the_proportional_share_for_honest_release() {
+        // Under TipOnly mining an immediately-publishing adversary is exactly
+        // an honest miner with resource p: no deep positions, no boost from
+        // concurrent mining, revenue → p.
+        let report = Simulator::new(SimulationConfig {
+            mining: MiningRegime::TipOnly,
+            ..config(0.3, 0.5, 60_000, 21)
+        })
+        .run(&mut HonestStrategy);
+        let revenue = report.relative_revenue();
+        assert!(
+            (revenue - 0.3).abs() < 0.02,
+            "tip-only honest revenue {revenue} should be near 0.3"
+        );
+    }
+
+    #[test]
+    fn tip_only_regime_restricts_where_private_blocks_land() {
+        // A withholding strategy under TipOnly can only ever grow tip forks:
+        // the Sm1 single-fork attack still runs, and the run differs from the
+        // AllSlots realisation of the same seed.
+        let tip = Simulator::new(SimulationConfig {
+            mining: MiningRegime::TipOnly,
+            ..config(0.4, 0.5, 20_000, 5)
+        })
+        .run(&mut Sm1Strategy);
+        let all = Simulator::new(config(0.4, 0.5, 20_000, 5)).run(&mut Sm1Strategy);
+        assert!(tip.adversary_blocks > 0);
+        assert_ne!(
+            (tip.honest_blocks, tip.adversary_blocks),
+            (all.honest_blocks, all.adversary_blocks)
         );
     }
 

@@ -89,16 +89,16 @@ impl Default for EstimatorConfig {
 
 impl EstimatorConfig {
     fn validate(&self) -> Result<(), ConformanceError> {
-        if self.tolerance.is_nan() || self.tolerance <= 0.0 {
+        if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
             return Err(ConformanceError::InvalidConfig {
                 name: "tolerance",
-                constraint: "must be positive",
+                constraint: "must be finite and positive",
             });
         }
-        if self.z_score.is_nan() || self.z_score <= 0.0 {
+        if !self.z_score.is_finite() || self.z_score <= 0.0 {
             return Err(ConformanceError::InvalidConfig {
                 name: "z_score",
-                constraint: "must be positive",
+                constraint: "must be finite and positive",
             });
         }
         if self.batch == 0 {
@@ -111,6 +111,22 @@ impl EstimatorConfig {
             return Err(ConformanceError::InvalidConfig {
                 name: "max_replicas",
                 constraint: "must be at least 2 (the variance estimate needs two replicas)",
+            });
+        }
+        // An inconsistent floor is a config error, not something to clamp
+        // away silently: a caller asking for fewer than 2 replicas would get
+        // a variance-less estimate, and a floor above the budget can never be
+        // honoured.
+        if self.min_replicas < 2 {
+            return Err(ConformanceError::InvalidConfig {
+                name: "min_replicas",
+                constraint: "must be at least 2 (the variance estimate needs two replicas)",
+            });
+        }
+        if self.min_replicas > self.max_replicas {
+            return Err(ConformanceError::InvalidConfig {
+                name: "min_replicas",
+                constraint: "must not exceed max_replicas",
             });
         }
         Ok(())
@@ -273,8 +289,11 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`ConformanceError::InvalidConfig`] for non-positive tolerances,
-/// an empty batch or a replica budget below 2.
+/// Returns [`ConformanceError::InvalidConfig`] for non-finite or
+/// non-positive tolerances and z-scores, an empty batch, a replica budget
+/// below 2, or a replica floor below 2 or above the budget. (The historical
+/// code silently clamped an inconsistent `min_replicas` into range instead
+/// of rejecting the config.)
 pub fn estimate_revenue<S>(
     config: &EstimatorConfig,
     strategy: &S,
@@ -284,7 +303,6 @@ where
     S: AdversaryStrategy + Clone + Send + Sync,
 {
     config.validate()?;
-    let min_replicas = config.min_replicas.max(2).min(config.max_replicas);
     let mut welford = Welford::default();
     let mut unknown_views = 0u64;
     let mut converged = false;
@@ -296,7 +314,9 @@ where
             unknown_views += misses;
         }
         next_index += round;
-        if welford.count >= min_replicas && welford.half_width(config.z_score) <= config.tolerance {
+        if welford.count >= config.min_replicas
+            && welford.half_width(config.z_score) <= config.tolerance
+        {
             converged = true;
             break;
         }
@@ -322,12 +342,9 @@ mod tests {
         EstimatorConfig {
             simulation: SimulationConfig {
                 p,
-                gamma: 0.5,
-                depth: 2,
-                forks_per_block: 1,
-                max_fork_length: 4,
                 steps,
                 seed,
+                ..SimulationConfig::default()
             },
             ..EstimatorConfig::default()
         }
@@ -467,5 +484,64 @@ mod tests {
             ..config(0.3, 100, 1)
         };
         assert!(estimate_revenue(&bad_budget, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+    }
+
+    #[test]
+    fn inconsistent_replica_floors_are_rejected_not_clamped() {
+        // Regression: both configs used to be accepted by silently clamping
+        // min_replicas via `.max(2).min(max_replicas)`.
+        let too_low = EstimatorConfig {
+            min_replicas: 1,
+            ..config(0.3, 100, 1)
+        };
+        assert!(matches!(
+            estimate_revenue(&too_low, &HonestStrategy, ArrivalKind::Bernoulli),
+            Err(ConformanceError::InvalidConfig {
+                name: "min_replicas",
+                ..
+            })
+        ));
+        let above_budget = EstimatorConfig {
+            min_replicas: 9,
+            max_replicas: 8,
+            ..config(0.3, 100, 1)
+        };
+        assert!(matches!(
+            estimate_revenue(&above_budget, &HonestStrategy, ArrivalKind::Bernoulli),
+            Err(ConformanceError::InvalidConfig {
+                name: "min_replicas",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_interval_parameters_are_rejected() {
+        // Regression: an infinite z_score used to pass validation (only NaN
+        // was caught) and produced an infinite, never-converging interval.
+        for z_score in [f64::INFINITY, f64::NAN, 0.0, -1.0] {
+            let bad = EstimatorConfig {
+                z_score,
+                ..config(0.3, 100, 1)
+            };
+            assert!(matches!(
+                estimate_revenue(&bad, &HonestStrategy, ArrivalKind::Bernoulli),
+                Err(ConformanceError::InvalidConfig {
+                    name: "z_score",
+                    ..
+                })
+            ));
+        }
+        let bad_tol = EstimatorConfig {
+            tolerance: f64::INFINITY,
+            ..config(0.3, 100, 1)
+        };
+        assert!(matches!(
+            estimate_revenue(&bad_tol, &HonestStrategy, ArrivalKind::Bernoulli),
+            Err(ConformanceError::InvalidConfig {
+                name: "tolerance",
+                ..
+            })
+        ));
     }
 }

@@ -9,6 +9,9 @@ use std::fmt::Write as _;
 /// source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConformancePoint {
+    /// Label of the attack scenario the point was solved and witnessed under
+    /// (`"optimal"` for the paper's unrestricted model).
+    pub scenario: String,
     /// Attack depth `d` of the point.
     pub depth: usize,
     /// Forking number `f` of the point.
@@ -23,9 +26,12 @@ pub struct ConformancePoint {
     pub certified_lower: f64,
     /// Certified upper end of the solver's revenue bracket (`β_up`).
     pub certified_upper: f64,
-    /// Numerical slack widening the certificate in the comparison (the
-    /// solver's bounds carry floating-point noise at the scale of its inner
-    /// precision; see `ConformanceSettings::certificate_slack`).
+    /// Total slack widening the certificate in the comparison: the solver's
+    /// floating-point noise margin plus the statistical margin of the
+    /// one-sided CI test (`β_low` is the witnessed strategy's exact revenue,
+    /// so the true value sits on the certificate edge); see
+    /// `ConformanceSettings::certificate_slack` and
+    /// `ConformanceSettings::statistical_slack`.
     pub slack: f64,
     /// Exact expected relative revenue of the exported strategy (lies inside
     /// the certificate).
@@ -85,7 +91,7 @@ impl ConformancePoint {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConformanceReport {
     /// Points ordered by γ (input order), then `(d, f)` (grid order), then
-    /// `p` (input order).
+    /// scenario (configuration order), then `p` (input order).
     pub points: Vec<ConformancePoint>,
 }
 
@@ -138,7 +144,8 @@ impl ConformanceReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>5} {:>6} {:>6} {:>12} {:>22} {:>20} {:>9} {:>8} {:>7}",
+            "{:>20} {:>5} {:>5} {:>6} {:>6} {:>12} {:>22} {:>20} {:>9} {:>8} {:>7}",
+            "scenario",
             "d",
             "f",
             "p",
@@ -156,7 +163,8 @@ impl ConformanceReport {
                 let ok = estimate.overlaps(lower, upper);
                 let _ = writeln!(
                     out,
-                    "{:>5} {:>5} {:>6.2} {:>6.2} {:>12} [{:>9.6}, {:>9.6}] [{:>8.6}, {:>8.6}] {:>9} {:>8} {:>7}",
+                    "{:>20} {:>5} {:>5} {:>6.2} {:>6.2} {:>12} [{:>9.6}, {:>9.6}] [{:>8.6}, {:>8.6}] {:>9} {:>8} {:>7}",
+                    point.scenario,
                     point.depth,
                     point.forks,
                     point.p,
@@ -195,6 +203,7 @@ mod tests {
 
     fn point(mean: f64) -> ConformancePoint {
         ConformancePoint {
+            scenario: "optimal".to_string(),
             depth: 2,
             forks: 1,
             max_fork_length: 4,
@@ -225,6 +234,8 @@ mod tests {
         assert_eq!(report.len(), 1);
         assert!(!report.is_empty());
         let rendered = report.render();
+        assert!(rendered.contains("scenario"));
+        assert!(rendered.contains("optimal"));
         assert!(rendered.contains("bernoulli"));
         assert!(rendered.contains("pow-lottery"));
         assert!(rendered.contains(" ok"));

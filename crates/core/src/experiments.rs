@@ -167,6 +167,9 @@ pub fn attack_curve(
 /// solve with a Monte-Carlo replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CertifiedSolve {
+    /// The attack scenario the point was solved under (the family's
+    /// scenario; [`crate::AttackScenario::Optimal`] for the paper's model).
+    pub scenario: crate::AttackScenario,
     /// Adversarial resource share of the point.
     pub p: f64,
     /// Switching probability of the point.
@@ -223,6 +226,7 @@ pub fn attack_curve_certified(
         }
         history.push((p, result.beta_low));
         solves.push(CertifiedSolve {
+            scenario: family.scenario(),
             p,
             gamma,
             beta_low: result.beta_low,

@@ -23,7 +23,10 @@ use sm_mdp::PositionalStrategy;
 /// an instantiated model ([`StrategyExport::new`]) or directly from the
 /// shared family skeleton ([`StrategyExport::from_family`], no per-`(p, γ)`
 /// buffers touched at all); one handle serves every grid point of its
-/// family.
+/// family. Restricted-scenario families (see [`crate::AttackScenario`])
+/// export the same way: their state/action tables already are the
+/// scenario's sub-model, so the compiled table enforces the restriction by
+/// construction.
 ///
 /// # Example
 ///

@@ -18,6 +18,9 @@
 //!   optimal expected relative revenue plus an `ε`-optimal strategy, computed
 //!   by binary search over the mean-payoff reward family `r_β` (and a
 //!   Dinkelbach-accelerated variant).
+//! * [`AttackScenario`] — pluggable restricted-action attack scenarios
+//!   (the stubborn-mining family plus an honest sanity scenario) carried
+//!   end-to-end through the solve → export → simulate → certify pipeline.
 //! * [`baselines`] — the two baselines of the experimental evaluation
 //!   (honest mining and the single-tree selfish-mining attack) and the
 //!   Eyal–Sirer proof-of-work closed form used as a sanity anchor.
@@ -52,6 +55,7 @@ mod export;
 mod model;
 mod parametric;
 mod params;
+mod scenario;
 mod state;
 mod transition;
 
@@ -64,8 +68,9 @@ pub use export::StrategyExport;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
 pub use parametric::ParametricModel;
 pub use params::AttackParams;
+pub use scenario::AttackScenario;
 pub use state::{Owner, Phase, SmState};
 pub use transition::{
-    available_actions, successors, symbolic_successors, BlockRewards, Outcome, ProbTerm,
-    SymbolicOutcome,
+    available_actions, available_actions_in, successors, successors_in, symbolic_successors,
+    symbolic_successors_in, BlockRewards, Outcome, ProbTerm, SymbolicOutcome,
 };

@@ -12,7 +12,10 @@
 //!   per-action rewards in flat buffers aligned with the same arena, which is
 //!   all the mean-payoff machinery needs.
 
-use crate::{available_actions, successors, AttackParams, SelfishMiningError, SmAction, SmState};
+use crate::{
+    available_actions_in, successors_in, AttackParams, AttackScenario, SelfishMiningError,
+    SmAction, SmState,
+};
 use sm_mdp::{CsrMdpBuilder, Mdp, PositionalStrategy, TransitionRewards};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -32,6 +35,7 @@ pub const DEFAULT_STATE_LIMIT: usize = 12_000_000;
 #[derive(Debug, Clone)]
 pub struct SelfishMiningModel {
     pub(crate) params: AttackParams,
+    pub(crate) scenario: AttackScenario,
     pub(crate) mdp: Mdp,
     pub(crate) states: Arc<Vec<SmState>>,
     pub(crate) actions: Arc<Vec<Vec<SmAction>>>,
@@ -62,6 +66,37 @@ impl SelfishMiningModel {
         params: &AttackParams,
         state_limit: usize,
     ) -> Result<Self, SelfishMiningError> {
+        Self::build_scenario_with_limit(params, AttackScenario::Optimal, state_limit)
+    }
+
+    /// Builds the model of a restricted attack scenario: the breadth-first
+    /// exploration runs over the scenario's admissible action set (and, for
+    /// scenarios with a transition filter, its restricted mining split), so
+    /// the constructed MDP *is* the scenario's sub-model — no post-hoc
+    /// masking. [`AttackScenario::Optimal`] reproduces
+    /// [`SelfishMiningModel::build`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`SelfishMiningModel::build`].
+    pub fn build_scenario(
+        params: &AttackParams,
+        scenario: AttackScenario,
+    ) -> Result<Self, SelfishMiningError> {
+        Self::build_scenario_with_limit(params, scenario, DEFAULT_STATE_LIMIT)
+    }
+
+    /// [`SelfishMiningModel::build_scenario`] with an explicit state-space
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`SelfishMiningModel::build`].
+    pub fn build_scenario_with_limit(
+        params: &AttackParams,
+        scenario: AttackScenario,
+        state_limit: usize,
+    ) -> Result<Self, SelfishMiningError> {
         params.validate()?;
         let initial = SmState::initial(params);
 
@@ -88,9 +123,9 @@ impl SelfishMiningModel {
             let begun = builder.begin_state();
             debug_assert_eq!(begun, index);
             let state = states[index].clone();
-            let state_actions = available_actions(params, &state);
+            let state_actions = available_actions_in(&scenario, params, &state);
             for action in &state_actions {
-                let outs = successors(params, &state, action)?;
+                let outs = successors_in(&scenario, params, &state, action)?;
                 entries.clear();
                 let mut adv = 0.0;
                 let mut hon = 0.0;
@@ -128,6 +163,7 @@ impl SelfishMiningModel {
 
         Ok(SelfishMiningModel {
             params: *params,
+            scenario,
             mdp,
             states: Arc::new(states),
             actions: Arc::new(actions),
@@ -139,6 +175,12 @@ impl SelfishMiningModel {
     /// The parameters the model was built for.
     pub fn params(&self) -> &AttackParams {
         &self.params
+    }
+
+    /// The attack scenario the model was built for
+    /// ([`AttackScenario::Optimal`] for the plain builders).
+    pub fn scenario(&self) -> AttackScenario {
+        self.scenario
     }
 
     /// The underlying MDP.
@@ -273,18 +315,37 @@ impl SelfishMiningModel {
     /// the structured vocabulary of the attack, restricted to states where the
     /// strategy chooses something other than `mine`. Useful for inspecting
     /// computed attacks.
-    pub fn describe_strategy(&self, strategy: &PositionalStrategy) -> Vec<(String, String)> {
-        (0..self.num_states())
-            .filter_map(|s| {
-                let action_idx = strategy.action(s);
-                let action = self.actions[s].get(action_idx)?;
-                if action.is_release() {
-                    Some((self.states[s].to_string(), action.to_string()))
-                } else {
-                    None
-                }
-            })
-            .collect()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfishMiningError::InvalidParameter`] if the strategy does
+    /// not cover every model state or selects an action index outside a
+    /// state's action list. (The historical version panicked on a
+    /// too-short strategy — a panic reachable from user-supplied data.)
+    pub fn describe_strategy(
+        &self,
+        strategy: &PositionalStrategy,
+    ) -> Result<Vec<(String, String)>, SelfishMiningError> {
+        if strategy.num_states() != self.num_states() {
+            return Err(SelfishMiningError::InvalidParameter {
+                name: "strategy",
+                constraint: "must cover every state of the model it describes",
+            });
+        }
+        let mut releases = Vec::new();
+        for s in 0..self.num_states() {
+            let action_idx = strategy.action(s);
+            let Some(action) = self.actions[s].get(action_idx) else {
+                return Err(SelfishMiningError::InvalidParameter {
+                    name: "strategy",
+                    constraint: "selects an action index outside the state's action list",
+                });
+            };
+            if action.is_release() {
+                releases.push((self.states[s].to_string(), action.to_string()));
+            }
+        }
+        Ok(releases)
     }
 }
 
@@ -394,8 +455,58 @@ mod tests {
                 strategy.set_action(s, 1);
             }
         }
-        let description = model.describe_strategy(&strategy);
+        let description = model.describe_strategy(&strategy).unwrap();
         assert!(!description.is_empty());
         assert!(description.iter().all(|(_, a)| a.starts_with("release")));
+    }
+
+    #[test]
+    fn describe_strategy_rejects_misshapen_strategies() {
+        // Regression: both misshapes used to panic (short strategies via
+        // indexing) or be skipped silently (out-of-range action indices).
+        let model = build(0.3, 0.5, 1, 1, 2);
+        let short = PositionalStrategy::uniform_first_action(model.num_states() - 1);
+        assert!(matches!(
+            model.describe_strategy(&short),
+            Err(SelfishMiningError::InvalidParameter {
+                name: "strategy",
+                ..
+            })
+        ));
+        let mut out_of_range = PositionalStrategy::uniform_first_action(model.num_states());
+        out_of_range.set_action(0, 99);
+        assert!(matches!(
+            model.describe_strategy(&out_of_range),
+            Err(SelfishMiningError::InvalidParameter {
+                name: "strategy",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scenario_models_restrict_the_optimal_model() {
+        let params = AttackParams::new(0.3, 0.5, 2, 1, 4).unwrap();
+        let optimal = SelfishMiningModel::build(&params).unwrap();
+        assert_eq!(optimal.scenario(), crate::AttackScenario::Optimal);
+        for scenario in [
+            crate::AttackScenario::LeadStubborn,
+            crate::AttackScenario::EqualForkStubborn,
+            crate::AttackScenario::TrailStubborn { lag: 0 },
+        ] {
+            let restricted = SelfishMiningModel::build_scenario(&params, scenario).unwrap();
+            assert_eq!(restricted.scenario(), scenario);
+            assert!(restricted.num_states() <= optimal.num_states());
+            assert!(
+                restricted.mdp().num_state_action_pairs() <= optimal.mdp().num_state_action_pairs()
+            );
+            restricted.mdp().validate().unwrap();
+        }
+        // The honest scenario is a tiny degenerate chain.
+        let honest =
+            SelfishMiningModel::build_scenario(&params, crate::AttackScenario::HonestMining)
+                .unwrap();
+        assert!(honest.num_states() < optimal.num_states() / 2);
+        honest.mdp().validate().unwrap();
     }
 }

@@ -25,8 +25,8 @@
 //! solver results for the masked edges.
 
 use crate::{
-    available_actions, symbolic_successors, AttackParams, ProbTerm, SelfishMiningError,
-    SelfishMiningModel, SmAction, SmState, DEFAULT_STATE_LIMIT,
+    available_actions_in, symbolic_successors_in, AttackParams, AttackScenario, ProbTerm,
+    SelfishMiningError, SelfishMiningModel, SmAction, SmState, DEFAULT_STATE_LIMIT,
 };
 use sm_mdp::{CsrLayout, CsrMdp, Mdp, TransitionRewards};
 use std::collections::{HashMap, VecDeque};
@@ -64,6 +64,7 @@ pub struct ParametricModel {
     depth: usize,
     forks_per_block: usize,
     max_fork_length: usize,
+    scenario: AttackScenario,
     states: Arc<Vec<SmState>>,
     actions: Arc<Vec<Vec<SmAction>>>,
     layout: Arc<CsrLayout>,
@@ -111,6 +112,69 @@ impl ParametricModel {
         max_fork_length: usize,
         state_limit: usize,
     ) -> Result<Self, SelfishMiningError> {
+        Self::build_scenario_with_limit(
+            AttackScenario::Optimal,
+            depth,
+            forks_per_block,
+            max_fork_length,
+            state_limit,
+        )
+    }
+
+    /// Explores the topology of a restricted attack scenario: the symbolic
+    /// BFS runs over the scenario's admissible actions and filtered mining
+    /// split, so the shared skeleton *is* the scenario's sub-arena.
+    /// [`AttackScenario::Optimal`] reproduces [`ParametricModel::build`]
+    /// exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use selfish_mining::{AttackScenario, ParametricModel};
+    ///
+    /// # fn main() -> Result<(), selfish_mining::SelfishMiningError> {
+    /// let optimal = ParametricModel::build(2, 1, 4)?;
+    /// let stubborn =
+    ///     ParametricModel::build_scenario(AttackScenario::LeadStubborn, 2, 1, 4)?;
+    /// assert!(stubborn.num_pairs() < optimal.num_pairs());
+    /// assert_eq!(stubborn.scenario(), AttackScenario::LeadStubborn);
+    /// let model = stubborn.instantiate(0.3, 0.5)?;
+    /// assert_eq!(model.scenario(), AttackScenario::LeadStubborn);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`ParametricModel::build`].
+    pub fn build_scenario(
+        scenario: AttackScenario,
+        depth: usize,
+        forks_per_block: usize,
+        max_fork_length: usize,
+    ) -> Result<Self, SelfishMiningError> {
+        Self::build_scenario_with_limit(
+            scenario,
+            depth,
+            forks_per_block,
+            max_fork_length,
+            DEFAULT_STATE_LIMIT,
+        )
+    }
+
+    /// [`ParametricModel::build_scenario`] with an explicit state-space
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParametricModel::build`].
+    pub fn build_scenario_with_limit(
+        scenario: AttackScenario,
+        depth: usize,
+        forks_per_block: usize,
+        max_fork_length: usize,
+        state_limit: usize,
+    ) -> Result<Self, SelfishMiningError> {
         // The symbolic transition function reads only the structural fields;
         // interior placeholders make the parameter set pass validation.
         let params = AttackParams::new(0.5, 0.5, depth, forks_per_block, max_fork_length)?;
@@ -141,9 +205,9 @@ impl ParametricModel {
 
         while let Some(index) = queue.pop_front() {
             let state = states[index].clone();
-            let state_actions = available_actions(&params, &state);
+            let state_actions = available_actions_in(&scenario, &params, &state);
             for action in &state_actions {
-                let outcomes = symbolic_successors(&params, &state, action)?;
+                let outcomes = symbolic_successors_in(&scenario, &params, &state, action)?;
                 scratch.clear();
                 for outcome in outcomes {
                     let target = match index_of.get(&outcome.state) {
@@ -207,6 +271,7 @@ impl ParametricModel {
             depth,
             forks_per_block,
             max_fork_length,
+            scenario,
             states: Arc::new(states),
             actions: Arc::new(actions),
             layout: Arc::new(layout),
@@ -232,6 +297,12 @@ impl ParametricModel {
     /// Maximal private fork length `l` of the family.
     pub fn max_fork_length(&self) -> usize {
         self.max_fork_length
+    }
+
+    /// The attack scenario the family was explored for
+    /// ([`AttackScenario::Optimal`] for the plain builders).
+    pub fn scenario(&self) -> AttackScenario {
+        self.scenario
     }
 
     /// Number of reachable states of the (parameter-independent) topology.
@@ -323,6 +394,7 @@ impl ParametricModel {
 
         Ok(SelfishMiningModel {
             params,
+            scenario: self.scenario,
             mdp,
             states: Arc::clone(&self.states),
             actions: Arc::clone(&self.actions),
@@ -364,6 +436,7 @@ impl ParametricModel {
             ));
         }
         model.params = params;
+        model.scenario = self.scenario;
         model
             .mdp
             .csr_mut()
@@ -495,6 +568,47 @@ mod tests {
             ParametricModel::build_with_limit(2, 2, 4, 10),
             Err(SelfishMiningError::StateSpaceTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn scenario_family_matches_the_scenario_direct_build() {
+        // The per-scenario parametric arena must reproduce the per-scenario
+        // direct build bit for bit, exactly as the optimal arena does.
+        for scenario in AttackScenario::default_family() {
+            let family = ParametricModel::build_scenario(scenario, 2, 1, 3).unwrap();
+            assert_eq!(family.scenario(), scenario);
+            let params = AttackParams::new(0.3, 0.5, 2, 1, 3).unwrap();
+            let fresh = SelfishMiningModel::build_scenario(&params, scenario).unwrap();
+            let inst = family.instantiate(0.3, 0.5).unwrap();
+            assert_eq!(inst.scenario(), scenario);
+            assert_eq!(inst.num_states(), fresh.num_states(), "{scenario}");
+            for s in 0..fresh.num_states() {
+                assert_eq!(inst.state(s), fresh.state(s));
+                assert_eq!(inst.actions_of(s), fresh.actions_of(s));
+            }
+            assert_eq!(inst.mdp(), fresh.mdp(), "{scenario}");
+            assert_eq!(
+                inst.adversary_rewards().values(),
+                fresh.adversary_rewards().values()
+            );
+            assert_eq!(
+                inst.honest_rewards().values(),
+                fresh.honest_rewards().values()
+            );
+        }
+    }
+
+    #[test]
+    fn trail_stubborn_with_full_lag_is_the_optimal_arena() {
+        let optimal = ParametricModel::build(2, 1, 3).unwrap();
+        let full_lag =
+            ParametricModel::build_scenario(AttackScenario::TrailStubborn { lag: 1 }, 2, 1, 3)
+                .unwrap();
+        assert_eq!(optimal.num_states(), full_lag.num_states());
+        assert_eq!(optimal.num_pairs(), full_lag.num_pairs());
+        let a = optimal.instantiate(0.3, 0.25).unwrap();
+        let b = full_lag.instantiate(0.3, 0.25).unwrap();
+        assert_eq!(a.mdp(), b.mdp());
     }
 
     #[test]

@@ -118,14 +118,25 @@ impl AttackParams {
     }
 
     /// Upper bound on the number of states of the full (unreduced) product
-    /// state space `(l+1)^{d·f} · 2^{d−1} · 3`. The reachable state space
-    /// constructed by the model builder is usually much smaller.
+    /// state space `(l+1)^{d·f} · 2^{d−1} · 3`, saturating at [`u128::MAX`].
+    /// The reachable state space constructed by the model builder is usually
+    /// much smaller.
+    ///
+    /// Exponents that do not fit a `u32` saturate the bound instead of being
+    /// truncated: the historical `(d · f) as u32` cast silently wrapped for
+    /// adversarial inputs (e.g. `d = 2³² + 2, f = 1` reported the bound of
+    /// `d = 2`), turning an over-approximation into an under-approximation.
     pub fn state_space_upper_bound(&self) -> u128 {
-        let fork_configs = (self.max_fork_length as u128 + 1)
-            .checked_pow((self.depth * self.forks_per_block) as u32)
+        let fork_exponent = self
+            .depth
+            .checked_mul(self.forks_per_block)
+            .and_then(|cells| u32::try_from(cells).ok());
+        let fork_configs = fork_exponent
+            .and_then(|exponent| (self.max_fork_length as u128 + 1).checked_pow(exponent))
             .unwrap_or(u128::MAX);
-        let owner_configs = 2u128
-            .checked_pow(self.depth.saturating_sub(1) as u32)
+        let owner_configs = u32::try_from(self.depth.saturating_sub(1))
+            .ok()
+            .and_then(|exponent| 2u128.checked_pow(exponent))
             .unwrap_or(u128::MAX);
         fork_configs.saturating_mul(owner_configs).saturating_mul(3)
     }
@@ -184,5 +195,36 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(AttackParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn state_space_bound_saturates_for_huge_exponents() {
+        // A merely-large exponent already saturates through checked_pow.
+        let large = AttackParams {
+            depth: 5_000,
+            ..AttackParams::default()
+        };
+        assert_eq!(large.state_space_upper_bound(), u128::MAX);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn state_space_bound_saturates_at_the_u32_wrap_boundary() {
+        // Regression: `d · f = 2³² + 2` used to be cast `as u32`, wrapping to
+        // an exponent of 2 and reporting the tiny bound of `d = 2` — an
+        // under-approximation. It must saturate instead.
+        let wrapped = AttackParams {
+            depth: (1usize << 32) + 2,
+            forks_per_block: 1,
+            ..AttackParams::default()
+        };
+        assert_eq!(wrapped.state_space_upper_bound(), u128::MAX);
+        // `d · f` overflowing usize itself saturates too.
+        let overflowing = AttackParams {
+            depth: usize::MAX,
+            forks_per_block: 2,
+            ..AttackParams::default()
+        };
+        assert_eq!(overflowing.state_space_upper_bound(), u128::MAX);
     }
 }

@@ -104,16 +104,24 @@ impl SmState {
     /// every non-empty private fork is extended, and at every depth with at
     /// least one empty fork slot a new fork can be started.
     pub fn mining_slots(&self, params: &AttackParams) -> usize {
+        (1..=params.depth)
+            .map(|depth| self.mining_slots_at_depth(params, depth))
+            .sum()
+    }
+
+    /// The mining positions rooted at `depth` (1-based): the non-empty forks
+    /// there plus one fresh fork if an empty slot remains. This is the
+    /// single home of the slot-counting rule — [`SmState::mining_slots`] and
+    /// the scenario-filtered `σ` of restricted attack scenarios both sum it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is out of range for the parameters this state was
+    /// built with.
+    pub fn mining_slots_at_depth(&self, params: &AttackParams, depth: usize) -> usize {
         let f = params.forks_per_block;
-        let mut slots = 0;
-        for depth in 0..params.depth {
-            let row = &self.forks[depth * f..(depth + 1) * f];
-            slots += row.iter().filter(|&&len| len > 0).count();
-            if row.contains(&0) {
-                slots += 1;
-            }
-        }
-        slots
+        let row = &self.forks[(depth - 1) * f..depth * f];
+        row.iter().filter(|&&len| len > 0).count() + usize::from(row.contains(&0))
     }
 
     /// The lowest-index empty fork slot at the given depth (1-based), if any.

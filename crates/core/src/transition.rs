@@ -29,7 +29,7 @@
 //! `d`" accounting up to a constant shift of one step that does not affect any
 //! long-run average.
 
-use crate::{AttackParams, Owner, Phase, SelfishMiningError, SmAction, SmState};
+use crate::{AttackParams, AttackScenario, Owner, Phase, SelfishMiningError, SmAction, SmState};
 
 /// Blocks finalized by one MDP transition, split by owner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,6 +162,18 @@ pub fn available_actions(params: &AttackParams, state: &SmState) -> Vec<SmAction
     actions
 }
 
+/// The admissible action set of `state` under `scenario` — the paper's
+/// `A(s)` filtered by the scenario's restriction
+/// ([`AttackScenario::admits`]). For [`AttackScenario::Optimal`] this is
+/// exactly [`available_actions`].
+pub fn available_actions_in(
+    scenario: &AttackScenario,
+    params: &AttackParams,
+    state: &SmState,
+) -> Vec<SmAction> {
+    scenario.admissible_actions(params, state)
+}
+
 /// Applies `action` in `state` and returns all probabilistic outcomes with
 /// positive probability at the parameters' `(p, γ)`.
 ///
@@ -180,7 +192,25 @@ pub fn successors(
     state: &SmState,
     action: &SmAction,
 ) -> Result<Vec<Outcome>, SelfishMiningError> {
-    let symbolic = symbolic_successors(params, state, action)?;
+    successors_in(&AttackScenario::Optimal, params, state, action)
+}
+
+/// [`successors`] under an attack scenario: the scenario's transition filter
+/// applies (for [`AttackScenario::HonestMining`] the mining split runs over
+/// the tip positions only) and actions the scenario does not admit are
+/// rejected.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::UnavailableAction`] if the action is
+/// unavailable in the state *or* not admitted by the scenario.
+pub fn successors_in(
+    scenario: &AttackScenario,
+    params: &AttackParams,
+    state: &SmState,
+    action: &SmAction,
+) -> Result<Vec<Outcome>, SelfishMiningError> {
+    let symbolic = symbolic_successors_in(scenario, params, state, action)?;
     Ok(symbolic
         .into_iter()
         .filter_map(|outcome| {
@@ -212,8 +242,31 @@ pub fn symbolic_successors(
     state: &SmState,
     action: &SmAction,
 ) -> Result<Vec<SymbolicOutcome>, SelfishMiningError> {
+    symbolic_successors_in(&AttackScenario::Optimal, params, state, action)
+}
+
+/// [`symbolic_successors`] under an attack scenario: the exploration
+/// primitive of the per-scenario [`crate::ParametricModel`] arenas. The only
+/// scenario-dependent branch structure is the `mine` split, whose slot set
+/// (and therefore `σ`) is filtered through
+/// [`AttackScenario::admits_mining_depth`]; every other action's outcomes
+/// are scenario-independent.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::UnavailableAction`] if the action is
+/// unavailable in the state or not admitted by the scenario.
+pub fn symbolic_successors_in(
+    scenario: &AttackScenario,
+    params: &AttackParams,
+    state: &SmState,
+    action: &SmAction,
+) -> Result<Vec<SymbolicOutcome>, SelfishMiningError> {
+    if !scenario.admits(params, state, action) {
+        return Err(unavailable(state, action));
+    }
     match (state.phase, action) {
-        (Phase::Mining, SmAction::Mine) => Ok(mining_outcomes(params, state)),
+        (Phase::Mining, SmAction::Mine) => Ok(mining_outcomes(scenario, params, state)),
         (Phase::Mining, SmAction::Release { .. }) => Err(unavailable(state, action)),
         (Phase::AdversaryFound, SmAction::Mine) => {
             let mut next = state.clone();
@@ -253,14 +306,27 @@ fn unavailable(state: &SmState, action: &SmAction) -> SelfishMiningError {
 /// Outcomes of the `mine` action in a `Mining`-phase state: nature decides who
 /// finds the next proof. The split is parametric — `σ` adversary branches
 /// weighing `p / ((1−p) + p·σ)` each plus one honest branch — so the function
-/// emits symbolic terms; `p = 1` is well defined because every depth offers
-/// at least one mining slot (`σ ≥ d ≥ 1`), keeping the denominator positive
-/// for every `p ∈ [0, 1]`.
-fn mining_outcomes(params: &AttackParams, state: &SmState) -> Vec<SymbolicOutcome> {
-    let slots = u32::try_from(state.mining_slots(params)).expect("mining slots bounded by d·(f+1)");
+/// emits symbolic terms; `p = 1` is well defined because every admitted depth
+/// offers at least one mining slot (`σ ≥ 1`: depth 1 is admitted by every
+/// scenario), keeping the denominator positive for every `p ∈ [0, 1]`.
+///
+/// The scenario's transition filter applies here: depths it does not admit
+/// ([`AttackScenario::admits_mining_depth`]) contribute neither branches nor
+/// slots to `σ`. For [`AttackScenario::Optimal`] the split is exactly the
+/// paper's, with `σ = `[`SmState::mining_slots`].
+fn mining_outcomes(
+    scenario: &AttackScenario,
+    params: &AttackParams,
+    state: &SmState,
+) -> Vec<SymbolicOutcome> {
+    let slots = u32::try_from(scenario.mining_slots(params, state))
+        .expect("mining slots bounded by d·(f+1)");
     let mut outcomes = Vec::new();
 
     for depth in 1..=params.depth {
+        if !scenario.admits_mining_depth(depth) {
+            continue;
+        }
         // Extend every non-empty fork.
         for fork in 1..=params.forks_per_block {
             let len = state.fork_length(params, depth, fork);

@@ -1,5 +1,6 @@
 //! Positional (memoryless deterministic) strategies.
 
+use crate::MdpError;
 use std::fmt;
 
 /// A positional strategy: one action index per state.
@@ -42,6 +43,11 @@ impl PositionalStrategy {
 
     /// Action index chosen in `state`.
     ///
+    /// This is the unchecked hot-path accessor used by the solver inner
+    /// loops, which iterate over `0..num_states()` by construction. Use
+    /// [`PositionalStrategy::get`] when the state index comes from outside
+    /// data.
+    ///
     /// # Panics
     ///
     /// Panics if `state` is out of bounds.
@@ -49,13 +55,41 @@ impl PositionalStrategy {
         self.choices[state]
     }
 
+    /// Action index chosen in `state`, or `None` if the strategy does not
+    /// cover it — the checked counterpart of [`PositionalStrategy::action`]
+    /// for state indices originating from user-supplied data.
+    pub fn get(&self, state: usize) -> Option<usize> {
+        self.choices.get(state).copied()
+    }
+
     /// Replaces the action chosen in `state`.
     ///
     /// # Panics
     ///
-    /// Panics if `state` is out of bounds.
+    /// Panics if `state` is out of bounds; use
+    /// [`PositionalStrategy::try_set_action`] for untrusted indices.
     pub fn set_action(&mut self, state: usize, action: usize) {
         self.choices[state] = action;
+    }
+
+    /// Replaces the action chosen in `state`, rejecting out-of-bounds states
+    /// with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidState`] if the strategy does not cover
+    /// `state`.
+    pub fn try_set_action(&mut self, state: usize, action: usize) -> Result<(), MdpError> {
+        match self.choices.get_mut(state) {
+            Some(slot) => {
+                *slot = action;
+                Ok(())
+            }
+            None => Err(MdpError::InvalidState {
+                state,
+                num_states: self.choices.len(),
+            }),
+        }
     }
 
     /// The underlying per-state action indices.
@@ -140,5 +174,21 @@ mod tests {
     fn from_vec_conversion() {
         let sigma: PositionalStrategy = vec![2, 3].into();
         assert_eq!(sigma.action(0), 2);
+    }
+
+    #[test]
+    fn checked_accessors_reject_out_of_bounds_states() {
+        let mut sigma = PositionalStrategy::uniform_first_action(2);
+        assert_eq!(sigma.get(1), Some(0));
+        assert_eq!(sigma.get(2), None);
+        sigma.try_set_action(1, 7).unwrap();
+        assert_eq!(sigma.action(1), 7);
+        assert!(matches!(
+            sigma.try_set_action(2, 0),
+            Err(MdpError::InvalidState {
+                state: 2,
+                num_states: 2
+            })
+        ));
     }
 }

@@ -6,12 +6,14 @@
 //! crate is the orchestration layer that exploits the parametric structure
 //! instead:
 //!
-//! * per `(d, f)` configuration, **one** [`ParametricModel`] is built and
-//!   shared (read-only) across the whole grid;
-//! * the grid is cut into **curve jobs** — one `(d, f) × γ` attack curve or
-//!   one `γ` baseline curve — and fanned out over a [`std::thread::scope`]
-//!   worker pool; each worker owns **one instantiated arena** per job and
-//!   refills it in place per `p` ([`ParametricModel::instantiate_into`]);
+//! * per `(d, f)` configuration (and, in the conformance pass, per attack
+//!   scenario), **one** [`ParametricModel`] is built and shared (read-only)
+//!   across the whole grid;
+//! * the grid is cut into **curve jobs** — one `(d, f) × γ` attack curve
+//!   (`(scenario, d, f) × γ` in the conformance pass) or one `γ` baseline
+//!   curve — and fanned out over a [`std::thread::scope`] worker pool; each
+//!   worker owns **one instantiated arena** per job and refills it in place
+//!   per `p` ([`ParametricModel::instantiate_into`]);
 //! * within a curve, consecutive `p` points **warm-start** each other: the
 //!   Dinkelbach iteration starts from the neighbouring point's certified
 //!   `β_low`, and each inner relative-value-iteration solve is seeded with
@@ -29,7 +31,7 @@
 
 use selfish_mining::baselines::{honest_relative_revenue, SingleTreeAttack};
 use selfish_mining::experiments::{attack_curve, attack_curve_certified, Figure2Point};
-use selfish_mining::{ParametricModel, SelfishMiningError, StrategyExport};
+use selfish_mining::{AttackScenario, ParametricModel, SelfishMiningError, StrategyExport};
 use sm_conformance::{
     certify_point, effective_workers, run_indexed_jobs, ConformanceError, ConformancePoint,
     ConformanceReport,
@@ -42,6 +44,12 @@ pub use sm_conformance::ConformanceSettings;
 pub struct SweepConfig {
     /// The `(d, f)` attack configurations to evaluate at every grid point.
     pub attack_grid: Vec<(usize, usize)>,
+    /// The attack scenarios the *conformance* pass certifies per `(d, f)`
+    /// configuration ([`SweepConfig::run_conformance`] fans
+    /// `(scenario, d, f) × γ` curve jobs over the pool). The revenue sweep
+    /// [`SweepConfig::run`] regenerates the paper's Figure 2 and always
+    /// evaluates the optimal scenario, ignoring this field.
+    pub scenarios: Vec<AttackScenario>,
     /// Maximal private fork length `l`.
     pub max_fork_length: usize,
     /// Precision `ε` of the per-point analysis.
@@ -65,6 +73,7 @@ impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
             attack_grid: vec![(1, 1), (2, 1), (2, 2)],
+            scenarios: vec![AttackScenario::Optimal],
             max_fork_length: 4,
             epsilon: 1e-3,
             workers: 0,
@@ -149,40 +158,47 @@ impl SweepConfig {
     }
 
     /// Runs the optional statistical-conformance pass over the grid: every
-    /// `(d, f) × γ` attack curve is solved with full certificates
+    /// `(scenario, d, f) × γ` attack curve is solved with full certificates
     /// ([`attack_curve_certified`], same arenas and warm starts as
-    /// [`SweepConfig::run`]), each point's ε-optimal strategy is exported
-    /// into the simulator, and a batched Monte-Carlo estimate per configured
-    /// arrival source is compared against the certified `[β_low, β_up]`
-    /// revenue bracket.
+    /// [`SweepConfig::run`]) on the scenario's own sub-arena, each point's
+    /// ε-optimal strategy is exported into the simulator, and a batched
+    /// Monte-Carlo estimate per configured arrival source is compared
+    /// against the certified `[β_low, β_up]` revenue bracket.
     ///
     /// Curve jobs fan out over the same worker pool as the revenue sweep and
     /// the Monte-Carlo replica seeds are pure functions of
-    /// `settings.master_seed` and the point coordinates, so the report is
-    /// deterministic for any worker count — of this pool *and* of the
-    /// estimator's. Points are ordered by `γ` (input order), then `(d, f)`
-    /// (grid order), then `p` (input order).
+    /// `settings.master_seed`, the point coordinates and the scenario salt,
+    /// so the report is deterministic for any worker count — of this pool
+    /// *and* of the estimator's. Points are ordered by `γ` (input order),
+    /// then `(d, f)` (grid order), then scenario
+    /// ([`SweepConfig::scenarios`] order), then `p` (input order).
     ///
     /// # Errors
     ///
     /// Propagates the first model-construction, solver or estimator error
-    /// any job hits.
+    /// any job hits, and rejects an empty scenario list.
     pub fn run_conformance(
         &self,
         gammas: &[f64],
         ps: &[f64],
         settings: &ConformanceSettings,
     ) -> Result<ConformanceReport, ConformanceError> {
-        let families = self.build_families()?;
+        if self.scenarios.is_empty() {
+            return Err(ConformanceError::InvalidConfig {
+                name: "scenarios",
+                constraint: "must name at least one attack scenario",
+            });
+        }
+        let families = self.build_scenario_families()?;
 
-        // One job per (γ, config) attack curve, in output order.
+        // One job per (γ, config, scenario) attack curve, in output order.
         let jobs: Vec<(usize, usize)> = (0..gammas.len())
-            .flat_map(|gamma_index| (0..families.len()).map(move |config| (gamma_index, config)))
+            .flat_map(|gamma_index| (0..families.len()).map(move |family| (gamma_index, family)))
             .collect();
         let workers = self.worker_count(jobs.len());
         let results = run_indexed_jobs(workers, jobs.len(), |index| {
-            let (gamma_index, config) = jobs[index];
-            self.certify_curve(&families[config], gammas[gamma_index], ps, settings)
+            let (gamma_index, family) = jobs[index];
+            self.certify_curve(&families[family], gammas[gamma_index], ps, settings)
         });
 
         let mut points = Vec::with_capacity(jobs.len() * ps.len());
@@ -201,8 +217,22 @@ impl SweepConfig {
             .collect()
     }
 
-    /// Solves one `(d, f) × γ` curve with certificates and witnesses every
-    /// point with the Monte-Carlo estimator.
+    /// Builds one parametric family per `(d, f) × scenario` of the
+    /// conformance grid, in output order: `(d, f)` outer (grid order),
+    /// scenario inner ([`SweepConfig::scenarios`] order).
+    fn build_scenario_families(&self) -> Result<Vec<ParametricModel>, SelfishMiningError> {
+        self.attack_grid
+            .iter()
+            .flat_map(|&(depth, forks)| {
+                self.scenarios.iter().map(move |&scenario| {
+                    ParametricModel::build_scenario(scenario, depth, forks, self.max_fork_length)
+                })
+            })
+            .collect()
+    }
+
+    /// Solves one `(scenario, d, f) × γ` curve with certificates and
+    /// witnesses every point with the Monte-Carlo estimator.
     fn certify_curve(
         &self,
         family: &ParametricModel,
@@ -417,6 +447,68 @@ mod tests {
             report(4, 2),
             "sweep/estimator pools must not affect the report"
         );
+    }
+
+    #[test]
+    fn scenario_conformance_pass_orders_and_certifies_the_family() {
+        let config = SweepConfig {
+            attack_grid: vec![(2, 1)],
+            scenarios: vec![
+                AttackScenario::Optimal,
+                AttackScenario::LeadStubborn,
+                AttackScenario::HonestMining,
+            ],
+            epsilon: 5e-3,
+            workers: 2,
+            ..SweepConfig::default()
+        };
+        let report = config
+            .run_conformance(&[0.5], &[0.3], &small_conformance_settings())
+            .unwrap();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.points[0].scenario, "optimal");
+        assert_eq!(report.points[1].scenario, "lead-stubborn");
+        assert_eq!(report.points[2].scenario, "honest-mining");
+        assert!(
+            report.all_conform(),
+            "violations: {:?}",
+            report.violations()
+        );
+        // Restriction dominance on the certified brackets...
+        assert!(
+            report.points[1].certified_lower <= report.points[0].certified_upper + 1e-9,
+            "lead-stubborn must not certify above the optimum"
+        );
+        // ...and the honest sanity anchor certifies the proportional share.
+        assert!(
+            (report.points[2].strategy_revenue - 0.3).abs() <= 5e-3,
+            "honest-mining revenue {} should be p = 0.3",
+            report.points[2].strategy_revenue
+        );
+        // Scenario jobs are deterministic across pool shapes too.
+        let re_run = SweepConfig {
+            workers: 1,
+            ..config
+        }
+        .run_conformance(&[0.5], &[0.3], &small_conformance_settings())
+        .unwrap();
+        assert_eq!(report, re_run);
+    }
+
+    #[test]
+    fn empty_scenario_list_is_rejected() {
+        let config = SweepConfig {
+            attack_grid: vec![(1, 1)],
+            scenarios: vec![],
+            ..SweepConfig::default()
+        };
+        assert!(matches!(
+            config.run_conformance(&[0.5], &[0.1], &small_conformance_settings()),
+            Err(ConformanceError::InvalidConfig {
+                name: "scenarios",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -15,11 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimulationConfig {
         p,
         gamma,
-        depth: 2,
-        forks_per_block: 1,
-        max_fork_length: 4,
         steps: 300_000,
         seed: 2024,
+        ..SimulationConfig::default()
     };
     let simulator = Simulator::new(config);
 

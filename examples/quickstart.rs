@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A short, human-readable view of the withholding behaviour the optimal
     // strategy uses (states in which it releases a fork).
-    let releases = model.describe_strategy(&result.strategy);
+    let releases = model.describe_strategy(&result.strategy)?;
     println!(
         "the optimal strategy publishes a private fork in {} of the {} states; first examples:",
         releases.len(),

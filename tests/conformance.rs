@@ -16,11 +16,9 @@ fn estimator_config(p: f64, gamma: f64, steps: usize, seed: u64) -> EstimatorCon
         simulation: SimulationConfig {
             p,
             gamma,
-            depth: 2,
-            forks_per_block: 1,
-            max_fork_length: 4,
             steps,
             seed,
+            ..SimulationConfig::default()
         },
         ..EstimatorConfig::default()
     }

@@ -20,12 +20,9 @@ fn simulator_reproduces_honest_share() {
     for p in [0.2, 0.35] {
         let config = SimulationConfig {
             p,
-            gamma: 0.5,
-            depth: 2,
-            forks_per_block: 1,
-            max_fork_length: 4,
             steps: 150_000,
             seed: 7,
+            ..SimulationConfig::default()
         };
         let report = Simulator::new(config).run(&mut HonestStrategy);
         let analytic = honest_relative_revenue(p).unwrap();
@@ -67,11 +64,9 @@ fn simulator_matches_mdp_value_for_optimal_strategy() {
         let config = SimulationConfig {
             p,
             gamma,
-            depth: 2,
-            forks_per_block: 1,
-            max_fork_length: 4,
             steps: 400_000,
             seed,
+            ..SimulationConfig::default()
         };
         let report = Simulator::new(config).run(&mut strategy);
         revenues.push(report.relative_revenue());
