@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selfish_mining::baselines::SingleTreeAttack;
 use selfish_mining::experiments::{coarse_p_grid, PAPER_GAMMA_GRID};
 use selfish_mining::{
-    available_actions, successors, AnalysisProcedure, AttackParams, SelfishMiningModel, SmState,
+    available_actions, successors, AnalysisConfig, AnalysisProcedure, AttackParams,
+    ParametricModel, SelfishMiningModel, SmState, SolverParallelism,
 };
 use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, RelativeValueIteration};
 use sm_sweep::SweepConfig;
@@ -261,6 +262,41 @@ fn bench_search_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-scaling of the intra-solve parallel Bellman/chain sweeps on a
+/// *single* instance — the acceptance workload of the row-block parallelism
+/// layer: one full warm-free Dinkelbach analysis (several relative-value-
+/// iteration solves plus fused revenue evaluations) at `p = 0.3, γ = 0.5`,
+/// solved with 1/2/4/8 intra-solve threads. Results are bit-identical across
+/// the row; only the wall-clock time may differ. The `d = 3, f = 2` row
+/// (tens of thousands of states) is gated behind `SM_BENCH_EXPENSIVE`; the
+/// numbers feed the "Intra-solve scaling" table in `EXPERIMENTS.md`.
+fn bench_intra_parallel_scaling(c: &mut Criterion) {
+    let mut configs: Vec<(usize, usize)> = vec![(2, 2)];
+    if sm_bench::expensive_enabled() {
+        configs.push((3, 2));
+    }
+    for (depth, forks) in configs {
+        let family = ParametricModel::build(depth, forks, 4).unwrap();
+        let model = family.instantiate(0.3, 0.5).unwrap();
+        let mut group = c.benchmark_group(format!("solver/intra_parallel_d{depth}_f{forks}"));
+        group.sample_size(5);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("threads", threads),
+                &threads,
+                |b, &threads| {
+                    let procedure = AnalysisProcedure::new(
+                        AnalysisConfig::with_epsilon(1e-3)
+                            .with_parallelism(SolverParallelism::threads(threads)),
+                    );
+                    b.iter(|| procedure.solve_dinkelbach(&model).unwrap().strategy_revenue);
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_model_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/model_build");
     for (depth, forks) in [(2usize, 1usize), (2, 2)] {
@@ -393,6 +429,7 @@ criterion_group!(
     bench_search_strategies,
     bench_model_construction,
     bench_construction_plus_vi,
+    bench_intra_parallel_scaling,
     bench_figure2_coarse_sweep
 );
 criterion_main!(benches);

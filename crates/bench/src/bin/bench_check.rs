@@ -1,0 +1,145 @@
+//! CI perf-regression gate over the machine-readable bench reports.
+//!
+//! Compares a current `SM_BENCH_JSON` report against the committed baseline
+//! and exits non-zero when any benchmark's median wall-clock time regressed
+//! beyond the threshold (default: 25%), or when a baseline benchmark is
+//! missing from the current report (catching silent renames):
+//!
+//! ```text
+//! cargo run -p sm-bench --bin bench_check -- \
+//!     --current BENCH_solver.json --baseline bench/baseline.json
+//! ```
+//!
+//! `--write-baseline` copies the current report over the baseline instead of
+//! comparing — the refresh path after an intentional perf change or a
+//! hardware migration (absolute medians are machine-dependent; the baseline
+//! must be regenerated on hardware comparable to the machines the gate runs
+//! on — see `bench/README.md`).
+
+use sm_bench::report::{compare_reports, parse_report};
+use std::process::ExitCode;
+
+struct Args {
+    current: String,
+    baseline: String,
+    threshold: f64,
+    min_median_ms: f64,
+    write_baseline: bool,
+}
+
+const USAGE: &str = "usage: bench_check --current <report.json> --baseline <baseline.json> \
+                     [--threshold <ratio, default 1.25>] \
+                     [--min-median-ms <noise floor, default 1.0>] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut threshold = 1.25f64;
+    let mut min_median_ms = 1.0f64;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--current" => current = Some(args.next().ok_or("--current needs a path")?),
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
+            "--threshold" => {
+                let value = args.next().ok_or("--threshold needs a ratio")?;
+                threshold = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 1.0)
+                    .ok_or(format!("invalid threshold {value:?} (must be >= 1.0)"))?;
+            }
+            "--min-median-ms" => {
+                let value = args.next().ok_or("--min-median-ms needs a duration")?;
+                min_median_ms = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|floor| floor.is_finite() && *floor >= 0.0)
+                    .ok_or(format!("invalid noise floor {value:?} (must be >= 0)"))?;
+            }
+            "--write-baseline" => write_baseline = true,
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        current: current.ok_or(format!("missing --current\n{USAGE}"))?,
+        baseline: baseline.ok_or(format!("missing --baseline\n{USAGE}"))?,
+        threshold,
+        min_median_ms,
+        write_baseline,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let current_text = std::fs::read_to_string(&args.current)
+        .map_err(|e| format!("cannot read current report {}: {e}", args.current))?;
+    // Validate before copying or comparing, so a truncated report can
+    // neither pass the gate nor become the new baseline.
+    let current = parse_report(&current_text)
+        .map_err(|e| format!("malformed current report {}: {e}", args.current))?;
+    if current.benchmarks.is_empty() {
+        return Err(format!(
+            "current report {} records no benchmarks",
+            args.current
+        ));
+    }
+
+    if args.write_baseline {
+        std::fs::write(&args.baseline, &current_text)
+            .map_err(|e| format!("cannot write baseline {}: {e}", args.baseline))?;
+        println!(
+            "baseline {} refreshed from {} ({} benchmarks)",
+            args.baseline,
+            args.current,
+            current.benchmarks.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline_text = std::fs::read_to_string(&args.baseline)
+        .map_err(|e| format!("cannot read baseline {}: {e}", args.baseline))?;
+    let baseline = parse_report(&baseline_text)
+        .map_err(|e| format!("malformed baseline {}: {e}", args.baseline))?;
+
+    // Benchmarks whose baseline median sits below the noise floor are
+    // compared and reported but cannot fail the gate: microsecond-scale
+    // entries jitter past any reasonable threshold on shared CI runners.
+    let min_median_ns = (args.min_median_ms * 1e6) as u128;
+    let comparison = compare_reports(&current, &baseline, args.threshold, min_median_ns);
+    print!("{}", comparison.render());
+    let regressions = comparison.regressions();
+    let missing = comparison.missing();
+    if !regressions.is_empty() {
+        eprintln!(
+            "PERF REGRESSION: {} benchmark(s) exceeded {:.0}% of their baseline median: {}",
+            regressions.len(),
+            (args.threshold - 1.0) * 100.0,
+            regressions.join(", ")
+        );
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "MISSING BENCHMARKS: {} baseline entrie(s) absent from the current report: {} \
+             (renamed? refresh the baseline with --write-baseline)",
+            missing.len(),
+            missing.join(", ")
+        );
+    }
+    Ok(comparison.passes())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use selfish_mining::experiments::{
     coarse_p_grid, paper_p_grid, table1_row, table1_single_tree_row, Figure2Point, Table1Row,
     PAPER_ATTACK_GRID, PAPER_GAMMA_GRID,

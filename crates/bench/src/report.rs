@@ -1,0 +1,604 @@
+//! Machine-readable benchmark reports: parsing the `sm-bench/v1` JSON
+//! emitted by the criterion shim (`SM_BENCH_JSON`) and comparing a current
+//! report against a committed baseline for the CI perf-regression gate.
+//!
+//! The JSON layer is a deliberately small recursive-descent parser — the
+//! build environment has no crates.io access, so no serde — that accepts
+//! the full JSON value grammar but is only exercised on the report schema
+//! documented in `bench/README.md`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the subset of structure the report needs; the
+/// parser itself accepts any valid JSON document).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (reports only use non-negative integers, which are
+    /// exact in an `f64` up to 2⁵³ — about 104 days in nanoseconds).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u128),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing characters at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "malformed \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "malformed \\u escape".to_string())?;
+                            // Report names are ASCII; surrogate pairs are not
+                            // needed and decode to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences are
+                    // copied verbatim).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = s.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "malformed number".to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("malformed number {text:?} at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// One benchmark of a parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full `group/benchmark-id` path.
+    pub name: String,
+    /// Median wall-clock sample, nanoseconds.
+    pub median_ns: u128,
+    /// Mean wall-clock sample, nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest wall-clock sample, nanoseconds.
+    pub min_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// A parsed `sm-bench/v1` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The recorded benchmarks, in document order.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// The benchmarks keyed by name (names are unique per report).
+    pub fn by_name(&self) -> BTreeMap<&str, &BenchRecord> {
+        self.benchmarks
+            .iter()
+            .map(|bench| (bench.name.as_str(), bench))
+            .collect()
+    }
+}
+
+/// Parses an `sm-bench/v1` report document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema violation.
+pub fn parse_report(input: &str) -> Result<BenchReport, String> {
+    let root = parse_json(input)?;
+    let schema = root
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("report is missing the \"schema\" field")?;
+    if schema != criterion::JSON_SCHEMA {
+        return Err(format!(
+            "unsupported report schema {schema:?} (expected {:?})",
+            criterion::JSON_SCHEMA
+        ));
+    }
+    let benchmarks = match root.get("benchmarks") {
+        Some(JsonValue::Array(items)) => items,
+        _ => return Err("report is missing the \"benchmarks\" array".to_string()),
+    };
+    let mut out = Vec::with_capacity(benchmarks.len());
+    for (index, item) in benchmarks.iter().enumerate() {
+        let field_u128 = |key: &str| {
+            item.get(key)
+                .and_then(JsonValue::as_u128)
+                .ok_or_else(|| format!("benchmark #{index} is missing integer {key:?}"))
+        };
+        out.push(BenchRecord {
+            name: item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("benchmark #{index} is missing \"name\""))?
+                .to_string(),
+            median_ns: field_u128("median_ns")?,
+            mean_ns: field_u128("mean_ns")?,
+            min_ns: field_u128("min_ns")?,
+            samples: field_u128("samples")? as usize,
+        });
+    }
+    Ok(BenchReport { benchmarks: out })
+}
+
+/// Verdict for one benchmark of a report comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchVerdict {
+    /// Present in both reports; `ratio = current_median / baseline_median`.
+    Compared {
+        /// Current-over-baseline median ratio.
+        ratio: f64,
+        /// Whether the benchmark participates in the gate: baselines below
+        /// the noise floor are compared and reported but cannot fail the
+        /// run (micro-benchmarks in the microsecond range routinely jitter
+        /// past any reasonable threshold on shared CI runners).
+        gated: bool,
+        /// Whether the ratio exceeds the regression threshold *and* the
+        /// benchmark is gated.
+        regressed: bool,
+    },
+    /// Present only in the current report (no baseline entry yet).
+    New,
+    /// Present only in the baseline (renamed or dropped benchmark).
+    Missing,
+}
+
+/// Result of comparing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-benchmark verdicts: `(name, baseline median, current median,
+    /// verdict)`, baseline order first, then new benchmarks in current
+    /// order. Medians are `None` for the side the benchmark is absent from.
+    pub rows: Vec<(String, Option<u128>, Option<u128>, BenchVerdict)>,
+    /// The regression threshold the comparison ran with.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Names of benchmarks whose median regressed beyond the threshold.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter_map(|(name, _, _, verdict)| match verdict {
+                BenchVerdict::Compared {
+                    regressed: true, ..
+                } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of baseline benchmarks absent from the current report.
+    pub fn missing(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter_map(|(name, _, _, verdict)| {
+                matches!(verdict, BenchVerdict::Missing).then_some(name.as_str())
+            })
+            .collect()
+    }
+
+    /// Whether the gate passes: no regression and no missing benchmark.
+    pub fn passes(&self) -> bool {
+        self.regressions().is_empty() && self.missing().is_empty()
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<52} {:>14} {:>14} {:>8}  verdict",
+            "benchmark", "baseline (ms)", "current (ms)", "ratio"
+        );
+        for (name, baseline, current, verdict) in &self.rows {
+            let millis = |ns: &Option<u128>| {
+                ns.map_or("-".to_string(), |ns| format!("{:.3}", ns as f64 / 1e6))
+            };
+            let (ratio, label) = match verdict {
+                BenchVerdict::Compared {
+                    ratio,
+                    gated,
+                    regressed,
+                } => (
+                    format!("{ratio:.3}"),
+                    if *regressed {
+                        format!("REGRESSED (> {:.2}x)", self.threshold)
+                    } else if !gated {
+                        "ok (below gate floor)".to_string()
+                    } else {
+                        "ok".to_string()
+                    },
+                ),
+                BenchVerdict::New => ("-".to_string(), "new (no baseline)".to_string()),
+                BenchVerdict::Missing => ("-".to_string(), "MISSING from current".to_string()),
+            };
+            let _ = writeln!(
+                out,
+                "{:<52} {:>14} {:>14} {:>8}  {}",
+                name,
+                millis(baseline),
+                millis(current),
+                ratio,
+                label
+            );
+        }
+        out
+    }
+}
+
+/// Compares a current report's medians against a baseline: a benchmark
+/// regresses when `current_median > baseline_median * threshold`
+/// (`threshold = 1.25` is the CI gate's 25% budget) **and** its baseline
+/// median is at least `min_median_ns` — the noise floor below which a
+/// benchmark is too fast to gate reliably on shared runners (it is still
+/// compared and reported). Benchmarks only in one report are flagged rather
+/// than silently dropped, so a renamed bench cannot sneak past the gate.
+pub fn compare_reports(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold: f64,
+    min_median_ns: u128,
+) -> Comparison {
+    let current_by_name = current.by_name();
+    let baseline_names: std::collections::BTreeSet<&str> = baseline
+        .benchmarks
+        .iter()
+        .map(|bench| bench.name.as_str())
+        .collect();
+    let mut rows = Vec::new();
+    for base in &baseline.benchmarks {
+        match current_by_name.get(base.name.as_str()) {
+            Some(cur) => {
+                // An exact-zero baseline median (sub-nanosecond bench) can
+                // only "regress" to a non-zero median; treat it as ratio 1.
+                let ratio = if base.median_ns == 0 {
+                    1.0
+                } else {
+                    cur.median_ns as f64 / base.median_ns as f64
+                };
+                let gated = base.median_ns >= min_median_ns;
+                rows.push((
+                    base.name.clone(),
+                    Some(base.median_ns),
+                    Some(cur.median_ns),
+                    BenchVerdict::Compared {
+                        ratio,
+                        gated,
+                        regressed: gated && ratio > threshold,
+                    },
+                ));
+            }
+            None => rows.push((
+                base.name.clone(),
+                Some(base.median_ns),
+                None,
+                BenchVerdict::Missing,
+            )),
+        }
+    }
+    for cur in &current.benchmarks {
+        if !baseline_names.contains(cur.name.as_str()) {
+            rows.push((
+                cur.name.clone(),
+                None,
+                Some(cur.median_ns),
+                BenchVerdict::New,
+            ));
+        }
+    }
+    Comparison { rows, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, u128)]) -> BenchReport {
+        BenchReport {
+            benchmarks: entries
+                .iter()
+                .map(|&(name, median_ns)| BenchRecord {
+                    name: name.to_string(),
+                    median_ns,
+                    mean_ns: median_ns,
+                    min_ns: median_ns,
+                    samples: 5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_shim_emitted_report() {
+        // Round-trip against the actual emitter.
+        let mut c = criterion::Criterion::default();
+        c.bench_function("report-roundtrip/sample", |b| b.iter(|| 2 + 2));
+        let parsed = parse_report(&criterion::json_report()).unwrap();
+        let bench = parsed
+            .benchmarks
+            .iter()
+            .find(|bench| bench.name == "report-roundtrip/sample")
+            .expect("recorded benchmark present");
+        assert!(bench.samples >= 1);
+        assert!(bench.min_ns <= bench.median_ns);
+    }
+
+    #[test]
+    fn parses_escapes_numbers_and_nesting() {
+        let value = parse_json(r#"{"a": [1, 2.5, -3e2, true, null], "b": "x\"\\\nA"}"#).unwrap();
+        assert_eq!(
+            value.get("b").and_then(|v| match v {
+                JsonValue::String(s) => Some(s.as_str()),
+                _ => None,
+            }),
+            Some("x\"\\\nA")
+        );
+        match value.get("a") {
+            Some(JsonValue::Array(items)) => {
+                assert_eq!(items[0], JsonValue::Number(1.0));
+                assert_eq!(items[2], JsonValue::Number(-300.0));
+                assert_eq!(items[4], JsonValue::Null);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents_and_schemas() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_report("{\"schema\": \"other/v9\", \"benchmarks\": []}").is_err());
+        assert!(parse_report("{\"benchmarks\": []}").is_err());
+        assert!(
+            parse_report("{\"schema\": \"sm-bench/v1\", \"benchmarks\": [{\"name\": \"x\"}]}")
+                .is_err(),
+            "records must carry all duration fields"
+        );
+    }
+
+    #[test]
+    fn comparison_flags_regressions_new_and_missing() {
+        let baseline = report(&[("a", 100), ("b", 100), ("gone", 50)]);
+        let current = report(&[("a", 110), ("b", 130), ("fresh", 10)]);
+        let cmp = compare_reports(&current, &baseline, 1.25, 0);
+        assert_eq!(cmp.regressions(), vec!["b"]);
+        assert_eq!(cmp.missing(), vec!["gone"]);
+        assert!(!cmp.passes());
+        let table = cmp.render();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("MISSING"));
+        assert!(table.contains("new (no baseline)"));
+
+        let ok = compare_reports(&report(&[("a", 120)]), &report(&[("a", 100)]), 1.25, 0);
+        assert!(ok.passes());
+        assert!(ok.render().contains("ok"));
+    }
+
+    #[test]
+    fn noise_floor_reports_but_does_not_gate_fast_benchmarks() {
+        // "b" doubled but its baseline median sits below the floor: the
+        // ratio is still reported, the gate ignores it. "slow" regressed
+        // above the floor and still fails.
+        let baseline = report(&[("b", 1_000), ("slow", 10_000_000)]);
+        let current = report(&[("b", 2_000), ("slow", 20_000_000)]);
+        let cmp = compare_reports(&current, &baseline, 1.25, 1_000_000);
+        assert_eq!(cmp.regressions(), vec!["slow"]);
+        assert!(!cmp.passes());
+        let table = cmp.render();
+        assert!(table.contains("ok (below gate floor)"));
+        // With no floor, both regress.
+        let strict = compare_reports(&current, &baseline, 1.25, 0);
+        assert_eq!(strict.regressions(), vec!["b", "slow"]);
+    }
+
+    #[test]
+    fn zero_baseline_medians_do_not_divide_by_zero() {
+        let cmp = compare_reports(&report(&[("z", 5)]), &report(&[("z", 0)]), 1.25, 0);
+        assert!(cmp.passes());
+    }
+}

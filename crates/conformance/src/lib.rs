@@ -32,7 +32,7 @@ mod pool;
 mod report;
 
 pub use estimator::{estimate_revenue, ArrivalKind, Estimate, EstimatorConfig};
-pub use pool::{effective_workers, run_indexed_jobs};
+pub use pool::{effective_workers, resolve_budget, run_budgeted_jobs, run_indexed_jobs};
 pub use report::{ConformancePoint, ConformanceReport};
 
 use selfish_mining::experiments::CertifiedSolve;

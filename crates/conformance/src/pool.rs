@@ -5,6 +5,14 @@
 //! [`std::thread::scope`] pool: workers drain an atomic index and results
 //! are collected **in job order**, so the output is identical for any worker
 //! count — only wall-clock time changes.
+//!
+//! [`run_budgeted_jobs`] adds *nested budgeting* on top: the caller hands
+//! over one global thread budget, outer jobs are preferred while the queue
+//! is deep, and as the queue drains the left-over budget is granted to the
+//! running jobs as an intra-job thread allowance (which the sweep engine
+//! forwards to the solvers' intra-solve parallelism). This fixes the
+//! historical short-queue behaviour where a 2-job sweep on an 8-thread
+//! budget spawned 2 workers and left 6 cores idle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -64,6 +72,88 @@ where
         .collect()
 }
 
+/// Resolves a configured thread budget: `0` means
+/// [`std::thread::available_parallelism`], anything else is taken as-is (at
+/// least 1); the resolution convention is
+/// [`selfish_mining::SolverParallelism`]'s, so the budget and the
+/// intra-solve knob can never disagree on what "auto" means. Unlike
+/// [`effective_workers`] the budget is **not** clamped to the job count —
+/// budget beyond the number of jobs is handed to the jobs themselves as
+/// intra-job allowance by [`run_budgeted_jobs`].
+pub fn resolve_budget(configured: usize) -> usize {
+    selfish_mining::SolverParallelism::threads(configured).thread_count()
+}
+
+/// Runs jobs `0..count` over a nested thread budget and returns their
+/// results in job order.
+///
+/// At most `min(budget, count)` outer workers drain the job queue; each job
+/// additionally receives an **intra-job thread allowance** `a ≥ 1` (the
+/// second closure argument) such that the outer workers and the allowances
+/// together stay within `budget`:
+///
+/// * while the queue is deep (at least as many unfinished jobs as outer
+///   workers) every job gets `budget / outer` — outer parallelism is
+///   preferred because it has no synchronisation cost;
+/// * as the queue drains below the worker count, claims see fewer unfinished
+///   jobs and the allowance grows, up to the whole budget for the final job —
+///   the cores freed by retired workers are soaked up *inside* the remaining
+///   solves.
+///
+/// An allowance is computed once, at claim time, from the number of
+/// unfinished jobs; since a job claimed when `u` jobs were unfinished gets
+/// at most `budget / min(outer, u)` threads and at most `min(outer, u)` jobs
+/// run concurrently with it, the combined allowance stays within the budget
+/// (up to integer rounding in the caller's favour).
+///
+/// The *scheduling* depends on timing, but the allowance is invisible in the
+/// output by construction — every solver in this workspace is bit-identical
+/// for any intra-solve thread count — so the returned vector is identical
+/// for any budget, like [`run_indexed_jobs`].
+///
+/// # Panics
+///
+/// Propagates panics from `job` like [`run_indexed_jobs`].
+pub fn run_budgeted_jobs<T, F>(budget: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let budget = budget.max(1);
+    let outer = budget.clamp(1, count.max(1));
+    if outer <= 1 {
+        // Single outer lane: every job may use the whole budget.
+        return (0..count).map(|index| job(index, budget)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..outer {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let unfinished = count - finished.load(Ordering::Relaxed).min(count);
+                let concurrent = outer.min(unfinished).max(1);
+                let allowance = (budget / concurrent).max(1);
+                let outcome = job(index, allowance);
+                *slots[index].lock().expect("job slot poisoned") = Some(outcome);
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("worker pool completed every job")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +181,55 @@ mod tests {
         assert_eq!(effective_workers(8, 3), 3);
         assert_eq!(effective_workers(2, 100), 2);
         assert_eq!(effective_workers(5, 0), 1);
+    }
+
+    #[test]
+    fn budget_resolution_does_not_clamp_to_jobs() {
+        assert!(resolve_budget(0) >= 1);
+        assert_eq!(resolve_budget(8), 8);
+        assert_eq!(resolve_budget(1), 1);
+    }
+
+    #[test]
+    fn budgeted_jobs_return_in_order_for_any_budget() {
+        let reference: Vec<usize> = (0..23).map(|i| i * 3).collect();
+        for budget in [1, 2, 8, 64] {
+            assert_eq!(
+                run_budgeted_jobs(budget, 23, |i, _allowance| i * 3),
+                reference,
+                "budget = {budget}"
+            );
+        }
+        assert_eq!(run_budgeted_jobs(4, 0, |i, _| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn short_queue_allowances_split_the_whole_budget() {
+        // 2 jobs on an 8-thread budget: the first claim always sees both
+        // jobs unfinished and gets 8 / 2 = 4 threads (the historical pool
+        // gave it 1 and idled 6); the second gets 4 too when claimed
+        // concurrently, or the full 8 if the first job already retired.
+        let allowances = run_budgeted_jobs(8, 2, |_i, allowance| allowance);
+        assert_eq!(allowances[0], 4);
+        assert!(
+            allowances[1] == 4 || allowances[1] == 8,
+            "unexpected allowance {allowances:?}"
+        );
+        // 1 job gets everything.
+        assert_eq!(run_budgeted_jobs(8, 1, |_i, a| a), vec![8]);
+    }
+
+    #[test]
+    fn deep_queue_prefers_outer_jobs_and_drains_into_allowances() {
+        // With as many jobs as budget, every claim made while the queue is
+        // full sees allowance 1; as jobs finish, later claims may see more —
+        // but the combined in-flight allowance never exceeds the budget.
+        let budget = 4;
+        let allowances = run_budgeted_jobs(budget, 16, |_i, allowance| allowance);
+        assert!(allowances.iter().all(|&a| (1..=budget).contains(&a)));
+        assert!(
+            allowances.iter().filter(|&&a| a == 1).count() >= 16 - budget,
+            "most claims of a deep queue must prefer outer parallelism: {allowances:?}"
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! the search strategy; both return the same value up to the precision.
 
 use crate::{SelfishMiningError, SelfishMiningModel};
-use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, PositionalStrategy};
+use sm_mdp::{MeanPayoffMethod, MeanPayoffSolver, PositionalStrategy, SolverParallelism};
 
 /// Iteration cap of the Dinkelbach-style acceleration. Each iteration
 /// strictly increases `β` towards the fixed point `ERRev*`, so well-behaved
@@ -33,6 +33,14 @@ pub struct AnalysisConfig {
     /// certified interval straddles zero (guards the sign test against solver
     /// precision).
     pub zero_tolerance: f64,
+    /// Intra-solve parallelism: how many threads each inner mean-payoff
+    /// solve and each revenue evaluation may fan its Bellman/chain sweeps
+    /// over. Results are **bit-identical for any setting** (the sweeps are
+    /// Jacobi iterations over disjoint row blocks with block-ordered
+    /// statistic folds); the knob only trades wall-clock time for cores.
+    /// Defaults to serial — the `sm-sweep` engine raises it per job from its
+    /// global thread budget.
+    pub parallelism: SolverParallelism,
 }
 
 impl Default for AnalysisConfig {
@@ -41,6 +49,7 @@ impl Default for AnalysisConfig {
             epsilon: 1e-3,
             solver: MeanPayoffMethod::ValueIteration { epsilon: 1e-6 },
             zero_tolerance: 1e-9,
+            parallelism: SolverParallelism::serial(),
         }
     }
 }
@@ -60,6 +69,14 @@ impl AnalysisConfig {
             },
             ..AnalysisConfig::default()
         }
+    }
+
+    /// Returns the configuration with the given intra-solve parallelism (see
+    /// the [`AnalysisConfig::parallelism`] field).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: SolverParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -158,7 +175,8 @@ impl AnalysisProcedure {
                 constraint: "must be positive",
             });
         }
-        let solver = MeanPayoffSolver::new(self.config.solver.clone());
+        let solver = MeanPayoffSolver::new(self.config.solver.clone())
+            .with_parallelism(self.config.parallelism);
         let mut beta_low: f64 = 0.0;
         let mut beta_up: f64 = 1.0;
         let mut steps = Vec::new();
@@ -244,7 +262,8 @@ impl AnalysisProcedure {
                 constraint: "must be positive",
             });
         }
-        let solver = MeanPayoffSolver::new(self.config.solver.clone());
+        let solver = MeanPayoffSolver::new(self.config.solver.clone())
+            .with_parallelism(self.config.parallelism);
         let mut bias: Vec<f64> = warm.map(|w| w.bias.clone()).unwrap_or_default();
         let mut evaluation_bias: Vec<Vec<f64>> =
             warm.map(|w| w.evaluation_bias.clone()).unwrap_or_default();
@@ -262,8 +281,11 @@ impl AnalysisProcedure {
                 gain_upper: result.gain_upper,
                 iterations: result.iterations,
             });
-            let (revenue, eval_bias) =
-                model.expected_relative_revenue_seeded(&result.strategy, Some(&evaluation_bias))?;
+            let (revenue, eval_bias) = model.expected_relative_revenue_seeded_with(
+                &result.strategy,
+                Some(&evaluation_bias),
+                self.config.parallelism,
+            )?;
             evaluation_bias = eval_bias;
             let certified_zero = result.gain_lower >= -self.config.zero_tolerance
                 && result.gain_upper <= self.config.zero_tolerance;
@@ -316,14 +338,23 @@ impl AnalysisProcedure {
             None => {
                 // Only reachable when no bisection step ever moved the lower
                 // end (e.g. ε ≥ 1): solve once at β_low for the strategy.
-                let solver = MeanPayoffSolver::new(self.config.solver.clone());
+                let solver = MeanPayoffSolver::new(self.config.solver.clone())
+                    .with_parallelism(self.config.parallelism);
                 let rewards = model.beta_rewards(beta_low)?;
                 solver.solve(model.mdp(), &rewards)?.strategy
             }
         };
         let strategy_revenue = match strategy_revenue {
             Some(revenue) => revenue,
-            None => model.expected_relative_revenue(&strategy)?,
+            None => {
+                model
+                    .expected_relative_revenue_seeded_with(
+                        &strategy,
+                        None,
+                        self.config.parallelism,
+                    )?
+                    .0
+            }
         };
         Ok(AnalysisResult {
             expected_relative_revenue: beta_low,

@@ -8,9 +8,10 @@
 
 use crate::baselines::{honest_relative_revenue, SingleTreeAttack};
 use crate::{
-    AnalysisProcedure, DinkelbachWarmStart, ParametricModel, SelfishMiningError, SelfishMiningModel,
+    AnalysisConfig, AnalysisProcedure, DinkelbachWarmStart, ParametricModel, SelfishMiningError,
+    SelfishMiningModel,
 };
-use sm_mdp::PositionalStrategy;
+use sm_mdp::{PositionalStrategy, SolverParallelism};
 use std::time::{Duration, Instant};
 
 /// The `(d, f)` grid evaluated in the paper (with `l = 4` throughout).
@@ -153,8 +154,35 @@ pub fn attack_curve(
     epsilon: f64,
     warm_start: bool,
 ) -> Result<Vec<f64>, SelfishMiningError> {
+    attack_curve_with(
+        family,
+        gamma,
+        ps,
+        epsilon,
+        warm_start,
+        SolverParallelism::serial(),
+    )
+}
+
+/// [`attack_curve`] with intra-solve parallelism: every inner
+/// relative-value-iteration solve and revenue evaluation along the curve may
+/// fan its sweeps over `parallelism` threads. Results are bit-identical for
+/// any setting; this is the knob the `sm-sweep` engine uses to soak up
+/// left-over budget when it has fewer curve jobs than worker threads.
+///
+/// # Errors
+///
+/// Propagates instantiation and solver errors.
+pub fn attack_curve_with(
+    family: &ParametricModel,
+    gamma: f64,
+    ps: &[f64],
+    epsilon: f64,
+    warm_start: bool,
+    parallelism: SolverParallelism,
+) -> Result<Vec<f64>, SelfishMiningError> {
     Ok(
-        attack_curve_certified(family, gamma, ps, epsilon, warm_start)?
+        attack_curve_certified_with(family, gamma, ps, epsilon, warm_start, parallelism)?
             .into_iter()
             .map(|solve| solve.strategy_revenue)
             .collect(),
@@ -201,7 +229,32 @@ pub fn attack_curve_certified(
     epsilon: f64,
     warm_start: bool,
 ) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
-    let procedure = AnalysisProcedure::with_epsilon(epsilon);
+    attack_curve_certified_with(
+        family,
+        gamma,
+        ps,
+        epsilon,
+        warm_start,
+        SolverParallelism::serial(),
+    )
+}
+
+/// [`attack_curve_certified`] with intra-solve parallelism (see
+/// [`attack_curve_with`]); bit-identical certificates for any thread count.
+///
+/// # Errors
+///
+/// Propagates instantiation and solver errors.
+pub fn attack_curve_certified_with(
+    family: &ParametricModel,
+    gamma: f64,
+    ps: &[f64],
+    epsilon: f64,
+    warm_start: bool,
+    parallelism: SolverParallelism,
+) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
+    let procedure =
+        AnalysisProcedure::new(AnalysisConfig::with_epsilon(epsilon).with_parallelism(parallelism));
     let mut model: Option<SelfishMiningModel> = None;
     let mut warm: Option<DinkelbachWarmStart> = None;
     // The most recent (p, certified β_low) points, newest last, for the β

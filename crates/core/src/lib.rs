@@ -70,6 +70,10 @@ pub use parametric::ParametricModel;
 pub use params::AttackParams;
 pub use scenario::AttackScenario;
 pub use state::{Owner, Phase, SmState};
+
+// Intra-solve parallelism knob, shared across the solver stack (`sm-markov`
+// chain sweeps, `sm-mdp` value iteration, the analysis procedure here).
+pub use sm_mdp::SolverParallelism;
 pub use transition::{
     available_actions, available_actions_in, successors, successors_in, symbolic_successors,
     symbolic_successors_in, BlockRewards, Outcome, ProbTerm, SymbolicOutcome,

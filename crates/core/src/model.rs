@@ -291,13 +291,41 @@ impl SelfishMiningModel {
         strategy: &PositionalStrategy,
         seed: Option<&[Vec<f64>]>,
     ) -> Result<(f64, Vec<Vec<f64>>), SelfishMiningError> {
+        self.expected_relative_revenue_seeded_with(
+            strategy,
+            seed,
+            sm_mdp::SolverParallelism::serial(),
+        )
+    }
+
+    /// [`SelfishMiningModel::expected_relative_revenue_seeded`] with
+    /// row-block parallel chain sweeps
+    /// ([`sm_markov::iterative_gains_seeded_with`]): the returned revenue and
+    /// bias vectors are bit-identical for any thread count, the knob only
+    /// trades wall-clock time for cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-evaluation errors.
+    pub fn expected_relative_revenue_seeded_with(
+        &self,
+        strategy: &PositionalStrategy,
+        seed: Option<&[Vec<f64>]>,
+        parallelism: sm_mdp::SolverParallelism,
+    ) -> Result<(f64, Vec<Vec<f64>>), SelfishMiningError> {
         let chain = self.mdp.induced_chain(strategy)?;
         let r_adv = self
             .adversary_rewards
             .strategy_rewards(&self.mdp, strategy)?;
         let r_hon = self.honest_rewards.strategy_rewards(&self.mdp, strategy)?;
-        let (gains, bias) =
-            sm_markov::iterative_gains_seeded(&chain, &[&r_adv, &r_hon], 1e-9, 5_000_000, seed)?;
+        let (gains, bias) = sm_markov::iterative_gains_seeded_with(
+            &chain,
+            &[&r_adv, &r_hon],
+            1e-9,
+            5_000_000,
+            seed,
+            parallelism,
+        )?;
         let (adv, hon) = (gains[0], gains[1]);
         if adv + hon <= 0.0 {
             // Blocks are finalized with positive rate under every strategy

@@ -10,15 +10,112 @@
 //! `sample_size` timed samples, reporting min/median/mean per benchmark.
 //! Swapping in the real Criterion later requires only a manifest change.
 //!
+//! # Machine-readable reports
+//!
+//! Two environment variables feed the CI perf-regression harness:
+//!
+//! * `SM_BENCH_JSON=<path>` — after every benchmark, the accumulated
+//!   results are (re)written to `<path>` as a JSON report (see
+//!   [`json_report`] for the exact schema; `bench/README.md` documents it
+//!   next to the committed baseline). The file is rewritten incrementally,
+//!   so a partial report survives an aborted run.
+//! * `SM_BENCH_SAMPLES=<n>` — overrides every benchmark's sample count
+//!   (whether set via [`BenchmarkGroup::sample_size`] or defaulted), so CI
+//!   smoke runs can keep wall-clock time bounded without touching the
+//!   bench sources.
+//!
 //! [Criterion.rs]: https://docs.rs/criterion
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One recorded benchmark, accumulated for the JSON report.
+#[derive(Debug, Clone)]
+struct RecordedBenchmark {
+    name: String,
+    median_ns: u128,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Results recorded so far in this process (in execution order).
+static RECORDED: Mutex<Vec<RecordedBenchmark>> = Mutex::new(Vec::new());
+
+/// The schema identifier embedded in every JSON report.
+pub const JSON_SCHEMA: &str = "sm-bench/v1";
+
+/// Renders the benchmarks recorded so far as the `sm-bench/v1` JSON report:
+///
+/// ```json
+/// {
+///   "schema": "sm-bench/v1",
+///   "benchmarks": [
+///     {"name": "...", "median_ns": 0, "mean_ns": 0, "min_ns": 0, "samples": 0}
+///   ]
+/// }
+/// ```
+///
+/// Durations are integer nanoseconds; `name` is the full
+/// `group/benchmark-id` path. This is also what `SM_BENCH_JSON` writes.
+pub fn json_report() -> String {
+    let recorded = RECORDED.lock().expect("benchmark record poisoned");
+    let mut out = String::from("{\n  \"schema\": \"");
+    out.push_str(JSON_SCHEMA);
+    out.push_str("\",\n  \"benchmarks\": [");
+    for (index, bench) in recorded.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": \"");
+        for c in bench.name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}",
+            bench.median_ns, bench.mean_ns, bench.min_ns, bench.samples
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Records one benchmark result and, when `SM_BENCH_JSON` is set, rewrites
+/// the report file with everything recorded so far.
+fn record_benchmark(bench: RecordedBenchmark) {
+    RECORDED
+        .lock()
+        .expect("benchmark record poisoned")
+        .push(bench);
+    if let Ok(path) = std::env::var("SM_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(error) = std::fs::write(&path, json_report()) {
+                eprintln!("warning: could not write SM_BENCH_JSON={path}: {error}");
+            }
+        }
+    }
+}
+
+/// The effective sample count: the benchmark's own configuration, unless
+/// `SM_BENCH_SAMPLES` overrides it.
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("SM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .filter(|&samples| samples >= 1)
+        .unwrap_or(configured)
+}
 
 /// Top-level benchmark driver, constructed by [`criterion_group!`].
 #[derive(Debug, Default)]
@@ -142,6 +239,7 @@ fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = effective_sample_size(sample_size.max(1));
     // Warm-up invocation, not recorded.
     let mut bencher = Bencher { elapsed: None };
     f(&mut bencher);
@@ -166,6 +264,13 @@ where
         human(min),
         samples.len()
     );
+    record_benchmark(RecordedBenchmark {
+        name: name.to_string(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        samples: samples.len(),
+    });
 }
 
 fn human(d: Duration) -> String {
@@ -232,6 +337,25 @@ mod tests {
     fn benchmark_id_renders_parameter() {
         assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
         assert_eq!(BenchmarkId::new("f", "x").to_string(), "f/x");
+    }
+
+    #[test]
+    fn json_report_records_benchmarks_with_escaped_names() {
+        let mut c = Criterion::default();
+        c.bench_function("shim-json/\"quoted\"", |b| b.iter(|| 1 + 1));
+        let report = json_report();
+        assert!(report.starts_with("{\n  \"schema\": \"sm-bench/v1\""));
+        assert!(report.contains("\"name\": \"shim-json/\\\"quoted\\\"\""));
+        assert!(report.contains("\"median_ns\": "));
+        assert!(report.contains("\"samples\": "));
+        assert!(report.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn sample_override_requires_a_positive_integer() {
+        // Only sanity-checks the parser helper (the env var itself is
+        // process-global, so tests must not set it).
+        assert_eq!(effective_sample_size(7), 7);
     }
 
     #[test]

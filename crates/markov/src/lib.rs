@@ -38,6 +38,7 @@ mod chain;
 mod classify;
 mod error;
 mod hitting;
+mod parallel;
 mod reward;
 mod stationary;
 
@@ -45,9 +46,13 @@ pub use chain::MarkovChain;
 pub use classify::{StateClass, StronglyConnectedComponents};
 pub use error::MarkovError;
 pub use hitting::HittingAnalysis;
+pub use parallel::{
+    mass_balanced_blocks, mass_capped_threads, sweep_scope, BlockPool, SolverParallelism,
+    MIN_BLOCK_MASS,
+};
 pub use reward::{
-    iterative_gain, iterative_gains, iterative_gains_seeded, long_run_average_reward,
-    total_expected_reward_until_absorption,
+    iterative_gain, iterative_gains, iterative_gains_seeded, iterative_gains_seeded_with,
+    long_run_average_reward, total_expected_reward_until_absorption,
 };
 pub use stationary::{StationaryDistribution, StationaryMethod};
 

@@ -1,7 +1,12 @@
 //! Long-run average (gain) and transient reward computations.
 
-use crate::{MarkovChain, MarkovError, StateClass, StationaryDistribution, StationaryMethod};
+use crate::parallel::{mass_balanced_blocks, mass_capped_threads, sweep_scope};
+use crate::{
+    MarkovChain, MarkovError, SolverParallelism, StateClass, StationaryDistribution,
+    StationaryMethod,
+};
 use sm_linalg::{solve_linear_system, DenseMatrix};
+use std::sync::{Mutex, RwLock};
 
 /// Long-run average reward (gain) of every state of a chain under a per-state
 /// reward vector.
@@ -178,6 +183,44 @@ pub fn iterative_gains_seeded(
     max_iterations: usize,
     seed: Option<&[Vec<f64>]>,
 ) -> Result<(Vec<f64>, Vec<Vec<f64>>), MarkovError> {
+    iterative_gains_seeded_with(
+        chain,
+        rewards,
+        epsilon,
+        max_iterations,
+        seed,
+        SolverParallelism::serial(),
+    )
+}
+
+/// The lazy (aperiodicity) transformation parameter of the fused gain sweeps:
+/// `P' = (1 − τ)·I + τ·P` has the same stationary distribution and gain,
+/// with guaranteed convergence of the span on periodic chains.
+const GAIN_SWEEP_LAZINESS: f64 = 0.9;
+
+/// [`iterative_gains_seeded`] with row-block parallel chain sweeps.
+///
+/// The state range is partitioned into contiguous blocks balanced by
+/// transition mass ([`mass_balanced_blocks`]); each sweep fans the blocks
+/// over a scoped pool, every block writing a disjoint slice of the next
+/// iterate, and the per-reward span statistics are reduced per block and
+/// folded in block order. Each state runs exactly the serial arithmetic, so
+/// gains, bias vectors and sweep counts are **bit-identical for any thread
+/// count** — [`SolverParallelism`] only trades wall-clock time for cores.
+/// Small chains (by [`crate::MIN_BLOCK_MASS`]) run serially regardless of
+/// the knob.
+///
+/// # Errors
+///
+/// Same as [`iterative_gains`].
+pub fn iterative_gains_seeded_with(
+    chain: &MarkovChain,
+    rewards: &[&[f64]],
+    epsilon: f64,
+    max_iterations: usize,
+    seed: Option<&[Vec<f64>]>,
+    parallelism: SolverParallelism,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), MarkovError> {
     let n = chain.num_states();
     for reward in rewards {
         if reward.len() != n {
@@ -191,10 +234,7 @@ pub fn iterative_gains_seeded(
     if k == 0 {
         return Ok((Vec::new(), Vec::new()));
     }
-    // Lazy (aperiodicity) transformation with τ = 0.9: same stationary
-    // distribution and gain, guaranteed convergence of the span.
-    let tau = 0.9;
-    let mut h = match seed {
+    let h = match seed {
         Some(seed)
             if seed.len() == k
                 && seed
@@ -205,6 +245,25 @@ pub fn iterative_gains_seeded(
         }
         _ => vec![vec![0.0; n]; k],
     };
+    let threads = mass_capped_threads(parallelism.thread_count(), chain.matrix().nnz());
+    if threads > 1 {
+        gain_sweeps_parallel(chain, rewards, epsilon, max_iterations, h, threads)
+    } else {
+        gain_sweeps_serial(chain, rewards, epsilon, max_iterations, h)
+    }
+}
+
+/// The historical single-threaded sweep loop of [`iterative_gains_seeded`].
+fn gain_sweeps_serial(
+    chain: &MarkovChain,
+    rewards: &[&[f64]],
+    epsilon: f64,
+    max_iterations: usize,
+    mut h: Vec<Vec<f64>>,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), MarkovError> {
+    let n = chain.num_states();
+    let k = rewards.len();
+    let tau = GAIN_SWEEP_LAZINESS;
     let mut next = vec![vec![0.0; n]; k];
     let mut gain = vec![f64::NAN; k];
     let mut open = vec![true; k];
@@ -252,6 +311,131 @@ pub fn iterative_gains_seeded(
         method: "iterative gain",
         iterations: max_iterations,
     })
+}
+
+/// Row-block parallel variant of [`gain_sweeps_serial`]: same arithmetic per
+/// state, same fold order, bit-identical results (see
+/// [`iterative_gains_seeded_with`]).
+fn gain_sweeps_parallel(
+    chain: &MarkovChain,
+    rewards: &[&[f64]],
+    epsilon: f64,
+    max_iterations: usize,
+    h: Vec<Vec<f64>>,
+    threads: usize,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), MarkovError> {
+    let n = chain.num_states();
+    let k = rewards.len();
+    let tau = GAIN_SWEEP_LAZINESS;
+    let mut cumulative = Vec::with_capacity(n + 1);
+    cumulative.push(0usize);
+    for s in 0..n {
+        cumulative.push(cumulative[s] + chain.successors(s).0.len());
+    }
+    let blocks = mass_balanced_blocks(&cumulative, threads);
+    if blocks.len() <= 1 {
+        return gain_sweeps_serial(chain, rewards, epsilon, max_iterations, h);
+    }
+    let h = RwLock::new(h);
+    // Per-block scratch: one next-iterate slice per reward function, locked
+    // only by its own block's worker (and by the driver between rounds).
+    let chunks: Vec<Mutex<Vec<Vec<f64>>>> = blocks
+        .iter()
+        .map(|range| Mutex::new(vec![vec![0.0; range.len()]; k]))
+        .collect();
+
+    // One round = one fused sweep over all open reward functions; the job
+    // token carries the open mask, the result the per-reward span statistics.
+    let run_block = |block: usize, open: &Vec<bool>| -> Vec<(f64, f64)> {
+        let range = blocks[block].clone();
+        let h_read = h.read().expect("gain sweep bias lock poisoned");
+        let mut chunk = chunks[block].lock().expect("gain sweep chunk poisoned");
+        let mut stats = vec![(f64::INFINITY, f64::NEG_INFINITY); k];
+        for s in range.clone() {
+            let (targets, probs) = chain.successors(s);
+            for r in 0..k {
+                if !open[r] {
+                    continue;
+                }
+                let h_r = &h_read[r];
+                let mut value = rewards[r][s] + (1.0 - tau) * h_r[s];
+                for (&t, &p) in targets.iter().zip(probs) {
+                    value += tau * p * h_r[t];
+                }
+                let delta = value - h_r[s];
+                stats[r].0 = stats[r].0.min(delta);
+                stats[r].1 = stats[r].1.max(delta);
+                chunk[r][s - range.start] = value;
+            }
+        }
+        stats
+    };
+
+    let gains = sweep_scope(blocks.len() - 1, run_block, |pool| {
+        let mut gain = vec![f64::NAN; k];
+        let mut open = vec![true; k];
+        for _ in 0..max_iterations {
+            let round = pool.round(open.clone());
+            // Fold the span statistics in block order.
+            let mut min_delta = vec![f64::INFINITY; k];
+            let mut max_delta = vec![f64::NEG_INFINITY; k];
+            for stats in &round {
+                for r in 0..k {
+                    if open[r] {
+                        min_delta[r] = min_delta[r].min(stats[r].0);
+                        max_delta[r] = max_delta[r].max(stats[r].1);
+                    }
+                }
+            }
+            // Renormalise each open bias so state 0 stays at 0 (state 0 is
+            // always in block 0), exactly like the serial update.
+            let mut h_write = h.write().expect("gain sweep bias lock poisoned");
+            let mut offsets = vec![0.0; k];
+            {
+                let chunk0 = chunks[0].lock().expect("gain sweep chunk poisoned");
+                for r in 0..k {
+                    if open[r] {
+                        offsets[r] = chunk0[r][0];
+                    }
+                }
+            }
+            for (range, chunk) in blocks.iter().zip(&chunks) {
+                let chunk = chunk.lock().expect("gain sweep chunk poisoned");
+                for r in 0..k {
+                    if !open[r] {
+                        continue;
+                    }
+                    for (i, &value) in chunk[r].iter().enumerate() {
+                        h_write[r][range.start + i] = value - offsets[r];
+                    }
+                }
+            }
+            drop(h_write);
+            let mut any_open = false;
+            for r in 0..k {
+                if !open[r] {
+                    continue;
+                }
+                if max_delta[r] - min_delta[r] < epsilon {
+                    gain[r] = 0.5 * (min_delta[r] + max_delta[r]);
+                    open[r] = false;
+                } else {
+                    any_open = true;
+                }
+            }
+            if !any_open {
+                return Ok(gain);
+            }
+        }
+        Err(MarkovError::ConvergenceFailure {
+            method: "iterative gain",
+            iterations: max_iterations,
+        })
+    })?;
+    Ok((
+        gains,
+        h.into_inner().expect("gain sweep bias lock poisoned"),
+    ))
 }
 
 /// Total expected reward accumulated before absorption into a target set,

@@ -7,6 +7,8 @@
 //! on alternative adversary objectives (short-horizon revenue).
 
 use crate::{Mdp, MdpError, PositionalStrategy, TransitionRewards};
+use sm_markov::{mass_balanced_blocks, mass_capped_threads, sweep_scope, SolverParallelism};
+use std::sync::{Mutex, RwLock};
 
 /// Result of a discounted value-iteration run.
 #[derive(Debug, Clone)]
@@ -45,6 +47,11 @@ pub struct DiscountedValueIteration {
     pub epsilon: f64,
     /// Maximum number of sweeps.
     pub max_iterations: usize,
+    /// Intra-solve parallelism for the sweeps. Like the mean-payoff solver,
+    /// results are bit-identical for any setting (each state runs the serial
+    /// arithmetic; the sup-norm statistic folds in block order) — only the
+    /// wall-clock time changes.
+    pub parallelism: SolverParallelism,
 }
 
 impl DiscountedValueIteration {
@@ -54,7 +61,15 @@ impl DiscountedValueIteration {
             discount,
             epsilon: 1e-10,
             max_iterations: 1_000_000,
+            parallelism: SolverParallelism::serial(),
         }
+    }
+
+    /// Returns the solver with the given intra-solve parallelism.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: SolverParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Runs value iteration.
@@ -87,6 +102,27 @@ impl DiscountedValueIteration {
                 detail: "rewards do not match MDP shape".to_string(),
             });
         }
+        // A state with an empty action range would leave its Bellman value
+        // at -inf, making `max_diff` infinite forever — the solver would
+        // spin its whole iteration budget and report a misleading
+        // convergence failure; fail loudly instead (mirrors the mean-payoff
+        // solvers).
+        let row_ptr = mdp.csr().layout().row_ptr();
+        if let Some(state) = (0..mdp.num_states()).find(|&s| row_ptr[s + 1] == row_ptr[s]) {
+            return Err(MdpError::NoActions { state });
+        }
+        let transitions = mdp.csr().layout().col().len();
+        let threads = mass_capped_threads(self.parallelism.thread_count(), transitions);
+        let expected = rewards.expected_per_pair(mdp);
+        if threads > 1 {
+            self.sweep_parallel(mdp, &expected, threads)
+        } else {
+            self.sweep_serial(mdp, &expected)
+        }
+    }
+
+    /// The historical single-threaded sweep loop.
+    fn sweep_serial(&self, mdp: &Mdp, expected: &[f64]) -> Result<DiscountedResult, MdpError> {
         let n = mdp.num_states();
         // Sweep over the flat CSR arena, mirroring the mean-payoff solver.
         let csr = mdp.csr();
@@ -95,7 +131,6 @@ impl DiscountedValueIteration {
         let action_ptr = layout.action_ptr();
         let col = layout.col();
         let prob = csr.probabilities();
-        let expected = rewards.expected_per_pair(mdp);
         let mut values = vec![0.0; n];
         let mut next = vec![0.0; n];
         let mut best_action = vec![0usize; n];
@@ -132,6 +167,104 @@ impl DiscountedValueIteration {
         Err(MdpError::ConvergenceFailure {
             method: "discounted value iteration",
             iterations: self.max_iterations,
+        })
+    }
+
+    /// Row-block parallel sweep loop; bit-identical to
+    /// [`DiscountedValueIteration::sweep_serial`] for any thread count (see
+    /// [`crate::RelativeValueIteration`] for the argument — the sweeps here
+    /// are plain Jacobi iterations too).
+    fn sweep_parallel(
+        &self,
+        mdp: &Mdp,
+        expected: &[f64],
+        threads: usize,
+    ) -> Result<DiscountedResult, MdpError> {
+        let n = mdp.num_states();
+        let csr = mdp.csr();
+        let layout = csr.layout();
+        let row_ptr = layout.row_ptr();
+        let action_ptr = layout.action_ptr();
+        let col = layout.col();
+        let prob = csr.probabilities();
+        let cumulative: Vec<usize> = (0..=n).map(|s| action_ptr[row_ptr[s]]).collect();
+        let blocks = mass_balanced_blocks(&cumulative, threads);
+        if blocks.len() <= 1 {
+            return self.sweep_serial(mdp, expected);
+        }
+
+        struct Chunk {
+            next: Vec<f64>,
+            best: Vec<usize>,
+        }
+        let values = RwLock::new(vec![0.0; n]);
+        let chunks: Vec<Mutex<Chunk>> = blocks
+            .iter()
+            .map(|range| {
+                Mutex::new(Chunk {
+                    next: vec![0.0; range.len()],
+                    best: vec![0usize; range.len()],
+                })
+            })
+            .collect();
+
+        let run_block = |block: usize, _job: &()| -> f64 {
+            let range = blocks[block].clone();
+            let values_read = values.read().expect("value lock poisoned");
+            let values_read = &values_read[..];
+            let mut chunk = chunks[block].lock().expect("sweep chunk poisoned");
+            let chunk = &mut *chunk;
+            let mut max_diff: f64 = 0.0;
+            for s in range.clone() {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_a = 0;
+                let pair_start = row_ptr[s];
+                for pair in pair_start..row_ptr[s + 1] {
+                    let mut acc = 0.0;
+                    for k in action_ptr[pair]..action_ptr[pair + 1] {
+                        acc += prob[k] * values_read[col[k]];
+                    }
+                    let value = expected[pair] + self.discount * acc;
+                    if value > best {
+                        best = value;
+                        best_a = pair - pair_start;
+                    }
+                }
+                chunk.next[s - range.start] = best;
+                chunk.best[s - range.start] = best_a;
+                max_diff = max_diff.max((best - values_read[s]).abs());
+            }
+            max_diff
+        };
+
+        sweep_scope(blocks.len() - 1, run_block, |pool| {
+            for iteration in 1..=self.max_iterations {
+                let round = pool.round(());
+                let max_diff = round.iter().fold(0.0f64, |acc, &diff| acc.max(diff));
+                {
+                    let mut values_write = values.write().expect("value lock poisoned");
+                    for (range, chunk) in blocks.iter().zip(&chunks) {
+                        let chunk = chunk.lock().expect("sweep chunk poisoned");
+                        values_write[range.start..range.end].copy_from_slice(&chunk.next);
+                    }
+                }
+                if max_diff < self.epsilon {
+                    let mut best_action = Vec::with_capacity(n);
+                    for chunk in &chunks {
+                        best_action
+                            .extend_from_slice(&chunk.lock().expect("sweep chunk poisoned").best);
+                    }
+                    return Ok(DiscountedResult {
+                        values: values.read().expect("value lock poisoned").clone(),
+                        strategy: PositionalStrategy::new(best_action),
+                        iterations: iteration,
+                    });
+                }
+            }
+            Err(MdpError::ConvergenceFailure {
+                method: "discounted value iteration",
+                iterations: self.max_iterations,
+            })
         })
     }
 }
@@ -194,6 +327,30 @@ mod tests {
             (normalized - gain).abs() < 1e-3,
             "vanishing discount {normalized} vs gain {gain}"
         );
+    }
+
+    #[test]
+    fn empty_action_range_fails_loudly() {
+        use crate::csr::{CsrLayout, CsrMdp};
+        use std::sync::Arc;
+        // State 1 has no actions — only constructible through the raw-parts
+        // path (the builders reject it); without the guard the sweep would
+        // spin its whole iteration budget on an infinite max_diff.
+        let layout = CsrLayout::from_raw_parts(vec![0, 1, 1], vec![0, 1], vec![0]).unwrap();
+        let csr = CsrMdp::from_raw_parts(
+            Arc::new(layout),
+            vec![1.0],
+            vec!["loop".to_string()],
+            vec![0],
+            0,
+        )
+        .unwrap();
+        let mdp = crate::Mdp::from(csr);
+        let rewards = TransitionRewards::zeros(&mdp);
+        assert!(matches!(
+            DiscountedValueIteration::new(0.9).solve(&mdp, &rewards),
+            Err(MdpError::NoActions { state: 1 })
+        ));
     }
 
     #[test]

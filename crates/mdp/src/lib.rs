@@ -76,5 +76,9 @@ pub use solver::{MeanPayoffMethod, MeanPayoffResult, MeanPayoffSolver};
 pub use strategy::PositionalStrategy;
 pub use value_iteration::{RelativeValueIteration, ValueIterationOutcome};
 
+// Intra-solve parallelism vocabulary, shared with the chain-evaluation
+// sweeps: re-exported so solver users configure everything from one crate.
+pub use sm_markov::SolverParallelism;
+
 /// Tolerance used when validating transition probability distributions.
 pub const PROBABILITY_TOLERANCE: f64 = 1e-9;

@@ -2,7 +2,7 @@
 
 use crate::{
     LinearProgrammingSolver, Mdp, MdpError, PolicyEvaluation, PolicyIteration, PositionalStrategy,
-    RelativeValueIteration, TransitionRewards,
+    RelativeValueIteration, SolverParallelism, TransitionRewards,
 };
 
 /// Which algorithm a [`MeanPayoffSolver`] should use.
@@ -67,17 +67,36 @@ pub struct MeanPayoffResult {
 #[derive(Debug, Clone, Default)]
 pub struct MeanPayoffSolver {
     method: MeanPayoffMethod,
+    parallelism: SolverParallelism,
 }
 
 impl MeanPayoffSolver {
     /// Creates a solver using the given method.
     pub fn new(method: MeanPayoffMethod) -> Self {
-        MeanPayoffSolver { method }
+        MeanPayoffSolver {
+            method,
+            parallelism: SolverParallelism::serial(),
+        }
+    }
+
+    /// Returns the solver with the given intra-solve parallelism for its
+    /// sweep-based methods (currently value iteration; the exact methods run
+    /// dense linear algebra and ignore the knob). Results are bit-identical
+    /// for any setting — see [`RelativeValueIteration::parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: SolverParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The method this solver dispatches to.
     pub fn method(&self) -> &MeanPayoffMethod {
         &self.method
+    }
+
+    /// The intra-solve parallelism applied to sweep-based methods.
+    pub fn parallelism(&self) -> SolverParallelism {
+        self.parallelism
     }
 
     /// Computes the maximal mean payoff of `mdp` under `rewards`.
@@ -113,7 +132,8 @@ impl MeanPayoffSolver {
     ) -> Result<(MeanPayoffResult, Vec<f64>), MdpError> {
         match &self.method {
             MeanPayoffMethod::ValueIteration { epsilon } => {
-                let solver = RelativeValueIteration::with_epsilon(*epsilon);
+                let solver = RelativeValueIteration::with_epsilon(*epsilon)
+                    .with_parallelism(self.parallelism);
                 let outcome = match seed {
                     Some(bias) if bias.len() == mdp.num_states() => {
                         solver.solve_from(mdp, rewards, bias)?

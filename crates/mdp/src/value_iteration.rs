@@ -5,6 +5,8 @@
 //! state spaces produced by the selfish-mining model at higher attack depths.
 
 use crate::{Mdp, MdpError, PositionalStrategy, TransitionRewards};
+use sm_markov::{mass_balanced_blocks, mass_capped_threads, sweep_scope, SolverParallelism};
+use std::sync::{Mutex, RwLock};
 
 /// Relative value iteration (RVI) with the standard aperiodicity ("lazy")
 /// transformation, for unichain MDPs under the *maximal* mean-payoff
@@ -52,6 +54,15 @@ pub struct RelativeValueIteration {
     /// never weakens the returned interval. `0` recovers plain relative
     /// value iteration.
     pub evaluation_sweeps: usize,
+    /// Intra-solve parallelism: how many threads each sweep may fan its
+    /// row blocks over. Results (gain bounds, strategy, bias, sweep counts)
+    /// are **bit-identical for any setting** — every state runs exactly the
+    /// serial arithmetic against the same previous iterate and the span
+    /// statistics are folded in block order — so this knob only trades
+    /// wall-clock time for cores. Models below the
+    /// [`sm_markov::MIN_BLOCK_MASS`] transition threshold run serially
+    /// regardless.
+    pub parallelism: SolverParallelism,
 }
 
 impl Default for RelativeValueIteration {
@@ -61,6 +72,7 @@ impl Default for RelativeValueIteration {
             max_iterations: 2_000_000,
             laziness: 0.95,
             evaluation_sweeps: 8,
+            parallelism: SolverParallelism::serial(),
         }
     }
 }
@@ -90,6 +102,14 @@ impl RelativeValueIteration {
             epsilon,
             ..RelativeValueIteration::default()
         }
+    }
+
+    /// Returns the solver with the given intra-solve parallelism (see the
+    /// [`RelativeValueIteration::parallelism`] field).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: SolverParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Runs the iteration on `mdp` with rewards `rewards`, starting from the
@@ -174,6 +194,36 @@ impl RelativeValueIteration {
             });
         }
         let n = mdp.num_states();
+
+        // A state with an empty action range would silently leave its Bellman
+        // value at -inf and poison the whole bias vector; fail loudly instead.
+        let row_ptr = mdp.csr().layout().row_ptr();
+        if let Some(state) = (0..n).find(|&s| row_ptr[s + 1] == row_ptr[s]) {
+            return Err(MdpError::NoActions { state });
+        }
+
+        let expected = rewards.expected_per_pair(mdp);
+        let h = match initial_bias {
+            Some(bias) => bias.to_vec(),
+            None => vec![0.0; n],
+        };
+        let transitions = mdp.csr().layout().col().len();
+        let threads = mass_capped_threads(self.parallelism.thread_count(), transitions);
+        if threads > 1 {
+            self.sweep_parallel(mdp, &expected, h, threads)
+        } else {
+            self.sweep_serial(mdp, &expected, h)
+        }
+    }
+
+    /// The historical single-threaded sweep loop.
+    fn sweep_serial(
+        &self,
+        mdp: &Mdp,
+        expected: &[f64],
+        mut h: Vec<f64>,
+    ) -> Result<ValueIterationOutcome, MdpError> {
+        let n = mdp.num_states();
         let tau = self.laziness;
 
         // The whole sweep runs over the flat CSR arena: four shared slices
@@ -187,18 +237,6 @@ impl RelativeValueIteration {
         let col = layout.col();
         let prob = csr.probabilities();
 
-        // A state with an empty action range would silently leave its Bellman
-        // value at -inf and poison the whole bias vector; fail loudly instead.
-        if let Some(state) = (0..n).find(|&s| row_ptr[s + 1] == row_ptr[s]) {
-            return Err(MdpError::NoActions { state });
-        }
-
-        let expected = rewards.expected_per_pair(mdp);
-
-        let mut h = match initial_bias {
-            Some(bias) => bias.to_vec(),
-            None => vec![0.0; n],
-        };
         let mut next = vec![0.0; n];
         let mut best_action = vec![0usize; n];
         let reference = mdp.initial_state();
@@ -274,6 +312,191 @@ impl RelativeValueIteration {
         Err(MdpError::ConvergenceFailure {
             method: "relative value iteration",
             iterations: self.max_iterations,
+        })
+    }
+
+    /// Row-block parallel sweep loop: the state range is partitioned into
+    /// contiguous blocks balanced by transition mass, every sweep fans the
+    /// blocks over a scoped pool (kept alive across all sweeps of the
+    /// solve), each block writes a disjoint slice of the next iterate, and
+    /// the span statistics are reduced per block and folded in block order.
+    /// Each state runs exactly the serial arithmetic against the same
+    /// previous iterate, so the outcome — gain bounds, strategy, bias and
+    /// sweep count — is bit-identical to [`RelativeValueIteration::sweep_serial`]
+    /// for any thread count.
+    fn sweep_parallel(
+        &self,
+        mdp: &Mdp,
+        expected: &[f64],
+        h: Vec<f64>,
+        threads: usize,
+    ) -> Result<ValueIterationOutcome, MdpError> {
+        let n = mdp.num_states();
+        let tau = self.laziness;
+        let csr = mdp.csr();
+        let layout = csr.layout();
+        let row_ptr = layout.row_ptr();
+        let action_ptr = layout.action_ptr();
+        let col = layout.col();
+        let prob = csr.probabilities();
+        let reference = mdp.initial_state();
+
+        // Per-state sweep cost is its transition count: cumulative mass at
+        // state s is the arena offset of its first transition.
+        let cumulative: Vec<usize> = (0..=n).map(|s| action_ptr[row_ptr[s]]).collect();
+        let blocks = mass_balanced_blocks(&cumulative, threads);
+        if blocks.len() <= 1 {
+            return self.sweep_serial(mdp, expected, h);
+        }
+
+        struct Chunk {
+            next: Vec<f64>,
+            best: Vec<usize>,
+        }
+        struct BlockStats {
+            min_delta: f64,
+            max_delta: f64,
+            /// The new value of the reference state, reported by the one
+            /// block that contains it.
+            reference: Option<f64>,
+        }
+        #[derive(Clone, Copy)]
+        enum SweepKind {
+            /// Full Bellman sweep: maximise over all actions, refresh the
+            /// greedy strategy, report span statistics.
+            Bellman,
+            /// Policy-restricted evaluation sweep over the block's own last
+            /// greedy actions.
+            Evaluation,
+        }
+
+        let h = RwLock::new(h);
+        let chunks: Vec<Mutex<Chunk>> = blocks
+            .iter()
+            .map(|range| {
+                Mutex::new(Chunk {
+                    next: vec![0.0; range.len()],
+                    best: vec![0usize; range.len()],
+                })
+            })
+            .collect();
+
+        let run_block = |block: usize, kind: &SweepKind| -> BlockStats {
+            let range = blocks[block].clone();
+            let h_read = h.read().expect("bias lock poisoned");
+            let h_read = &h_read[..];
+            let mut chunk = chunks[block].lock().expect("sweep chunk poisoned");
+            let chunk = &mut *chunk;
+            let mut stats = BlockStats {
+                min_delta: f64::INFINITY,
+                max_delta: f64::NEG_INFINITY,
+                reference: None,
+            };
+            match kind {
+                SweepKind::Bellman => {
+                    for s in range.clone() {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_a = 0;
+                        let pair_start = row_ptr[s];
+                        let lazy = (1.0 - tau) * h_read[s];
+                        for pair in pair_start..row_ptr[s + 1] {
+                            let mut acc = 0.0;
+                            for k in action_ptr[pair]..action_ptr[pair + 1] {
+                                acc += prob[k] * h_read[col[k]];
+                            }
+                            let value = expected[pair] + tau * acc + lazy;
+                            if value > best {
+                                best = value;
+                                best_a = pair - pair_start;
+                            }
+                        }
+                        chunk.next[s - range.start] = best;
+                        chunk.best[s - range.start] = best_a;
+                        let delta = best - h_read[s];
+                        stats.min_delta = stats.min_delta.min(delta);
+                        stats.max_delta = stats.max_delta.max(delta);
+                        if s == reference {
+                            stats.reference = Some(best);
+                        }
+                    }
+                }
+                SweepKind::Evaluation => {
+                    for s in range.clone() {
+                        let pair = row_ptr[s] + chunk.best[s - range.start];
+                        let mut acc = 0.0;
+                        for k in action_ptr[pair]..action_ptr[pair + 1] {
+                            acc += prob[k] * h_read[col[k]];
+                        }
+                        let value = expected[pair] + tau * acc + (1.0 - tau) * h_read[s];
+                        chunk.next[s - range.start] = value;
+                        if s == reference {
+                            stats.reference = Some(value);
+                        }
+                    }
+                }
+            }
+            stats
+        };
+
+        // Renormalise exactly like the serial relative step: every state of
+        // the new iterate shifted so the reference state stays at 0.
+        let apply_renormalised = |offset: f64| {
+            let mut h_write = h.write().expect("bias lock poisoned");
+            for (range, chunk) in blocks.iter().zip(&chunks) {
+                let chunk = chunk.lock().expect("sweep chunk poisoned");
+                for (i, &value) in chunk.next.iter().enumerate() {
+                    h_write[range.start + i] = value - offset;
+                }
+            }
+        };
+        let reference_offset = |round: &[BlockStats]| -> f64 {
+            round
+                .iter()
+                .find_map(|stats| stats.reference)
+                .expect("exactly one block contains the reference state")
+        };
+
+        sweep_scope(blocks.len() - 1, run_block, |pool| {
+            let mut sweeps = 0usize;
+            while sweeps < self.max_iterations {
+                sweeps += 1;
+                let round = pool.round(SweepKind::Bellman);
+                let mut min_delta = f64::INFINITY;
+                let mut max_delta = f64::NEG_INFINITY;
+                for stats in &round {
+                    min_delta = min_delta.min(stats.min_delta);
+                    max_delta = max_delta.max(stats.max_delta);
+                }
+                apply_renormalised(reference_offset(&round));
+                if max_delta - min_delta < self.epsilon {
+                    let mut best_action = Vec::with_capacity(n);
+                    for chunk in &chunks {
+                        best_action
+                            .extend_from_slice(&chunk.lock().expect("sweep chunk poisoned").best);
+                    }
+                    let bias = h.read().expect("bias lock poisoned").clone();
+                    return Ok(ValueIterationOutcome {
+                        gain: 0.5 * (min_delta + max_delta),
+                        gain_lower: min_delta,
+                        gain_upper: max_delta,
+                        strategy: PositionalStrategy::new(best_action),
+                        bias,
+                        iterations: sweeps,
+                    });
+                }
+                for _ in 0..self.evaluation_sweeps {
+                    if sweeps >= self.max_iterations {
+                        break;
+                    }
+                    sweeps += 1;
+                    let round = pool.round(SweepKind::Evaluation);
+                    apply_renormalised(reference_offset(&round));
+                }
+            }
+            Err(MdpError::ConvergenceFailure {
+                method: "relative value iteration",
+                iterations: self.max_iterations,
+            })
         })
     }
 }

@@ -25,15 +25,32 @@
 //! engine still wins by a large factor over the rebuild-per-point path
 //! through arena reuse and warm starts alone; see `EXPERIMENTS.md` for
 //! measured numbers.
+//!
+//! # Nested budgeting
+//!
+//! [`SweepConfig::workers`] is a **global thread budget**, shared between
+//! the outer curve jobs and the *intra-solve* parallelism of the solvers
+//! ([`selfish_mining::SolverParallelism`]): while the job queue is deep,
+//! the budget goes to outer jobs (they parallelise with zero
+//! synchronisation cost); as the queue drains below the budget — or when
+//! there were fewer jobs than threads to begin with — the left-over
+//! threads are granted to the running jobs, which forward them to the
+//! row-block parallel Bellman and chain sweeps inside every solve
+//! ([`sm_conformance::run_budgeted_jobs`]). The historical pool spawned
+//! `min(workers, jobs)` threads and idled the rest on short queues. Every
+//! solver is bit-identical for any thread count, so the schedule shape is
+//! invisible in the results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use selfish_mining::baselines::{honest_relative_revenue, SingleTreeAttack};
-use selfish_mining::experiments::{attack_curve, attack_curve_certified, Figure2Point};
-use selfish_mining::{AttackScenario, ParametricModel, SelfishMiningError, StrategyExport};
+use selfish_mining::experiments::{attack_curve_certified_with, attack_curve_with, Figure2Point};
+use selfish_mining::{
+    AttackScenario, ParametricModel, SelfishMiningError, SolverParallelism, StrategyExport,
+};
 use sm_conformance::{
-    certify_point, effective_workers, run_indexed_jobs, ConformanceError, ConformancePoint,
+    certify_point, resolve_budget, run_budgeted_jobs, ConformanceError, ConformancePoint,
     ConformanceReport,
 };
 
@@ -54,7 +71,9 @@ pub struct SweepConfig {
     pub max_fork_length: usize,
     /// Precision `ε` of the per-point analysis.
     pub epsilon: f64,
-    /// Worker threads; `0` uses [`std::thread::available_parallelism`].
+    /// Global thread budget shared by outer curve jobs and intra-solve
+    /// parallelism (see the crate docs on nested budgeting); `0` uses
+    /// [`std::thread::available_parallelism`].
     pub workers: usize,
     /// Whether consecutive `p` points of a curve warm-start each other
     /// (neighbouring `β_low` + bias carry-over). Disabling this keeps the
@@ -127,10 +146,17 @@ impl SweepConfig {
             jobs.push(CurveJob::Baseline { gamma_index });
         }
 
-        let workers = self.worker_count(jobs.len());
-        let results: Vec<CurveResult> = run_indexed_jobs(workers, jobs.len(), |index| {
-            self.run_job(&jobs[index], &families, gammas, ps)
-        });
+        let budget = resolve_budget(self.workers);
+        let results: Vec<CurveResult> =
+            run_budgeted_jobs(budget, jobs.len(), |index, allowance| {
+                self.run_job(
+                    &jobs[index],
+                    &families,
+                    gammas,
+                    ps,
+                    SolverParallelism::threads(allowance),
+                )
+            });
 
         // Assemble per-(γ, p) points from the per-curve result rows.
         let mut curves: Vec<Vec<f64>> = Vec::with_capacity(results.len());
@@ -195,10 +221,16 @@ impl SweepConfig {
         let jobs: Vec<(usize, usize)> = (0..gammas.len())
             .flat_map(|gamma_index| (0..families.len()).map(move |family| (gamma_index, family)))
             .collect();
-        let workers = self.worker_count(jobs.len());
-        let results = run_indexed_jobs(workers, jobs.len(), |index| {
+        let budget = resolve_budget(self.workers);
+        let results = run_budgeted_jobs(budget, jobs.len(), |index, allowance| {
             let (gamma_index, family) = jobs[index];
-            self.certify_curve(&families[family], gammas[gamma_index], ps, settings)
+            self.certify_curve(
+                &families[family],
+                gammas[gamma_index],
+                ps,
+                settings,
+                SolverParallelism::threads(allowance),
+            )
         });
 
         let mut points = Vec::with_capacity(jobs.len() * ps.len());
@@ -239,8 +271,16 @@ impl SweepConfig {
         gamma: f64,
         ps: &[f64],
         settings: &ConformanceSettings,
+        parallelism: SolverParallelism,
     ) -> Result<Vec<ConformancePoint>, ConformanceError> {
-        let solves = attack_curve_certified(family, gamma, ps, self.epsilon, self.warm_start)?;
+        let solves = attack_curve_certified_with(
+            family,
+            gamma,
+            ps,
+            self.epsilon,
+            self.warm_start,
+            parallelism,
+        )?;
         // The export reads only the family's shared skeleton — no per-(p, γ)
         // instantiation is needed.
         let export = StrategyExport::from_family(family);
@@ -250,24 +290,27 @@ impl SweepConfig {
             .collect()
     }
 
-    /// Runs one curve job to completion on the calling worker thread.
+    /// Runs one curve job to completion on the calling worker thread, with
+    /// `parallelism` threads granted to the job's own solver sweeps.
     fn run_job(
         &self,
         job: &CurveJob,
         families: &[ParametricModel],
         gammas: &[f64],
         ps: &[f64],
+        parallelism: SolverParallelism,
     ) -> CurveResult {
         match *job {
             CurveJob::Attack {
                 config,
                 gamma_index,
-            } => attack_curve(
+            } => attack_curve_with(
                 &families[config],
                 gammas[gamma_index],
                 ps,
                 self.epsilon,
                 self.warm_start,
+                parallelism,
             ),
             CurveJob::Baseline { gamma_index } => ps
                 .iter()
@@ -283,11 +326,6 @@ impl SweepConfig {
                 })
                 .collect(),
         }
-    }
-
-    /// The effective worker count for a given number of jobs.
-    fn worker_count(&self, jobs: usize) -> usize {
-        effective_workers(self.workers, jobs)
     }
 }
 
@@ -416,6 +454,33 @@ mod tests {
             report.violations()
         );
         assert!(report.sources_agree());
+    }
+
+    #[test]
+    fn short_queue_conformance_sweep_is_bit_identical_across_budget_shapes() {
+        // Regression for the nested-budget scheduler: a 2-curve-job
+        // conformance sweep on an 8-thread budget (each job soaks up 4
+        // intra-solve threads) must match the 2-thread (one thread per job)
+        // and fully serial schedules bit for bit. The historical pool
+        // spawned `min(workers, jobs)` threads, so the 8-budget run used to
+        // leave 6 threads idle; now the surplus flows into the solves —
+        // without being allowed to show up in the report.
+        let run = |workers: usize| {
+            SweepConfig {
+                attack_grid: vec![(2, 1)],
+                epsilon: 5e-3,
+                workers,
+                ..SweepConfig::default()
+            }
+            .run_conformance(&[0.0, 0.5], &[0.15, 0.3], &small_conformance_settings())
+            .unwrap()
+        };
+        // 2 jobs (one per γ): compare the 8-thread budget schedule against
+        // the 2-job and serial schedules.
+        let eight = run(8);
+        assert_eq!(eight.len(), 4);
+        assert_eq!(eight, run(2), "8-thread budget must match 2-worker run");
+        assert_eq!(eight, run(1), "8-thread budget must match serial run");
     }
 
     #[test]

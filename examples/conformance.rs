@@ -10,15 +10,26 @@
 //! cargo run --release --example conformance -- reduced  # CI-sized sub-grid
 //! ```
 //!
+//! `--threads N` pins the sweep engine's global thread budget (outer curve
+//! jobs + intra-solve threads); the report is identical for any budget.
+//!
 //! The process exits non-zero if any point fails to conform or the two
 //! arrival sources disagree, so CI can gate on it.
 
 use selfish_mining::experiments::coarse_p_grid;
+use selfish_mining_repro::cli::thread_budget;
 use selfish_mining_repro::sweep::{ConformanceSettings, SweepConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let reduced = std::env::args().any(|arg| arg == "reduced");
+    let workers = match thread_budget(std::env::args().skip(1)) {
+        Ok(workers) => workers.unwrap_or(0),
+        Err(message) => {
+            eprintln!("conformance: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let (attack_grid, gammas, ps) = if reduced {
         (vec![(2, 1)], vec![0.0, 0.5, 1.0], vec![0.1, 0.2, 0.3])
     } else {
@@ -27,6 +38,7 @@ fn main() -> ExitCode {
     let config = SweepConfig {
         attack_grid,
         epsilon: 1e-3,
+        workers,
         ..SweepConfig::default()
     };
     // Defaults: 60k steps per replica, up to 64 replicas stopping at a

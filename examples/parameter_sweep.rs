@@ -8,15 +8,23 @@
 //!
 //! ```text
 //! cargo run --release --example parameter_sweep
+//! cargo run --release --example parameter_sweep -- --threads 4
 //! ```
+//!
+//! `--threads N` pins the engine's global thread budget (outer curve jobs +
+//! intra-solve threads); the default auto-detects the machine. The output
+//! is identical for any budget.
 
 use selfish_mining::experiments::coarse_p_grid;
+use selfish_mining_repro::cli::thread_budget;
 use selfish_mining_repro::sweep::SweepConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = thread_budget(std::env::args().skip(1))?.unwrap_or(0);
     let config = SweepConfig {
         attack_grid: vec![(1, 1), (2, 1)],
         epsilon: 1e-3,
+        workers,
         ..SweepConfig::default()
     };
     let ps = coarse_p_grid();

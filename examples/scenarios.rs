@@ -18,11 +18,15 @@
 //! cargo run --release --example scenarios -- reduced  # CI-sized sub-grid
 //! ```
 //!
+//! `--threads N` pins the sweep engine's global thread budget (outer curve
+//! jobs + intra-solve threads); the report is identical for any budget.
+//!
 //! The process exits non-zero if any point fails to conform, the arrival
 //! sources disagree, or either structural property is violated, so CI can
 //! gate on it.
 
 use selfish_mining::AttackScenario;
+use selfish_mining_repro::cli::thread_budget;
 use selfish_mining_repro::conformance::ConformancePoint;
 use selfish_mining_repro::sweep::{ConformanceSettings, SweepConfig};
 use std::process::ExitCode;
@@ -44,11 +48,19 @@ fn main() -> ExitCode {
             vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
         )
     };
+    let workers = match thread_budget(std::env::args().skip(1)) {
+        Ok(workers) => workers.unwrap_or(0),
+        Err(message) => {
+            eprintln!("scenarios: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scenarios = AttackScenario::default_family();
     let config = SweepConfig {
         attack_grid,
         scenarios: scenarios.clone(),
         epsilon,
+        workers,
         ..SweepConfig::default()
     };
     // A 12-replica floor keeps the variance estimate of the one-sided

@@ -33,3 +33,76 @@ pub use sm_proofs as proofs;
 pub use sm_sweep as sweep;
 
 pub use selfish_mining;
+
+/// Command-line plumbing shared by the example drivers.
+pub mod cli {
+    /// Extracts a `--threads N` / `--threads=N` flag from command-line
+    /// arguments: the global thread budget for the sweep engine's nested
+    /// scheduler (outer curve jobs plus intra-solve threads — see
+    /// `sm_sweep::SweepConfig::workers`). Returns `None` when the flag is
+    /// absent (callers default to `0`, i.e. auto-detection), so CI and
+    /// local runs can pin the pool shape explicitly:
+    ///
+    /// ```text
+    /// cargo run --release --example parameter_sweep -- --threads 4
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the flag is present without a positive
+    /// integer value.
+    pub fn thread_budget<I>(args: I) -> Result<Option<usize>, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let value = if arg == "--threads" {
+                args.next()
+                    .ok_or("--threads needs a value (e.g. --threads 4)")?
+            } else if let Some(value) = arg.strip_prefix("--threads=") {
+                value.to_string()
+            } else {
+                continue;
+            };
+            return value
+                .parse::<usize>()
+                .ok()
+                .filter(|&threads| threads >= 1)
+                .map(Some)
+                .ok_or(format!(
+                    "--threads expects a positive integer, got {value:?}"
+                ));
+        }
+        Ok(None)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::thread_budget;
+
+        fn strings(args: &[&str]) -> Vec<String> {
+            args.iter().map(|s| s.to_string()).collect()
+        }
+
+        #[test]
+        fn parses_both_flag_forms_and_absence() {
+            assert_eq!(thread_budget(strings(&[])).unwrap(), None);
+            assert_eq!(
+                thread_budget(strings(&["reduced", "--threads", "4"])).unwrap(),
+                Some(4)
+            );
+            assert_eq!(
+                thread_budget(strings(&["--threads=8", "reduced"])).unwrap(),
+                Some(8)
+            );
+        }
+
+        #[test]
+        fn rejects_missing_or_malformed_values() {
+            assert!(thread_budget(strings(&["--threads"])).is_err());
+            assert!(thread_budget(strings(&["--threads", "zero"])).is_err());
+            assert!(thread_budget(strings(&["--threads", "0"])).is_err());
+        }
+    }
+}
