@@ -1,38 +1,46 @@
 //! CI perf-regression gate over the machine-readable bench reports.
 //!
-//! Compares a current `SM_BENCH_JSON` report against the committed baseline
-//! and exits non-zero when any benchmark's median wall-clock time regressed
-//! beyond the threshold (default: 25%), or when a baseline benchmark is
-//! missing from the current report (catching silent renames):
+//! Compares the current `SM_BENCH_JSON` report(s) against the committed
+//! baseline and exits non-zero when any benchmark's median wall-clock time
+//! (or any recorded memory footprint) regressed beyond the threshold
+//! (default: 25%), or when a baseline entry is missing from the current
+//! report (catching silent renames):
 //!
 //! ```text
 //! cargo run -p sm-bench --bin bench_check -- \
 //!     --current BENCH_solver.json --baseline bench/baseline.json
 //! ```
 //!
-//! `--write-baseline` copies the current report over the baseline instead of
-//! comparing — the refresh path after an intentional perf change or a
-//! hardware migration (absolute medians are machine-dependent; the baseline
-//! must be regenerated on hardware comparable to the machines the gate runs
-//! on — see `bench/README.md`).
+//! `--current` may be repeated: each bench or example process overwrites its
+//! own `SM_BENCH_JSON` file, so a run that produces timings and memory
+//! footprints in separate processes (e.g. `solver_micro` plus the
+//! `arena_stats` example) hands all of them to one gate invocation and they
+//! are merged into a single logical report (duplicate names are rejected).
+//!
+//! `--write-baseline` writes the merged current report over the baseline
+//! instead of comparing — the refresh path after an intentional perf change
+//! or a hardware migration (absolute medians are machine-dependent; the
+//! baseline must be regenerated on hardware comparable to the machines the
+//! gate runs on — see `bench/README.md`).
 
-use sm_bench::report::{compare_reports, parse_report};
+use sm_bench::report::{compare_reports, merge_reports, parse_report};
 use std::process::ExitCode;
 
 struct Args {
-    current: String,
+    current: Vec<String>,
     baseline: String,
     threshold: f64,
     min_median_ms: f64,
     write_baseline: bool,
 }
 
-const USAGE: &str = "usage: bench_check --current <report.json> --baseline <baseline.json> \
+const USAGE: &str = "usage: bench_check --current <report.json> [--current <more.json> ...] \
+                     --baseline <baseline.json> \
                      [--threshold <ratio, default 1.25>] \
                      [--min-median-ms <noise floor, default 1.0>] [--write-baseline]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut current = None;
+    let mut current = Vec::new();
     let mut baseline = None;
     let mut threshold = 1.25f64;
     let mut min_median_ms = 1.0f64;
@@ -40,7 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--current" => current = Some(args.next().ok_or("--current needs a path")?),
+            "--current" => current.push(args.next().ok_or("--current needs a path")?),
             "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a path")?),
             "--threshold" => {
                 let value = args.next().ok_or("--threshold needs a ratio")?;
@@ -62,8 +70,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
+    if current.is_empty() {
+        return Err(format!("missing --current\n{USAGE}"));
+    }
     Ok(Args {
-        current: current.ok_or(format!("missing --current\n{USAGE}"))?,
+        current,
         baseline: baseline.ok_or(format!("missing --baseline\n{USAGE}"))?,
         threshold,
         min_median_ms,
@@ -73,27 +84,33 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
-    let current_text = std::fs::read_to_string(&args.current)
-        .map_err(|e| format!("cannot read current report {}: {e}", args.current))?;
-    // Validate before copying or comparing, so a truncated report can
-    // neither pass the gate nor become the new baseline.
-    let current = parse_report(&current_text)
-        .map_err(|e| format!("malformed current report {}: {e}", args.current))?;
-    if current.benchmarks.is_empty() {
+    // Validate every report before copying or comparing, so a truncated
+    // report can neither pass the gate nor become the new baseline.
+    let mut reports = Vec::with_capacity(args.current.len());
+    for path in &args.current {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read current report {path}: {e}"))?;
+        reports.push(
+            parse_report(&text).map_err(|e| format!("malformed current report {path}: {e}"))?,
+        );
+    }
+    let current = merge_reports(reports)?;
+    if current.benchmarks.is_empty() && current.mem_footprint.is_empty() {
         return Err(format!(
-            "current report {} records no benchmarks",
-            args.current
+            "current report(s) {} record nothing",
+            args.current.join(", ")
         ));
     }
 
     if args.write_baseline {
-        std::fs::write(&args.baseline, &current_text)
+        std::fs::write(&args.baseline, current.to_json())
             .map_err(|e| format!("cannot write baseline {}: {e}", args.baseline))?;
         println!(
-            "baseline {} refreshed from {} ({} benchmarks)",
+            "baseline {} refreshed from {} ({} benchmarks, {} memory footprints)",
             args.baseline,
-            args.current,
-            current.benchmarks.len()
+            args.current.join(", "),
+            current.benchmarks.len(),
+            current.mem_footprint.len()
         );
         return Ok(true);
     }
@@ -106,6 +123,7 @@ fn run() -> Result<bool, String> {
     // Benchmarks whose baseline median sits below the noise floor are
     // compared and reported but cannot fail the gate: microsecond-scale
     // entries jitter past any reasonable threshold on shared CI runners.
+    // Memory footprints have no noise floor — byte counts are deterministic.
     let min_median_ns = (args.min_median_ms * 1e6) as u128;
     let comparison = compare_reports(&current, &baseline, args.threshold, min_median_ns);
     print!("{}", comparison.render());
@@ -113,7 +131,7 @@ fn run() -> Result<bool, String> {
     let missing = comparison.missing();
     if !regressions.is_empty() {
         eprintln!(
-            "PERF REGRESSION: {} benchmark(s) exceeded {:.0}% of their baseline median: {}",
+            "PERF REGRESSION: {} entrie(s) exceeded {:.0}% of their baseline: {}",
             regressions.len(),
             (args.threshold - 1.0) * 100.0,
             regressions.join(", ")

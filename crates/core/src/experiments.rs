@@ -253,8 +253,32 @@ pub fn attack_curve_certified_with(
     warm_start: bool,
     parallelism: SolverParallelism,
 ) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
-    let procedure =
-        AnalysisProcedure::new(AnalysisConfig::with_epsilon(epsilon).with_parallelism(parallelism));
+    attack_curve_certified_config(
+        family,
+        gamma,
+        ps,
+        warm_start,
+        AnalysisConfig::with_epsilon(epsilon).with_parallelism(parallelism),
+    )
+}
+
+/// [`attack_curve_certified`] under a full [`AnalysisConfig`] — the entry
+/// point for configuring the sweep kernel on top of thread count. Certified
+/// β bounds, strategies and revenues are bit-identical for any kernel and
+/// any thread count: the certificates only ever come from full Jacobi
+/// sweeps, the kernels accelerate the interleaved evaluation sweeps.
+///
+/// # Errors
+///
+/// Propagates instantiation and solver errors.
+pub fn attack_curve_certified_config(
+    family: &ParametricModel,
+    gamma: f64,
+    ps: &[f64],
+    warm_start: bool,
+    config: AnalysisConfig,
+) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
+    let procedure = AnalysisProcedure::new(config);
     let mut model: Option<SelfishMiningModel> = None;
     let mut warm: Option<DinkelbachWarmStart> = None;
     // The most recent (p, certified β_low) points, newest last, for the β

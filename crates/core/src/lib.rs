@@ -71,9 +71,10 @@ pub use params::AttackParams;
 pub use scenario::AttackScenario;
 pub use state::{Owner, Phase, SmState};
 
-// Intra-solve parallelism knob, shared across the solver stack (`sm-markov`
-// chain sweeps, `sm-mdp` value iteration, the analysis procedure here).
-pub use sm_mdp::SolverParallelism;
+// Intra-solve parallelism and sweep-kernel knobs, shared across the solver
+// stack (`sm-markov` chain sweeps, `sm-mdp` value iteration, the analysis
+// procedure here).
+pub use sm_mdp::{SolverParallelism, SweepKernel};
 pub use transition::{
     available_actions, available_actions_in, successors, successors_in, symbolic_successors,
     symbolic_successors_in, BlockRewards, Outcome, ProbTerm, SymbolicOutcome,

@@ -30,15 +30,29 @@ use crate::{
 };
 use sm_mdp::{CsrLayout, CsrMdp, Mdp, TransitionRewards};
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::Arc;
 
-/// One symbolic outcome recorded against a state-action pair, in discovery
-/// order: its probability atom and the block counts it finalizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One *distinct* symbolic outcome: its probability term (as an id into the
+/// interned term pool) and the block counts it finalizes. The per-pair atom
+/// buffer stores `u32` ids into a pool of these — a `(d, f, l)` topology only
+/// ever produces a handful of distinct outcomes, so the per-transition
+/// working set shrinks to one small integer per atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RewardAtom {
-    term: ProbTerm,
+    /// Id of the probability term in the interned term pool.
+    term: u32,
     adversary: u32,
     honest: u32,
+}
+
+/// Interns `value` into `pool`, returning its stable `u32` id.
+fn intern<T: Copy + Eq + Hash>(pool: &mut Vec<T>, ids: &mut HashMap<T, u32>, value: T) -> u32 {
+    *ids.entry(value).or_insert_with(|| {
+        let id = u32::try_from(pool.len()).expect("pool size fits u32");
+        pool.push(value);
+        id
+    })
 }
 
 /// The `(d, f, l)` family of selfish-mining MDPs: one shared CSR skeleton
@@ -75,13 +89,21 @@ pub struct ParametricModel {
     /// whose probability is the sum of the merged atoms). Length
     /// `num_transitions + 1`.
     prob_atom_ptr: Vec<u32>,
-    /// Probability atoms in arena (successor-sorted) order.
-    prob_atoms: Vec<ProbTerm>,
+    /// Probability atom ids (into `term_pool`) in arena (successor-sorted)
+    /// order.
+    prob_atoms: Vec<u32>,
     /// Per state-action pair, the range of its outcomes in `reward_atoms`.
     /// Length `num_pairs + 1`.
     reward_ptr: Vec<u32>,
-    /// Outcome atoms in discovery order, for the expected-reward sums.
-    reward_atoms: Vec<RewardAtom>,
+    /// Outcome atom ids (into `atom_pool`) in discovery order, for the
+    /// expected-reward sums.
+    reward_atoms: Vec<u32>,
+    /// Distinct probability terms of the topology, in first-seen order.
+    /// Instantiation evaluates each term once into a table and the linear
+    /// fill pass only gathers from it.
+    term_pool: Vec<ProbTerm>,
+    /// Distinct symbolic outcomes of the topology, in first-seen order.
+    atom_pool: Vec<RewardAtom>,
 }
 
 impl ParametricModel {
@@ -197,11 +219,15 @@ impl ParametricModel {
         let mut name_ids: HashMap<String, u32> = HashMap::new();
         let mut name_of_pair: Vec<u32> = Vec::new();
         let mut prob_atom_ptr: Vec<u32> = Vec::new();
-        let mut prob_atoms: Vec<ProbTerm> = Vec::new();
+        let mut prob_atoms: Vec<u32> = Vec::new();
         let mut reward_ptr: Vec<u32> = vec![0];
-        let mut reward_atoms: Vec<RewardAtom> = Vec::new();
+        let mut reward_atoms: Vec<u32> = Vec::new();
+        let mut term_pool: Vec<ProbTerm> = Vec::new();
+        let mut term_ids: HashMap<ProbTerm, u32> = HashMap::new();
+        let mut atom_pool: Vec<RewardAtom> = Vec::new();
+        let mut atom_ids: HashMap<RewardAtom, u32> = HashMap::new();
         let mut actions: Vec<Vec<SmAction>> = Vec::new();
-        let mut scratch: Vec<(usize, ProbTerm)> = Vec::new();
+        let mut scratch: Vec<(usize, u32)> = Vec::new();
 
         while let Some(index) = queue.pop_front() {
             let state = states[index].clone();
@@ -226,12 +252,14 @@ impl ParametricModel {
                             new_index
                         }
                     };
-                    reward_atoms.push(RewardAtom {
-                        term: outcome.term,
+                    let term_id = intern(&mut term_pool, &mut term_ids, outcome.term);
+                    let atom = RewardAtom {
+                        term: term_id,
                         adversary: outcome.rewards.adversary,
                         honest: outcome.rewards.honest,
-                    });
-                    scratch.push((target, outcome.term));
+                    };
+                    reward_atoms.push(intern(&mut atom_pool, &mut atom_ids, atom));
+                    scratch.push((target, term_id));
                 }
                 reward_ptr.push(u32::try_from(reward_atoms.len()).expect("atom count fits u32"));
 
@@ -239,13 +267,13 @@ impl ParametricModel {
                 // slot whose probability is the (ordered) sum of its atoms.
                 scratch.sort_by_key(|&(target, _)| target);
                 let action_start = col.len();
-                for &(target, term) in &scratch {
+                for &(target, term_id) in &scratch {
                     if col.len() == action_start || *col.last().expect("non-empty row") != target {
                         col.push(target);
                         prob_atom_ptr
                             .push(u32::try_from(prob_atoms.len()).expect("atom count fits u32"));
                     }
-                    prob_atoms.push(term);
+                    prob_atoms.push(term_id);
                 }
                 action_ptr.push(col.len());
 
@@ -281,6 +309,8 @@ impl ParametricModel {
             prob_atoms,
             reward_ptr,
             reward_atoms,
+            term_pool,
+            atom_pool,
         })
     }
 
@@ -367,9 +397,10 @@ impl ParametricModel {
             self.forks_per_block,
             self.max_fork_length,
         )?;
+        let term_values = self.term_values(p, gamma);
         let mut prob = vec![0.0; self.layout.num_transitions()];
         for (slot, value) in prob.iter_mut().enumerate() {
-            *value = self.slot_probability(slot, p, gamma);
+            *value = self.slot_probability(slot, &term_values);
         }
         let csr = CsrMdp::from_raw_parts(
             Arc::clone(&self.layout),
@@ -384,7 +415,7 @@ impl ParametricModel {
         let mut adversary = Vec::with_capacity(transitions);
         let mut honest = Vec::with_capacity(transitions);
         for pair in 0..self.layout.num_pairs() {
-            let (adv, hon) = self.pair_rewards(pair, p, gamma);
+            let (adv, hon) = self.pair_rewards(pair, &term_values);
             let len = self.layout.transition_range(pair).len();
             adversary.resize(adversary.len() + len, adv);
             honest.resize(honest.len() + len, hon);
@@ -406,8 +437,9 @@ impl ParametricModel {
     /// Re-instantiates an existing model of this family at new `(p, gamma)`
     /// values *in place*: the probability and reward buffers are rewritten
     /// through [`sm_mdp::CsrMdp::reweight_in_place`] and
-    /// [`sm_mdp::TransitionRewards::values_mut`] with no allocation, no
-    /// hashing and no BFS. This is the per-worker hot path of the sweep
+    /// [`sm_mdp::TransitionRewards::values_mut`] with no hashing, no BFS and
+    /// no allocation beyond one term-value table the size of the (tiny)
+    /// interned term pool. This is the per-worker hot path of the sweep
     /// engine.
     ///
     /// # Errors
@@ -437,17 +469,18 @@ impl ParametricModel {
         }
         model.params = params;
         model.scenario = self.scenario;
+        let term_values = self.term_values(p, gamma);
         model
             .mdp
             .csr_mut()
-            .reweight_in_place(|slot| self.slot_probability(slot, p, gamma));
+            .reweight_in_place(|slot| self.slot_probability(slot, &term_values));
         // Per-pair expected block counts, replicated over each pair's
         // transition range exactly like the fresh construction does; one
         // atom walk per pair fills both reward buffers.
         let adversary = model.adversary_rewards.values_mut();
         let honest = model.honest_rewards.values_mut();
         for pair in 0..self.layout.num_pairs() {
-            let (adv, hon) = self.pair_rewards(pair, p, gamma);
+            let (adv, hon) = self.pair_rewards(pair, &term_values);
             let range = self.layout.transition_range(pair);
             adversary[range.clone()].fill(adv);
             honest[range].fill(hon);
@@ -455,28 +488,84 @@ impl ParametricModel {
         Ok(())
     }
 
-    /// Probability of arena transition `slot` at `(p, gamma)`: the ordered
-    /// sum of its atoms (one atom per merged duplicate successor, summed in
-    /// the same order the streaming builder merges them).
+    /// Resident bytes of the symbolic term tables: the per-transition and
+    /// per-pair id buffers plus the interned pools. This is the part of the
+    /// family's footprint that scales with the arena (the state and action
+    /// tables are reported separately by callers that hold them).
+    pub fn term_table_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.prob_atom_ptr.len()
+            + self.prob_atoms.len()
+            + self.reward_ptr.len()
+            + self.reward_atoms.len())
+            * size_of::<u32>()
+            + self.term_pool.len() * size_of::<ProbTerm>()
+            + self.atom_pool.len() * size_of::<RewardAtom>()
+    }
+
+    /// Bytes the same term tables would occupy in the un-interned
+    /// representation this layout replaced: one 8-byte `ProbTerm` per
+    /// probability atom, one 16-byte outcome record per reward atom and
+    /// `usize` offset tables. The denominator for the memory reduction the
+    /// CI `mem_footprint` gate tracks.
+    pub fn term_table_bytes_uncompressed(&self) -> usize {
+        use std::mem::size_of;
+        (self.prob_atom_ptr.len() + self.reward_ptr.len()) * size_of::<usize>()
+            + self.prob_atoms.len() * size_of::<ProbTerm>()
+            + self.reward_atoms.len() * (size_of::<ProbTerm>() + 2 * size_of::<u32>())
+    }
+
+    /// Resident bytes of the shared CSR skeleton (`row_ptr` / `action_ptr` /
+    /// `col`, all `u32`).
+    pub fn layout_bytes(&self) -> usize {
+        self.layout.resident_bytes()
+    }
+
+    /// Number of distinct probability terms of the topology (the interned
+    /// term-pool size — a handful, independent of the arena size).
+    pub fn distinct_terms(&self) -> usize {
+        self.term_pool.len()
+    }
+
+    /// Number of distinct symbolic outcomes of the topology (the interned
+    /// outcome-pool size).
+    pub fn distinct_outcomes(&self) -> usize {
+        self.atom_pool.len()
+    }
+
+    /// Evaluates every pooled term once at `(p, gamma)`. The fill passes
+    /// gather from this table by id, so each term's floating-point value is
+    /// computed exactly once per instantiation — and is bit-identical to
+    /// evaluating the term at every use site, which is what keeps
+    /// instantiation reproducing the directly built model bit for bit.
     #[inline]
-    fn slot_probability(&self, slot: usize, p: f64, gamma: f64) -> f64 {
+    fn term_values(&self, p: f64, gamma: f64) -> Vec<f64> {
+        self.term_pool.iter().map(|t| t.eval(p, gamma)).collect()
+    }
+
+    /// Probability of arena transition `slot`: the ordered sum of its atoms'
+    /// term values (one atom per merged duplicate successor, summed in the
+    /// same order the streaming builder merges them).
+    #[inline]
+    fn slot_probability(&self, slot: usize, term_values: &[f64]) -> f64 {
         let range = self.prob_atom_ptr[slot] as usize..self.prob_atom_ptr[slot + 1] as usize;
         self.prob_atoms[range]
             .iter()
-            .fold(0.0, |acc, term| acc + term.eval(p, gamma))
+            .fold(0.0, |acc, &id| acc + term_values[id as usize])
     }
 
     /// Expected `(adversary, honest)` block counts of state-action pair
-    /// `pair` at `(p, gamma)`, accumulated over the outcomes in discovery
-    /// order — the same order (and therefore the same floating-point result)
-    /// as the fresh model construction.
+    /// `pair`, accumulated over the outcomes in discovery order — the same
+    /// order (and therefore the same floating-point result) as the fresh
+    /// model construction.
     #[inline]
-    fn pair_rewards(&self, pair: usize, p: f64, gamma: f64) -> (f64, f64) {
+    fn pair_rewards(&self, pair: usize, term_values: &[f64]) -> (f64, f64) {
         let range = self.reward_ptr[pair] as usize..self.reward_ptr[pair + 1] as usize;
         let mut adversary = 0.0;
         let mut honest = 0.0;
-        for atom in &self.reward_atoms[range] {
-            let probability = atom.term.eval(p, gamma);
+        for &id in &self.reward_atoms[range] {
+            let atom = self.atom_pool[id as usize];
+            let probability = term_values[atom.term as usize];
             adversary += probability * f64::from(atom.adversary);
             honest += probability * f64::from(atom.honest);
         }
@@ -609,6 +698,28 @@ mod tests {
         let a = optimal.instantiate(0.3, 0.25).unwrap();
         let b = full_lag.instantiate(0.3, 0.25).unwrap();
         assert_eq!(a.mdp(), b.mdp());
+    }
+
+    #[test]
+    fn term_pools_are_interned_and_tiny() {
+        let family = ParametricModel::build(2, 2, 3).unwrap();
+        // The whole topology is generated by five term shapes over a bounded
+        // slot count, so the pools stay minuscule however large the arena is.
+        assert!(family.distinct_terms() <= 16, "{}", family.distinct_terms());
+        assert!(
+            family.distinct_outcomes() < family.num_transitions() / 10,
+            "{} outcomes vs {} transitions",
+            family.distinct_outcomes(),
+            family.num_transitions()
+        );
+        // The id buffers cost 4 bytes per atom; the pools are a rounding
+        // error on top.
+        let atoms = family.prob_atoms.len() + family.reward_atoms.len();
+        let ptrs = family.prob_atom_ptr.len() + family.reward_ptr.len();
+        let pools = family.term_pool.len() * std::mem::size_of::<ProbTerm>()
+            + family.atom_pool.len() * std::mem::size_of::<RewardAtom>();
+        assert_eq!(family.term_table_bytes(), (atoms + ptrs) * 4 + pools);
+        assert!(family.layout_bytes() > 0);
     }
 
     #[test]

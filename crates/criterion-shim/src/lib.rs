@@ -18,7 +18,10 @@
 //!   results are (re)written to `<path>` as a JSON report (see
 //!   [`json_report`] for the exact schema; `bench/README.md` documents it
 //!   next to the committed baseline). The file is rewritten incrementally,
-//!   so a partial report survives an aborted run.
+//!   so a partial report survives an aborted run. A *relative* path is
+//!   resolved against the workspace root, not the process working
+//!   directory — cargo runs each bench with the bench crate's directory as
+//!   CWD, which used to scatter relative reports across crate dirs.
 //! * `SM_BENCH_SAMPLES=<n>` — overrides every benchmark's sample count
 //!   (whether set via [`BenchmarkGroup::sample_size`] or defaulted), so CI
 //!   smoke runs can keep wall-clock time bounded without touching the
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -48,24 +52,40 @@ struct RecordedBenchmark {
 /// Results recorded so far in this process (in execution order).
 static RECORDED: Mutex<Vec<RecordedBenchmark>> = Mutex::new(Vec::new());
 
-/// The schema identifier embedded in every JSON report.
-pub const JSON_SCHEMA: &str = "sm-bench/v1";
+/// One recorded memory footprint, accumulated for the JSON report.
+#[derive(Debug, Clone)]
+struct RecordedMemory {
+    name: String,
+    bytes: u64,
+}
 
-/// Renders the benchmarks recorded so far as the `sm-bench/v1` JSON report:
+/// Memory footprints recorded so far in this process (in execution order).
+static RECORDED_MEMORY: Mutex<Vec<RecordedMemory>> = Mutex::new(Vec::new());
+
+/// The schema identifier embedded in every JSON report.
+pub const JSON_SCHEMA: &str = "sm-bench/v2";
+
+/// Renders the benchmarks recorded so far as the `sm-bench/v2` JSON report:
 ///
 /// ```json
 /// {
-///   "schema": "sm-bench/v1",
+///   "schema": "sm-bench/v2",
 ///   "benchmarks": [
 ///     {"name": "...", "median_ns": 0, "mean_ns": 0, "min_ns": 0, "samples": 0}
+///   ],
+///   "mem_footprint": [
+///     {"name": "...", "bytes": 0}
 ///   ]
 /// }
 /// ```
 ///
 /// Durations are integer nanoseconds; `name` is the full
-/// `group/benchmark-id` path. This is also what `SM_BENCH_JSON` writes.
+/// `group/benchmark-id` path; `mem_footprint` carries resident-byte counts
+/// recorded via [`record_memory`] (`v1` reports simply lack the array).
+/// This is also what `SM_BENCH_JSON` writes.
 pub fn json_report() -> String {
     let recorded = RECORDED.lock().expect("benchmark record poisoned");
+    let memory = RECORDED_MEMORY.lock().expect("memory record poisoned");
     let mut out = String::from("{\n  \"schema\": \"");
     out.push_str(JSON_SCHEMA);
     out.push_str("\",\n  \"benchmarks\": [");
@@ -74,21 +94,66 @@ pub fn json_report() -> String {
             out.push(',');
         }
         out.push_str("\n    {\"name\": \"");
-        for c in bench.name.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
+        escape_into(&mut out, &bench.name);
         out.push_str(&format!(
             "\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}",
             bench.median_ns, bench.mean_ns, bench.min_ns, bench.samples
         ));
     }
+    out.push_str("\n  ],\n  \"mem_footprint\": [");
+    for (index, entry) in memory.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": \"");
+        escape_into(&mut out, &entry.name);
+        out.push_str(&format!("\", \"bytes\": {}}}", entry.bytes));
+    }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// JSON-escapes `name` into `out`.
+fn escape_into(out: &mut String, name: &str) {
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// The report file `SM_BENCH_JSON` points at, with relative paths resolved
+/// against the workspace root (two levels above this crate's manifest) so
+/// `SM_BENCH_JSON=report.json` lands in one predictable place no matter
+/// which crate's bench process writes it.
+fn report_path() -> Option<PathBuf> {
+    let path = std::env::var("SM_BENCH_JSON").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(path);
+    if path.is_absolute() {
+        Some(path)
+    } else {
+        let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).parent()?.parent()?;
+        Some(workspace_root.join(path))
+    }
+}
+
+/// Rewrites the `SM_BENCH_JSON` report file (if configured) with everything
+/// recorded so far.
+fn rewrite_report() {
+    if let Some(path) = report_path() {
+        if let Err(error) = std::fs::write(&path, json_report()) {
+            eprintln!(
+                "warning: could not write SM_BENCH_JSON={}: {error}",
+                path.display()
+            );
+        }
+    }
 }
 
 /// Records one benchmark result and, when `SM_BENCH_JSON` is set, rewrites
@@ -98,13 +163,22 @@ fn record_benchmark(bench: RecordedBenchmark) {
         .lock()
         .expect("benchmark record poisoned")
         .push(bench);
-    if let Ok(path) = std::env::var("SM_BENCH_JSON") {
-        if !path.is_empty() {
-            if let Err(error) = std::fs::write(&path, json_report()) {
-                eprintln!("warning: could not write SM_BENCH_JSON={path}: {error}");
-            }
-        }
-    }
+    rewrite_report();
+}
+
+/// Records a named resident-memory footprint (in bytes) into the report's
+/// `mem_footprint` array and, when `SM_BENCH_JSON` is set, rewrites the
+/// report file. Benches and examples use this to track arena sizes next to
+/// their timings; the perf gate compares the entries against the committed
+/// baseline like it compares durations.
+pub fn record_memory(name: impl Into<String>, bytes: u64) {
+    let name = name.into();
+    println!("mem:   {name:<48} {bytes} bytes");
+    RECORDED_MEMORY
+        .lock()
+        .expect("memory record poisoned")
+        .push(RecordedMemory { name, bytes });
+    rewrite_report();
 }
 
 /// The effective sample count: the benchmark's own configuration, unless
@@ -344,11 +418,30 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("shim-json/\"quoted\"", |b| b.iter(|| 1 + 1));
         let report = json_report();
-        assert!(report.starts_with("{\n  \"schema\": \"sm-bench/v1\""));
+        assert!(report.starts_with("{\n  \"schema\": \"sm-bench/v2\""));
         assert!(report.contains("\"name\": \"shim-json/\\\"quoted\\\"\""));
         assert!(report.contains("\"median_ns\": "));
         assert!(report.contains("\"samples\": "));
+        assert!(report.contains("\"mem_footprint\": ["));
         assert!(report.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn memory_footprints_land_in_the_report() {
+        record_memory("shim-mem/arena", 12_345);
+        let report = json_report();
+        assert!(report.contains("{\"name\": \"shim-mem/arena\", \"bytes\": 12345}"));
+    }
+
+    #[test]
+    fn relative_report_paths_resolve_against_the_workspace_root() {
+        // The helper itself reads the env var, which is process-global, so
+        // only exercise the path arithmetic here.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        assert!(root.join("Cargo.toml").exists(), "{}", root.display());
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub enum LinalgError {
         /// Description of where the invalid value appeared.
         context: &'static str,
     },
+    /// An index or entry count does not fit the compact (`u32`) sparse
+    /// storage. Surfaced instead of silently wrapping when a caller hands a
+    /// topology with more than `u32::MAX` rows, columns or entries to the
+    /// checked `usize` build paths.
+    IndexOverflow {
+        /// The offending index or count.
+        value: usize,
+        /// The largest value the compact storage can represent.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -75,6 +85,12 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::InvalidValue { context } => {
                 write!(f, "invalid value (NaN or infinity) in {context}")
+            }
+            LinalgError::IndexOverflow { value, limit } => {
+                write!(
+                    f,
+                    "index or count {value} exceeds the compact sparse-storage limit {limit}"
+                )
             }
         }
     }
@@ -112,6 +128,13 @@ mod tests {
                     context: "objective",
                 },
                 "objective",
+            ),
+            (
+                LinalgError::IndexOverflow {
+                    value: 5_000_000_000,
+                    limit: u32::MAX as usize,
+                },
+                "5000000000",
             ),
         ];
         for (err, needle) in cases {

@@ -43,7 +43,7 @@ pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use lu::{solve_linear_system, LuDecomposition};
 pub use simplex::{Comparison, LinearProgram, LpSolution, LpStatus, ObjectiveSense, SimplexSolver};
-pub use sparse::{CsrMatrix, Triplet};
+pub use sparse::{CsrMatrix, Triplet, COMPACT_INDEX_LIMIT};
 pub use vector::{axpy, dot, infinity_norm, l1_norm, l2_norm, max_abs_diff, scale, span_seminorm};
 
 /// Default numerical tolerance used across the crate when comparing floats.

@@ -4,8 +4,32 @@
 //! the selfish-mining MDP is extremely sparse (each state has at most a few
 //! dozen successors out of potentially hundreds of thousands of states), so
 //! the Markov-chain routines in `sm-markov` operate on this type.
+//!
+//! Column indices and the row-pointer table are stored as `u32`: the largest
+//! attack topologies stay far below four billion states/entries, and halving
+//! the index width halves the sweep kernels' resident working set. The
+//! `usize`-taking constructors convert with overflow *checks*
+//! ([`LinalgError::IndexOverflow`]) — a topology that genuinely exceeds
+//! `u32::MAX` fails loudly instead of wrapping.
 
 use crate::{DenseMatrix, LinalgError};
+
+/// The largest index or entry count the compact CSR storage can hold.
+pub const COMPACT_INDEX_LIMIT: usize = u32::MAX as usize;
+
+/// Checked `usize` → `u32` conversion for compact sparse storage.
+#[inline]
+pub(crate) fn compact_index(value: usize) -> Result<u32, LinalgError> {
+    u32::try_from(value).map_err(|_| LinalgError::IndexOverflow {
+        value,
+        limit: COMPACT_INDEX_LIMIT,
+    })
+}
+
+/// Checked conversion of a whole `usize` index array.
+pub(crate) fn compact_indices(values: Vec<usize>) -> Result<Vec<u32>, LinalgError> {
+    values.into_iter().map(compact_index).collect()
+}
 
 /// A `(row, col, value)` entry used to assemble a [`CsrMatrix`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +49,7 @@ impl Triplet {
     }
 }
 
-/// A compressed sparse row matrix of `f64` values.
+/// A compressed sparse row matrix of `f64` values with `u32` indices.
 ///
 /// # Example
 ///
@@ -47,9 +71,9 @@ pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     /// Row pointer array of length `rows + 1`.
-    row_ptr: Vec<usize>,
+    row_ptr: Vec<u32>,
     /// Column indices, sorted within each row.
-    col_idx: Vec<usize>,
+    col_idx: Vec<u32>,
     /// Non-zero values aligned with `col_idx`.
     values: Vec<f64>,
 }
@@ -61,8 +85,9 @@ impl CsrMatrix {
     /// # Errors
     ///
     /// Returns [`LinalgError::IndexOutOfBounds`] if any triplet lies outside
-    /// the `rows x cols` shape and [`LinalgError::InvalidValue`] if a value is
-    /// not finite.
+    /// the `rows x cols` shape, [`LinalgError::InvalidValue`] if a value is
+    /// not finite and [`LinalgError::IndexOverflow`] if an index or the entry
+    /// count exceeds the compact `u32` storage.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
@@ -95,7 +120,7 @@ impl CsrMatrix {
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut col_idx = Vec::with_capacity(triplets.len());
         let mut values = Vec::with_capacity(triplets.len());
-        row_ptr.push(0);
+        row_ptr.push(0u32);
         for row in per_row.iter_mut() {
             row.sort_by_key(|&(c, _)| c);
             let mut i = 0;
@@ -107,11 +132,11 @@ impl CsrMatrix {
                     i += 1;
                 }
                 if sum != 0.0 {
-                    col_idx.push(col);
+                    col_idx.push(compact_index(col)?);
                     values.push(sum);
                 }
             }
-            row_ptr.push(col_idx.len());
+            row_ptr.push(compact_index(col_idx.len())?);
         }
         Ok(CsrMatrix {
             rows,
@@ -122,11 +147,9 @@ impl CsrMatrix {
         })
     }
 
-    /// Builds a CSR matrix directly from its raw arrays, validating the
-    /// invariants the accessors rely on: `row_ptr` must have length
-    /// `rows + 1`, start at 0, be non-decreasing and end at the number of
-    /// stored entries; column indices must be strictly increasing within each
-    /// row and in bounds; values must be finite.
+    /// Builds a CSR matrix from raw `usize` arrays: the indices are converted
+    /// to the compact `u32` storage with overflow checks, then validated by
+    /// [`CsrMatrix::from_raw_parts_u32`].
     ///
     /// This is the zero-copy entry point for callers that already hold a CSR
     /// layout — e.g. Markov chains extracted from the flat MDP transition
@@ -134,15 +157,39 @@ impl CsrMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`LinalgError::DimensionMismatch`] for malformed pointer
-    /// arrays, [`LinalgError::IndexOutOfBounds`] for out-of-range columns and
-    /// [`LinalgError::InvalidValue`] for non-finite values or unsorted /
-    /// duplicate columns within a row.
+    /// Returns [`LinalgError::IndexOverflow`] if an index or count exceeds
+    /// `u32::MAX`, plus every error of [`CsrMatrix::from_raw_parts_u32`].
     pub fn from_raw_parts(
         rows: usize,
         cols: usize,
         row_ptr: Vec<usize>,
         col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
+        // Convert *before* the structural validation so overflowing inputs
+        // fail with the typed error even when the companion arrays are tiny.
+        let row_ptr = compact_indices(row_ptr)?;
+        let col_idx = compact_indices(col_idx)?;
+        Self::from_raw_parts_u32(rows, cols, row_ptr, col_idx, values)
+    }
+
+    /// Builds a CSR matrix directly from its compact raw arrays, validating
+    /// the invariants the accessors rely on: `row_ptr` must have length
+    /// `rows + 1`, start at 0, be non-decreasing and end at the number of
+    /// stored entries; column indices must be strictly increasing within each
+    /// row and in bounds; values must be finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for malformed pointer
+    /// arrays, [`LinalgError::IndexOutOfBounds`] for out-of-range columns and
+    /// [`LinalgError::InvalidValue`] for non-finite values or unsorted /
+    /// duplicate columns within a row.
+    pub fn from_raw_parts_u32(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Result<Self, LinalgError> {
         if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
@@ -152,15 +199,15 @@ impl CsrMatrix {
                 actual: row_ptr.len(),
             });
         }
-        if col_idx.len() != values.len() || row_ptr[rows] != col_idx.len() {
+        if col_idx.len() != values.len() || row_ptr[rows] as usize != col_idx.len() {
             return Err(LinalgError::DimensionMismatch {
                 operation: "csr from raw parts (entry count)",
-                expected: row_ptr[rows],
+                expected: row_ptr[rows] as usize,
                 actual: col_idx.len(),
             });
         }
         for row in 0..rows {
-            let (start, end) = (row_ptr[row], row_ptr[row + 1]);
+            let (start, end) = (row_ptr[row] as usize, row_ptr[row + 1] as usize);
             if start > end || end > col_idx.len() {
                 return Err(LinalgError::DimensionMismatch {
                     operation: "csr from raw parts (row_ptr monotonicity)",
@@ -169,9 +216,9 @@ impl CsrMatrix {
                 });
             }
             for k in start..end {
-                if col_idx[k] >= cols {
+                if col_idx[k] as usize >= cols {
                     return Err(LinalgError::IndexOutOfBounds {
-                        index: col_idx[k],
+                        index: col_idx[k] as usize,
                         len: cols,
                     });
                 }
@@ -196,9 +243,9 @@ impl CsrMatrix {
         })
     }
 
-    /// Decomposes the matrix into its raw `(row_ptr, col_idx, values)`
-    /// arrays, the inverse of [`CsrMatrix::from_raw_parts`].
-    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    /// Decomposes the matrix into its compact raw `(row_ptr, col_idx,
+    /// values)` arrays, the inverse of [`CsrMatrix::from_raw_parts_u32`].
+    pub fn into_raw_parts(self) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
         (self.row_ptr, self.col_idx, self.values)
     }
 
@@ -232,6 +279,14 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Resident bytes of the index and value arrays (the quantity the compact
+    /// `u32` storage halves relative to `usize` indices).
+    pub fn resident_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<u32>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
     /// Returns the entry at `(row, col)` (zero if not stored).
     ///
     /// # Panics
@@ -240,6 +295,10 @@ impl CsrMatrix {
     pub fn get(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         let (cols, vals) = self.row(row);
+        // Stored columns always fit u32; a wider query column is not stored.
+        let Ok(col) = u32::try_from(col) else {
+            return 0.0;
+        };
         match cols.binary_search(&col) {
             Ok(pos) => vals[pos],
             Err(_) => 0.0,
@@ -251,10 +310,10 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `row` is out of bounds.
-    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+    pub fn row(&self, row: usize) -> (&[u32], &[f64]) {
         assert!(row < self.rows, "row index out of bounds");
-        let start = self.row_ptr[row];
-        let end = self.row_ptr[row + 1];
+        let start = self.row_ptr[row] as usize;
+        let end = self.row_ptr[row + 1] as usize;
         (&self.col_idx[start..end], &self.values[start..end])
     }
 
@@ -264,7 +323,7 @@ impl CsrMatrix {
             let (cols, vals) = self.row(r);
             cols.iter()
                 .zip(vals)
-                .map(move |(&c, &v)| Triplet::new(r, c, v))
+                .map(move |(&c, &v)| Triplet::new(r, c as usize, v))
         })
     }
 
@@ -286,7 +345,7 @@ impl CsrMatrix {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c];
+                acc += v * x[c as usize];
             }
             *slot = acc;
         }
@@ -315,7 +374,7 @@ impl CsrMatrix {
             }
             let (cols, vals) = self.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
-                out[c] += v * xi;
+                out[c as usize] += v * xi;
             }
         }
         Ok(out)
@@ -414,7 +473,7 @@ mod tests {
     fn row_view_is_sorted_by_column() {
         let m = sample();
         let (cols, vals) = m.row(2);
-        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(cols, &[0u32, 1, 2]);
         assert_eq!(vals, &[0.25, 0.25, 0.5]);
     }
 
@@ -452,8 +511,19 @@ mod tests {
     fn raw_parts_roundtrip_preserves_matrix() {
         let m = sample();
         let (row_ptr, col_idx, values) = m.clone().into_raw_parts();
-        let rebuilt = CsrMatrix::from_raw_parts(3, 3, row_ptr, col_idx, values).unwrap();
+        let rebuilt = CsrMatrix::from_raw_parts_u32(3, 3, row_ptr, col_idx, values).unwrap();
         assert_eq!(m, rebuilt);
+        // The checked usize path builds the same matrix.
+        let (row_ptr, col_idx, values) = m.clone().into_raw_parts();
+        let widened = CsrMatrix::from_raw_parts(
+            3,
+            3,
+            row_ptr.iter().map(|&x| x as usize).collect(),
+            col_idx.iter().map(|&x| x as usize).collect(),
+            values,
+        )
+        .unwrap();
+        assert_eq!(m, widened);
     }
 
     #[test]
@@ -502,5 +572,24 @@ mod tests {
         let m = CsrMatrix::from_raw_parts(2, 2, vec![0, 0, 1], vec![1], vec![2.0]).unwrap();
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn usize_inputs_beyond_u32_fail_with_the_typed_overflow_error() {
+        // The conversion is checked *before* structural validation, so the
+        // companion arrays can stay tiny — no giant allocations needed to
+        // exercise the overflow path.
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            CsrMatrix::from_raw_parts(1, 1, vec![0, too_big], vec![0], vec![1.0]).unwrap_err(),
+            LinalgError::IndexOverflow {
+                value: too_big,
+                limit: COMPACT_INDEX_LIMIT,
+            }
+        );
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![too_big], vec![1.0]),
+            Err(LinalgError::IndexOverflow { .. })
+        ));
     }
 }

@@ -118,6 +118,22 @@ impl MarkovChain {
         Self::from_matrix(matrix)
     }
 
+    /// [`MarkovChain::from_csr_parts`] over the compact `u32` index arrays the
+    /// flat MDP arena stores natively — no widening round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MarkovChain::from_csr_parts`].
+    pub fn from_csr_parts_u32(
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        probabilities: Vec<f64>,
+    ) -> Result<Self, MarkovError> {
+        let n = row_ptr.len().saturating_sub(1);
+        let matrix = CsrMatrix::from_raw_parts_u32(n, n, row_ptr, col_idx, probabilities)?;
+        Self::from_matrix(matrix)
+    }
+
     /// Consumes the chain and returns the underlying sparse transition
     /// matrix, the inverse of [`MarkovChain::from_matrix`].
     pub fn into_matrix(self) -> CsrMatrix {
@@ -138,12 +154,13 @@ impl MarkovChain {
         self.transitions.get(from, to)
     }
 
-    /// Successors of a state as parallel slices of targets and probabilities.
+    /// Successors of a state as parallel slices of (compact `u32`) targets
+    /// and probabilities.
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of bounds.
-    pub fn successors(&self, state: usize) -> (&[usize], &[f64]) {
+    pub fn successors(&self, state: usize) -> (&[u32], &[f64]) {
         self.transitions.row(state)
     }
 
@@ -267,6 +284,10 @@ mod tests {
         let via_parts =
             MarkovChain::from_csr_parts(vec![0, 2, 3], vec![0, 1, 0], vec![0.5, 0.5, 1.0]).unwrap();
         assert_eq!(via_rows, via_parts);
+        let via_u32 =
+            MarkovChain::from_csr_parts_u32(vec![0, 2, 3], vec![0, 1, 0], vec![0.5, 0.5, 1.0])
+                .unwrap();
+        assert_eq!(via_rows, via_u32);
         let matrix = via_parts.into_matrix();
         assert_eq!(matrix.nnz(), 3);
     }

@@ -61,7 +61,7 @@ impl StronglyConnectedComponents {
                 targets
                     .iter()
                     .zip(probs)
-                    .all(|(&t, &p)| p == 0.0 || component_of[t] == ci)
+                    .all(|(&t, &p)| p == 0.0 || component_of[t as usize] == ci)
             });
             if closed {
                 recurrent.push(ci);
@@ -159,7 +159,7 @@ impl Tarjan {
             }
             let (targets, probs) = chain.successors(v);
             if child_pos < targets.len() {
-                let w = targets[child_pos];
+                let w = targets[child_pos] as usize;
                 work.last_mut().expect("work stack is non-empty").1 += 1;
                 if probs[child_pos] == 0.0 {
                     // Masked (structurally kept, numerically zero) branch:

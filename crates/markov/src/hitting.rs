@@ -66,10 +66,10 @@ impl HittingAnalysis {
                 for (i, &s) in solvable.iter().enumerate() {
                     let (succ, probs) = chain.successors(s);
                     for (&t, &p) in succ.iter().zip(probs) {
-                        if is_target[t] {
+                        if is_target[t as usize] {
                             b[i] += p;
-                        } else if local[t] != usize::MAX {
-                            let j = local[t];
+                        } else if local[t as usize] != usize::MAX {
+                            let j = local[t as usize];
                             a.set(i, j, a.get(i, j) - p);
                         }
                         // Successors that cannot reach the target contribute 0.
@@ -104,10 +104,10 @@ impl HittingAnalysis {
             for (i, &s) in certain.iter().enumerate() {
                 let (succ, probs) = chain.successors(s);
                 for (&t, &p) in succ.iter().zip(probs) {
-                    if is_target[t] {
+                    if is_target[t as usize] {
                         continue;
                     }
-                    let j = certain_local[t];
+                    let j = certain_local[t as usize];
                     // A successor with hitting probability < 1 would make the
                     // expectation infinite; h = 1 here guarantees all mass
                     // goes to certain states or targets.
@@ -175,7 +175,7 @@ fn backward_reachable(chain: &MarkovChain, is_target: &[bool]) -> Vec<bool> {
         let (succ, probs) = chain.successors(s);
         for (&t, &p) in succ.iter().zip(probs) {
             if p > 0.0 {
-                predecessors[t].push(s);
+                predecessors[t as usize].push(s);
             }
         }
     }

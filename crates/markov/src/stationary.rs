@@ -113,14 +113,14 @@ impl StationaryDistribution {
             let (targets, probs) = chain.successors(s);
             let mut row = Vec::with_capacity(targets.len());
             for (&t, &p) in targets.iter().zip(probs) {
-                if local[t] == usize::MAX {
+                if local[t as usize] == usize::MAX {
                     return Err(MarkovError::InvalidTargetState {
                         from: s,
-                        to: t,
+                        to: t as usize,
                         num_states: chain.num_states(),
                     });
                 }
-                row.push((local[t], p));
+                row.push((local[t as usize], p));
             }
             rows.push(row);
         }

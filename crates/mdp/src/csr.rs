@@ -25,16 +25,41 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
+/// Largest index or entry count the compact (`u32`) CSR arena can represent.
+pub const COMPACT_ARENA_LIMIT: usize = u32::MAX as usize;
+
+/// Checked `usize` → `u32` conversion for the compact arena build paths.
+pub(crate) fn compact_index(value: usize) -> Result<u32, MdpError> {
+    u32::try_from(value).map_err(|_| MdpError::IndexOverflow {
+        value,
+        limit: COMPACT_ARENA_LIMIT,
+    })
+}
+
+/// [`compact_index`] over a whole vector, reusing no allocation (the widths
+/// differ) but failing on the first oversized entry.
+pub(crate) fn compact_indices(values: Vec<usize>) -> Result<Vec<u32>, MdpError> {
+    values.into_iter().map(compact_index).collect()
+}
+
 /// The index arrays of the CSR transition arena, shared between the MDP and
 /// every reward structure aligned with it.
+///
+/// All three arrays store compact `u32` entries: the selfish-mining arenas
+/// this workspace targets stay well under `u32::MAX` states and transitions
+/// (a d=4, f=3 topology has millions, not billions), and halving the index
+/// width halves the memory traffic of every solver sweep — the sweeps are
+/// memory-bound, so this is a direct throughput win. Build paths that start
+/// from `usize` arrays go through checked conversions and fail with
+/// [`MdpError::IndexOverflow`] rather than wrapping.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CsrLayout {
     /// State → state-action-pair range; length `num_states + 1`.
-    row_ptr: Vec<usize>,
+    row_ptr: Vec<u32>,
     /// Pair → transition range; length `num_pairs + 1`.
-    action_ptr: Vec<usize>,
+    action_ptr: Vec<u32>,
     /// Successor state per transition, sorted within each pair.
-    col: Vec<usize>,
+    col: Vec<u32>,
 }
 
 impl CsrLayout {
@@ -54,19 +79,25 @@ impl CsrLayout {
     }
 
     /// The state → pair-range pointer array (length `num_states + 1`).
-    pub fn row_ptr(&self) -> &[usize] {
+    pub fn row_ptr(&self) -> &[u32] {
         &self.row_ptr
     }
 
     /// The pair → transition-range pointer array (length `num_pairs + 1`).
-    pub fn action_ptr(&self) -> &[usize] {
+    pub fn action_ptr(&self) -> &[u32] {
         &self.action_ptr
     }
 
-    /// Successor state of every transition, aligned with the probability and
-    /// reward buffers.
-    pub fn col(&self) -> &[usize] {
+    /// Successor state of every transition (compact `u32` indices), aligned
+    /// with the probability and reward buffers.
+    pub fn col(&self) -> &[u32] {
         &self.col
+    }
+
+    /// Bytes resident in the three index arrays (capacity not counted): the
+    /// structural footprint of the arena, reported by the memory benches.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<u32>() * (self.row_ptr.len() + self.action_ptr.len() + self.col.len())
     }
 
     /// Number of actions available in `state`.
@@ -75,7 +106,7 @@ impl CsrLayout {
     ///
     /// Panics if `state` is out of bounds.
     pub fn num_actions(&self, state: usize) -> usize {
-        self.row_ptr[state + 1] - self.row_ptr[state]
+        (self.row_ptr[state + 1] - self.row_ptr[state]) as usize
     }
 
     /// The arena index of the `action`-th pair of `state`.
@@ -89,7 +120,7 @@ impl CsrLayout {
             "action {action} out of bounds for state {state} ({} available)",
             self.num_actions(state)
         );
-        self.row_ptr[state] + action
+        self.row_ptr[state] as usize + action
     }
 
     /// The pair range of a state.
@@ -98,7 +129,7 @@ impl CsrLayout {
     ///
     /// Panics if `state` is out of bounds.
     pub fn pair_range(&self, state: usize) -> Range<usize> {
-        self.row_ptr[state]..self.row_ptr[state + 1]
+        self.row_ptr[state] as usize..self.row_ptr[state + 1] as usize
     }
 
     /// The transition range of a pair.
@@ -107,7 +138,7 @@ impl CsrLayout {
     ///
     /// Panics if `pair` is out of bounds.
     pub fn transition_range(&self, pair: usize) -> Range<usize> {
-        self.action_ptr[pair]..self.action_ptr[pair + 1]
+        self.action_ptr[pair] as usize..self.action_ptr[pair + 1] as usize
     }
 
     /// Assembles a layout directly from its three index arrays, validating the
@@ -121,13 +152,37 @@ impl CsrLayout {
     ///
     /// # Errors
     ///
-    /// Returns [`MdpError::InvalidState`] for an out-of-range successor and
-    /// [`MdpError::RewardShapeMismatch`] (with a description) for malformed
-    /// pointer arrays.
+    /// Returns [`MdpError::IndexOverflow`] if any entry does not fit the
+    /// compact `u32` storage (checked *before* any structural validation, so
+    /// oversized inputs fail with the typed error rather than a shape
+    /// complaint), [`MdpError::InvalidState`] for an out-of-range successor
+    /// and [`MdpError::RewardShapeMismatch`] (with a description) for
+    /// malformed pointer arrays.
     pub fn from_raw_parts(
         row_ptr: Vec<usize>,
         action_ptr: Vec<usize>,
         col: Vec<usize>,
+    ) -> Result<CsrLayout, MdpError> {
+        CsrLayout::from_raw_parts_u32(
+            compact_indices(row_ptr)?,
+            compact_indices(action_ptr)?,
+            compact_indices(col)?,
+        )
+    }
+
+    /// [`CsrLayout::from_raw_parts`] over already-compact `u32` arrays — the
+    /// native path for builders that assemble compact arrays directly (no
+    /// widening round-trip, no conversion pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidState`] for an out-of-range successor and
+    /// [`MdpError::RewardShapeMismatch`] (with a description) for malformed
+    /// pointer arrays.
+    pub fn from_raw_parts_u32(
+        row_ptr: Vec<u32>,
+        action_ptr: Vec<u32>,
+        col: Vec<u32>,
     ) -> Result<CsrLayout, MdpError> {
         let shape_error = |detail: String| MdpError::RewardShapeMismatch { detail };
         if row_ptr.first() != Some(&0) || action_ptr.first() != Some(&0) {
@@ -141,13 +196,13 @@ impl CsrLayout {
             ));
         }
         let num_pairs = action_ptr.len() - 1;
-        if *row_ptr.last().expect("checked non-empty") != num_pairs {
+        if *row_ptr.last().expect("checked non-empty") as usize != num_pairs {
             return Err(shape_error(format!(
                 "row_ptr ends at {} but the arena has {num_pairs} pairs",
                 row_ptr.last().expect("checked non-empty")
             )));
         }
-        if *action_ptr.last().expect("checked non-empty") != col.len() {
+        if *action_ptr.last().expect("checked non-empty") as usize != col.len() {
             return Err(shape_error(format!(
                 "action_ptr ends at {} but the arena has {} transitions",
                 action_ptr.last().expect("checked non-empty"),
@@ -155,9 +210,9 @@ impl CsrLayout {
             )));
         }
         let num_states = row_ptr.len() - 1;
-        if let Some(&target) = col.iter().find(|&&t| t >= num_states) {
+        if let Some(&target) = col.iter().find(|&&t| t as usize >= num_states) {
             return Err(MdpError::InvalidState {
-                state: target,
+                state: target as usize,
                 num_states,
             });
         }
@@ -328,12 +383,12 @@ impl CsrMdp {
     }
 
     /// Successors of the `action`-th action of `state` as parallel slices of
-    /// targets and probabilities.
+    /// (compact `u32`) targets and probabilities.
     ///
     /// # Panics
     ///
     /// Panics if the indices are out of bounds.
-    pub fn successors(&self, state: usize, action: usize) -> (&[usize], &[f64]) {
+    pub fn successors(&self, state: usize, action: usize) -> (&[u32], &[f64]) {
         let range = self
             .layout
             .transition_range(self.layout.pair_index(state, action));
@@ -378,9 +433,9 @@ impl CsrMdp {
                         sum,
                     });
                 }
-                if let Some(&target) = cols.iter().find(|&&t| t >= n) {
+                if let Some(&target) = cols.iter().find(|&&t| t as usize >= n) {
                     return Err(MdpError::InvalidState {
-                        state: target,
+                        state: target as usize,
                         num_states: n,
                     });
                 }
@@ -434,8 +489,8 @@ impl CsrMdp {
                 .transition_range(self.layout.pair_index(state, action))
                 .len();
         }
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col = Vec::with_capacity(nnz);
+        let mut row_ptr: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut col: Vec<u32> = Vec::with_capacity(nnz);
         let mut prob = Vec::with_capacity(nnz);
         row_ptr.push(0);
         for state in 0..n {
@@ -451,9 +506,11 @@ impl CsrMdp {
                     prob.push(p);
                 }
             }
-            row_ptr.push(col.len());
+            // The chain's transition count is bounded by the arena's, which
+            // the compact layout already proved fits in u32.
+            row_ptr.push(col.len() as u32);
         }
-        Ok(MarkovChain::from_csr_parts(row_ptr, col, prob)?)
+        Ok(MarkovChain::from_csr_parts_u32(row_ptr, col, prob)?)
     }
 
     /// States reachable from the initial state under *some* strategy, in
@@ -473,6 +530,7 @@ impl CsrMdp {
                     .iter()
                     .zip(&self.prob[range])
                 {
+                    let t = t as usize;
                     if p > 0.0 && !seen[t] {
                         seen[t] = true;
                         queue.push_back(t);
@@ -504,22 +562,22 @@ impl CsrMdp {
 /// b.add_action("stay", &[(1, 0.5), (0, 0.5)])?;
 /// let mdp = b.finish(0)?;
 /// assert_eq!(mdp.num_states(), 2);
-/// assert_eq!(mdp.csr().successors(1, 0), (&[0usize, 1][..], &[0.5f64, 0.5][..]));
+/// assert_eq!(mdp.csr().successors(1, 0), (&[0u32, 1][..], &[0.5f64, 0.5][..]));
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CsrMdpBuilder {
-    row_ptr: Vec<usize>,
-    action_ptr: Vec<usize>,
-    col: Vec<usize>,
+    row_ptr: Vec<u32>,
+    action_ptr: Vec<u32>,
+    col: Vec<u32>,
     prob: Vec<f64>,
     names: Vec<String>,
     name_ids: HashMap<String, u32>,
     name_of_pair: Vec<u32>,
     states: usize,
     /// Scratch buffer reused across `add_action` calls for sort-and-merge.
-    scratch: Vec<(usize, f64)>,
+    scratch: Vec<(u32, f64)>,
 }
 
 impl CsrMdpBuilder {
@@ -565,12 +623,15 @@ impl CsrMdpBuilder {
     /// Opens the next state and returns its index. Subsequent
     /// [`CsrMdpBuilder::add_action`] calls append to this state.
     pub fn begin_state(&mut self) -> usize {
+        // The pair count always fits u32: every pair goes through
+        // `add_action`, which checks the count before appending.
+        let pairs = self.num_pairs() as u32;
         if self.states > 0 {
             // Close the previous state's pair range.
             let last = self.row_ptr.len() - 1;
-            self.row_ptr[last] = self.num_pairs();
+            self.row_ptr[last] = pairs;
         }
-        self.row_ptr.push(self.num_pairs());
+        self.row_ptr.push(pairs);
         self.states += 1;
         self.states - 1
     }
@@ -586,8 +647,10 @@ impl CsrMdpBuilder {
     /// # Errors
     ///
     /// Returns [`MdpError::NoActions`]-style [`MdpError::InvalidState`] if no
-    /// state has been begun, and [`MdpError::InvalidDistribution`] if the
-    /// probabilities are invalid or do not sum to 1.
+    /// state has been begun, [`MdpError::InvalidDistribution`] if the
+    /// probabilities are invalid or do not sum to 1, and
+    /// [`MdpError::IndexOverflow`] if a target, the transition count or the
+    /// pair count no longer fits the compact `u32` arena.
     pub fn add_action(
         &mut self,
         name: &str,
@@ -618,10 +681,17 @@ impl CsrMdpBuilder {
                 sum,
             });
         }
+        // Keep the running pair and transition counts inside the compact
+        // range *before* appending, so a failed call leaves the builder
+        // unchanged.
+        compact_index(self.num_pairs() + 1)?;
+        compact_index(self.col.len() + transitions.len())?;
 
         // Sort-and-merge into the arena, one entry per distinct successor.
         self.scratch.clear();
-        self.scratch.extend_from_slice(transitions);
+        for &(target, p) in transitions {
+            self.scratch.push((compact_index(target)?, p));
+        }
         self.scratch.sort_unstable_by_key(|&(t, _)| t);
         let action_start = self.col.len();
         for &(target, p) in &self.scratch {
@@ -635,7 +705,7 @@ impl CsrMdpBuilder {
                 self.prob.push(p);
             }
         }
-        self.action_ptr.push(self.col.len());
+        self.action_ptr.push(self.col.len() as u32);
 
         let name_id = match self.name_ids.get(name) {
             Some(&id) => id,
@@ -647,7 +717,7 @@ impl CsrMdpBuilder {
             }
         };
         self.name_of_pair.push(name_id);
-        Ok(self.num_pairs() - self.row_ptr[state] - 1)
+        Ok(self.num_pairs() - self.row_ptr[state] as usize - 1)
     }
 
     /// Finalises the arena into an [`Mdp`] with the given initial state.
@@ -662,7 +732,7 @@ impl CsrMdpBuilder {
         }
         // Close the final state's pair range.
         let last = self.row_ptr.len() - 1;
-        self.row_ptr[last] = self.num_pairs();
+        self.row_ptr[last] = self.num_pairs() as u32;
         if initial_state >= self.states {
             return Err(MdpError::InvalidState {
                 state: initial_state,
@@ -672,9 +742,9 @@ impl CsrMdpBuilder {
         if let Some(state) = (0..self.states).find(|&s| self.row_ptr[s + 1] == self.row_ptr[s]) {
             return Err(MdpError::NoActions { state });
         }
-        if let Some(&target) = self.col.iter().find(|&&t| t >= self.states) {
+        if let Some(&target) = self.col.iter().find(|&&t| t as usize >= self.states) {
             return Err(MdpError::InvalidState {
-                state: target,
+                state: target as usize,
                 num_states: self.states,
             });
         }
@@ -725,7 +795,7 @@ mod tests {
         b.add_action("a", &[(0, 0.25), (0, 0.5), (0, 0.25), (0, 0.0)])
             .unwrap();
         let mdp = b.finish(0).unwrap();
-        assert_eq!(mdp.csr().successors(0, 0), (&[0usize][..], &[1.0f64][..]));
+        assert_eq!(mdp.csr().successors(0, 0), (&[0u32][..], &[1.0f64][..]));
     }
 
     #[test]
@@ -738,8 +808,8 @@ mod tests {
         b.add_action("b", &[(0, 1.0)]).unwrap();
         let mdp = b.finish(0).unwrap();
         assert_eq!(mdp.num_state_action_pairs(), 2);
-        assert_eq!(mdp.csr().successors(0, 0), (&[0usize][..], &[1.0f64][..]));
-        assert_eq!(mdp.csr().successors(0, 1), (&[0usize][..], &[1.0f64][..]));
+        assert_eq!(mdp.csr().successors(0, 0), (&[0u32][..], &[1.0f64][..]));
+        assert_eq!(mdp.csr().successors(0, 1), (&[0u32][..], &[1.0f64][..]));
     }
 
     #[test]
@@ -818,7 +888,7 @@ mod tests {
         )
         .unwrap();
         csr.validate().unwrap();
-        assert_eq!(csr.successors(0, 0), (&[0usize, 1][..], &[1.0f64, 0.0][..]));
+        assert_eq!(csr.successors(0, 0), (&[0u32, 1][..], &[1.0f64, 0.0][..]));
 
         // Misaligned probability buffer, name table and initial state fail.
         assert!(CsrMdp::from_raw_parts(
@@ -887,7 +957,7 @@ mod tests {
         .unwrap();
         let strategy = crate::PositionalStrategy::uniform_first_action(2);
         let chain = csr.induced_chain(&strategy).unwrap();
-        assert_eq!(chain.successors(0), (&[0usize][..], &[1.0f64][..]));
+        assert_eq!(chain.successors(0), (&[0u32][..], &[1.0f64][..]));
         let scc = chain.classify();
         assert_eq!(scc.recurrent_classes().len(), 2);
     }
@@ -902,5 +972,110 @@ mod tests {
         let mdp = b.finish(1).unwrap();
         assert_eq!(mdp.initial_state(), 1);
         assert!(mdp.validate().is_ok());
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_indices_fail_with_the_typed_overflow_error() {
+        let too_big = u32::MAX as usize + 1;
+        // The conversion runs *before* structural validation, so the typed
+        // overflow error wins over the out-of-range-successor complaint —
+        // and the inputs stay tiny, no arena-sized allocation happens.
+        let err = CsrLayout::from_raw_parts(vec![0, 1], vec![0, 1], vec![too_big]).unwrap_err();
+        assert!(matches!(
+            err,
+            MdpError::IndexOverflow { value, limit }
+                if value == too_big && limit == COMPACT_ARENA_LIMIT
+        ));
+        // The streaming builder rejects oversized targets before mutating
+        // its buffers.
+        let mut b = CsrMdpBuilder::new();
+        b.begin_state();
+        let err = b.add_action("big", &[(too_big, 1.0)]).unwrap_err();
+        assert!(matches!(err, MdpError::IndexOverflow { .. }));
+        assert_eq!(b.num_transitions(), 0);
+    }
+
+    #[test]
+    fn usize_and_u32_raw_part_paths_are_bit_identical() {
+        use crate::{Mdp, RelativeValueIteration, TransitionRewards};
+        use std::collections::BTreeSet;
+        // Deterministic xorshift so the property test needs no RNG crate.
+        let mut rng_state = 0x5ee9_b10c_dead_beef_u64;
+        let mut rng = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for _case in 0..25 {
+            let num_states = 2 + (rng() % 6) as usize;
+            let mut row_ptr = vec![0usize];
+            let mut action_ptr = vec![0usize];
+            let mut col: Vec<usize> = Vec::new();
+            let mut prob: Vec<f64> = Vec::new();
+            for s in 0..num_states {
+                for _a in 0..1 + (rng() % 3) as usize {
+                    // Every action reaches the next state on the cycle, so
+                    // any strategy induces a unichain and RVI converges.
+                    let mut targets: BTreeSet<usize> = BTreeSet::new();
+                    targets.insert((s + 1) % num_states);
+                    for _ in 0..rng() % 3 {
+                        targets.insert((rng() % num_states as u64) as usize);
+                    }
+                    let weights: Vec<f64> =
+                        targets.iter().map(|_| 1.0 + (rng() % 8) as f64).collect();
+                    let total: f64 = weights.iter().sum();
+                    for (&t, &w) in targets.iter().zip(&weights) {
+                        col.push(t);
+                        prob.push(w / total);
+                    }
+                    action_ptr.push(col.len());
+                }
+                row_ptr.push(action_ptr.len() - 1);
+            }
+
+            let widened =
+                CsrLayout::from_raw_parts(row_ptr.clone(), action_ptr.clone(), col.clone())
+                    .unwrap();
+            let compact = CsrLayout::from_raw_parts_u32(
+                row_ptr.iter().map(|&v| v as u32).collect(),
+                action_ptr.iter().map(|&v| v as u32).collect(),
+                col.iter().map(|&v| v as u32).collect(),
+            )
+            .unwrap();
+            assert_eq!(widened, compact);
+
+            let solve = |layout: CsrLayout| {
+                let num_pairs = layout.num_pairs();
+                let csr = CsrMdp::from_raw_parts(
+                    Arc::new(layout),
+                    prob.clone(),
+                    vec!["act".to_string()],
+                    vec![0; num_pairs],
+                    0,
+                )
+                .unwrap();
+                let mdp = Mdp::from_csr(csr);
+                let rewards = TransitionRewards::from_fn(&mdp, |s, a, t| {
+                    0.4 * s as f64 + 0.9 * a as f64 - 0.2 * t as f64
+                });
+                RelativeValueIteration::with_epsilon(1e-7)
+                    .solve(&mdp, &rewards)
+                    .unwrap()
+            };
+            let from_widened = solve(widened);
+            let from_compact = solve(compact);
+            assert_eq!(from_widened.gain.to_bits(), from_compact.gain.to_bits());
+            assert_eq!(
+                from_widened.gain_lower.to_bits(),
+                from_compact.gain_lower.to_bits()
+            );
+            assert_eq!(
+                from_widened.gain_upper.to_bits(),
+                from_compact.gain_upper.to_bits()
+            );
+            assert_eq!(from_widened.strategy, from_compact.strategy);
+        }
     }
 }

@@ -7,8 +7,16 @@
 //! on alternative adversary objectives (short-horizon revenue).
 
 use crate::{Mdp, MdpError, PositionalStrategy, TransitionRewards};
-use sm_markov::{mass_balanced_blocks, mass_capped_threads, sweep_scope, SolverParallelism};
+use sm_markov::{
+    mass_balanced_blocks, mass_capped_threads, priority_blocks, sweep_scope, SolverParallelism,
+    SweepKernel,
+};
 use std::sync::{Mutex, RwLock};
+
+/// Number of policy-restricted accelerator sweeps a non-Jacobi kernel runs
+/// between two certifying Bellman sweeps (mirrors the fused gain kernel in
+/// `sm-markov`).
+const ACCELERATOR_SWEEPS_PER_ROUND: usize = 4;
 
 /// Result of a discounted value-iteration run.
 #[derive(Debug, Clone)]
@@ -52,6 +60,13 @@ pub struct DiscountedValueIteration {
     /// arithmetic; the sup-norm statistic folds in block order) — only the
     /// wall-clock time changes.
     pub parallelism: SolverParallelism,
+    /// Sweep kernel. Convergence is only ever judged on full Bellman
+    /// (Jacobi) sweeps; the non-Jacobi kernels interleave in-place
+    /// Gauss-Seidel passes over the current greedy policy between them
+    /// (the prioritized variant skips row blocks whose local residual is
+    /// below its threshold). Non-Jacobi kernels run serially; the
+    /// [`Self::parallelism`] knob is ignored for them.
+    pub kernel: SweepKernel,
 }
 
 impl DiscountedValueIteration {
@@ -62,6 +77,7 @@ impl DiscountedValueIteration {
             epsilon: 1e-10,
             max_iterations: 1_000_000,
             parallelism: SolverParallelism::serial(),
+            kernel: SweepKernel::Jacobi,
         }
     }
 
@@ -69,6 +85,14 @@ impl DiscountedValueIteration {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: SolverParallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the solver with the given sweep kernel (see the
+    /// [`DiscountedValueIteration::kernel`] field).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SweepKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -114,6 +138,9 @@ impl DiscountedValueIteration {
         let transitions = mdp.csr().layout().col().len();
         let threads = mass_capped_threads(self.parallelism.thread_count(), transitions);
         let expected = rewards.expected_per_pair(mdp);
+        if !self.kernel.is_jacobi() {
+            return self.sweep_serial_kernel(mdp, &expected);
+        }
         if threads > 1 {
             self.sweep_parallel(mdp, &expected, threads)
         } else {
@@ -139,11 +166,11 @@ impl DiscountedValueIteration {
             for s in 0..n {
                 let mut best = f64::NEG_INFINITY;
                 let mut best_a = 0;
-                let pair_start = row_ptr[s];
-                for pair in pair_start..row_ptr[s + 1] {
+                let pair_start = row_ptr[s] as usize;
+                for pair in pair_start..row_ptr[s + 1] as usize {
                     let mut acc = 0.0;
-                    for k in action_ptr[pair]..action_ptr[pair + 1] {
-                        acc += prob[k] * values[col[k]];
+                    for k in action_ptr[pair] as usize..action_ptr[pair + 1] as usize {
+                        acc += prob[k] * values[col[k] as usize];
                     }
                     let value = expected[pair] + self.discount * acc;
                     if value > best {
@@ -170,6 +197,114 @@ impl DiscountedValueIteration {
         })
     }
 
+    /// Sweep loop for the non-Jacobi kernels. Each round runs one full
+    /// Bellman sweep — plain Jacobi, the only sweep convergence is ever
+    /// judged on — followed by a handful of in-place Gauss-Seidel passes
+    /// over the greedy policy it produced. The discounted operator is a
+    /// γ-contraction, so the in-place passes contract toward the policy's
+    /// value function directly; no renormalisation is needed. The
+    /// prioritized kernel skips row blocks whose local residual fell below
+    /// its threshold; the block partition is a pure function of the
+    /// transition mass (see [`sm_markov::priority_blocks`]), so the skip
+    /// pattern is deterministic.
+    fn sweep_serial_kernel(
+        &self,
+        mdp: &Mdp,
+        expected: &[f64],
+    ) -> Result<DiscountedResult, MdpError> {
+        let n = mdp.num_states();
+        let threshold = match self.kernel {
+            SweepKernel::Prioritized { threshold } => threshold,
+            _ => 0.0,
+        };
+        let csr = mdp.csr();
+        let layout = csr.layout();
+        let row_ptr = layout.row_ptr();
+        let action_ptr = layout.action_ptr();
+        let col = layout.col();
+        let prob = csr.probabilities();
+
+        let cumulative: Vec<usize> = (0..=n)
+            .map(|s| action_ptr[row_ptr[s] as usize] as usize)
+            .collect();
+        let blocks = priority_blocks(&cumulative);
+        let mut residual = vec![f64::INFINITY; blocks.len()];
+
+        let mut values = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut best_action = vec![0usize; n];
+        let mut iteration = 0usize;
+        while iteration < self.max_iterations {
+            // Certifying full Bellman sweep (plain Jacobi), refreshing the
+            // greedy strategy and the per-block residuals.
+            iteration += 1;
+            let mut max_diff: f64 = 0.0;
+            for (bi, range) in blocks.iter().enumerate() {
+                let mut block_diff: f64 = 0.0;
+                for s in range.clone() {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_a = 0;
+                    let pair_start = row_ptr[s] as usize;
+                    for pair in pair_start..row_ptr[s + 1] as usize {
+                        let mut acc = 0.0;
+                        for k in action_ptr[pair] as usize..action_ptr[pair + 1] as usize {
+                            acc += prob[k] * values[col[k] as usize];
+                        }
+                        let value = expected[pair] + self.discount * acc;
+                        if value > best {
+                            best = value;
+                            best_a = pair - pair_start;
+                        }
+                    }
+                    next[s] = best;
+                    best_action[s] = best_a;
+                    block_diff = block_diff.max((best - values[s]).abs());
+                }
+                residual[bi] = block_diff;
+                max_diff = max_diff.max(block_diff);
+            }
+            std::mem::swap(&mut values, &mut next);
+            if max_diff < self.epsilon {
+                return Ok(DiscountedResult {
+                    values,
+                    strategy: PositionalStrategy::new(best_action),
+                    iterations: iteration,
+                });
+            }
+
+            // Accelerator sweeps: in-place Gauss-Seidel over the greedy
+            // policy; later states see earlier states' fresh values within
+            // the same pass.
+            for _ in 0..ACCELERATOR_SWEEPS_PER_ROUND {
+                if iteration >= self.max_iterations {
+                    break;
+                }
+                iteration += 1;
+                for (bi, range) in blocks.iter().enumerate() {
+                    if residual[bi] < threshold {
+                        continue;
+                    }
+                    let mut block_diff: f64 = 0.0;
+                    for s in range.clone() {
+                        let pair = row_ptr[s] as usize + best_action[s];
+                        let mut acc = 0.0;
+                        for k in action_ptr[pair] as usize..action_ptr[pair + 1] as usize {
+                            acc += prob[k] * values[col[k] as usize];
+                        }
+                        let value = expected[pair] + self.discount * acc;
+                        block_diff = block_diff.max((value - values[s]).abs());
+                        values[s] = value;
+                    }
+                    residual[bi] = block_diff;
+                }
+            }
+        }
+        Err(MdpError::ConvergenceFailure {
+            method: "discounted value iteration",
+            iterations: self.max_iterations,
+        })
+    }
+
     /// Row-block parallel sweep loop; bit-identical to
     /// [`DiscountedValueIteration::sweep_serial`] for any thread count (see
     /// [`crate::RelativeValueIteration`] for the argument — the sweeps here
@@ -187,7 +322,9 @@ impl DiscountedValueIteration {
         let action_ptr = layout.action_ptr();
         let col = layout.col();
         let prob = csr.probabilities();
-        let cumulative: Vec<usize> = (0..=n).map(|s| action_ptr[row_ptr[s]]).collect();
+        let cumulative: Vec<usize> = (0..=n)
+            .map(|s| action_ptr[row_ptr[s] as usize] as usize)
+            .collect();
         let blocks = mass_balanced_blocks(&cumulative, threads);
         if blocks.len() <= 1 {
             return self.sweep_serial(mdp, expected);
@@ -218,11 +355,11 @@ impl DiscountedValueIteration {
             for s in range.clone() {
                 let mut best = f64::NEG_INFINITY;
                 let mut best_a = 0;
-                let pair_start = row_ptr[s];
-                for pair in pair_start..row_ptr[s + 1] {
+                let pair_start = row_ptr[s] as usize;
+                for pair in pair_start..row_ptr[s + 1] as usize {
                     let mut acc = 0.0;
-                    for k in action_ptr[pair]..action_ptr[pair + 1] {
-                        acc += prob[k] * values_read[col[k]];
+                    for k in action_ptr[pair] as usize..action_ptr[pair + 1] as usize {
+                        acc += prob[k] * values_read[col[k] as usize];
                     }
                     let value = expected[pair] + self.discount * acc;
                     if value > best {
@@ -351,6 +488,37 @@ mod tests {
             DiscountedValueIteration::new(0.9).solve(&mdp, &rewards),
             Err(MdpError::NoActions { state: 1 })
         ));
+    }
+
+    #[test]
+    fn sweep_kernels_agree_with_jacobi() {
+        let mut b = MdpBuilder::new(3);
+        b.add_action(0, "now", vec![(2, 1.0)]).unwrap();
+        b.add_action(0, "later", vec![(1, 1.0)]).unwrap();
+        b.add_action(1, "collect", vec![(2, 0.5), (0, 0.5)])
+            .unwrap();
+        b.add_action(2, "sink", vec![(2, 0.9), (1, 0.1)]).unwrap();
+        let mdp = b.build(0).unwrap();
+        let r = TransitionRewards::from_fn(&mdp, |s, a, t| {
+            0.4 * s as f64 + 0.6 * a as f64 + 0.2 * t as f64
+        });
+        let jacobi = DiscountedValueIteration::new(0.9).solve(&mdp, &r).unwrap();
+        for kernel in [
+            sm_markov::SweepKernel::GaussSeidel,
+            sm_markov::SweepKernel::Prioritized { threshold: 1e-12 },
+        ] {
+            let out = DiscountedValueIteration::new(0.9)
+                .with_kernel(kernel)
+                .solve(&mdp, &r)
+                .unwrap();
+            assert_eq!(out.strategy, jacobi.strategy, "{kernel:?}");
+            for (s, (&v, &w)) in out.values.iter().zip(&jacobi.values).enumerate() {
+                assert!(
+                    (v - w).abs() < 1e-8,
+                    "{kernel:?}: value mismatch at state {s}: {v} vs {w}"
+                );
+            }
+        }
     }
 
     #[test]

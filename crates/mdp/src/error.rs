@@ -50,6 +50,16 @@ pub enum MdpError {
         /// Number of iterations performed.
         iterations: usize,
     },
+    /// An index or entry count does not fit the compact (`u32`) CSR arena
+    /// storage. Raised by the checked `usize` → `u32` build paths instead of
+    /// silently wrapping; arenas this large need a wider index type, not a
+    /// truncated one.
+    IndexOverflow {
+        /// The index or count that did not fit.
+        value: usize,
+        /// The largest representable value.
+        limit: usize,
+    },
     /// The MDP is empty.
     EmptyModel,
     /// An invalid parameter was supplied to a solver.
@@ -90,6 +100,10 @@ impl fmt::Display for MdpError {
             MdpError::ConvergenceFailure { method, iterations } => {
                 write!(f, "{method} did not converge after {iterations} iterations")
             }
+            MdpError::IndexOverflow { value, limit } => write!(
+                f,
+                "index or count {value} exceeds the compact CSR arena limit {limit}"
+            ),
             MdpError::EmptyModel => write!(f, "MDP has no states"),
             MdpError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter {name} violates constraint: {constraint}")
@@ -135,6 +149,16 @@ mod tests {
         };
         let s = err.to_string();
         assert!(s.contains("mine") && s.contains('2') && s.contains("0.9"));
+    }
+
+    #[test]
+    fn overflow_display_names_both_sides() {
+        let err = MdpError::IndexOverflow {
+            value: 5_000_000_000,
+            limit: u32::MAX as usize,
+        };
+        let s = err.to_string();
+        assert!(s.contains("5000000000") && s.contains(&u32::MAX.to_string()));
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod solver;
 mod strategy;
 mod value_iteration;
 
-pub use csr::{CsrLayout, CsrMdp, CsrMdpBuilder};
+pub use csr::{CsrLayout, CsrMdp, CsrMdpBuilder, COMPACT_ARENA_LIMIT};
 pub use discounted::{DiscountedResult, DiscountedValueIteration};
 pub use error::MdpError;
 pub use lp::LinearProgrammingSolver;
@@ -76,9 +76,10 @@ pub use solver::{MeanPayoffMethod, MeanPayoffResult, MeanPayoffSolver};
 pub use strategy::PositionalStrategy;
 pub use value_iteration::{RelativeValueIteration, ValueIterationOutcome};
 
-// Intra-solve parallelism vocabulary, shared with the chain-evaluation
-// sweeps: re-exported so solver users configure everything from one crate.
-pub use sm_markov::SolverParallelism;
+// Intra-solve parallelism and sweep-kernel vocabulary, shared with the
+// chain-evaluation sweeps: re-exported so solver users configure everything
+// from one crate.
+pub use sm_markov::{SolverParallelism, SweepKernel};
 
 /// Tolerance used when validating transition probability distributions.
 pub const PROBABILITY_TOLERANCE: f64 = 1e-9;

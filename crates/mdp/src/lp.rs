@@ -85,7 +85,7 @@ impl LinearProgrammingSolver {
                 let mut value = rewards.expected_reward(mdp, state, action);
                 let (targets, probs) = mdp.successors(state, action);
                 for (&t, &p) in targets.iter().zip(probs) {
-                    value += p * bias[t];
+                    value += p * bias[t as usize];
                 }
                 if value > best {
                     best = value;

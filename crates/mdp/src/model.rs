@@ -106,16 +106,17 @@ impl Mdp {
         action: usize,
     ) -> impl Iterator<Item = (usize, f64)> + '_ {
         let (cols, probs) = self.csr.successors(state, action);
-        cols.iter().copied().zip(probs.iter().copied())
+        cols.iter().map(|&c| c as usize).zip(probs.iter().copied())
     }
 
     /// Successors of the `action`-th action of `state` as parallel slices of
-    /// targets and probabilities, straight out of the CSR arena.
+    /// (compact `u32`) targets and probabilities, straight out of the CSR
+    /// arena.
     ///
     /// # Panics
     ///
     /// Panics if the indices are out of bounds.
-    pub fn successors(&self, state: usize, action: usize) -> (&[usize], &[f64]) {
+    pub fn successors(&self, state: usize, action: usize) -> (&[u32], &[f64]) {
         self.csr.successors(state, action)
     }
 

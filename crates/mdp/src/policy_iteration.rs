@@ -87,6 +87,7 @@ impl PolicyEvaluation {
                 a.set(row, c, a.get(row, c) + 1.0);
                 let (targets, probs) = mdp.successors(s, strategy.action(s));
                 for (&t, &p) in targets.iter().zip(probs) {
+                    let t = t as usize;
                     if !pinned[t] {
                         let ct = column_of[t];
                         a.set(row, ct, a.get(row, ct) - p);
@@ -209,7 +210,7 @@ impl PolicyIteration {
                     targets
                         .iter()
                         .zip(probs)
-                        .map(|(&t, &p)| p * eval.gain[t])
+                        .map(|(&t, &p)| p * eval.gain[t as usize])
                         .sum()
                 };
                 let current_gain = gain_of(current);
@@ -233,7 +234,7 @@ impl PolicyIteration {
                     let mut v = rewards.expected_reward(mdp, s, a) - eval.gain[s];
                     let (targets, probs) = mdp.successors(s, a);
                     for (&t, &p) in targets.iter().zip(probs) {
-                        v += p * eval.bias[t];
+                        v += p * eval.bias[t as usize];
                     }
                     v
                 };

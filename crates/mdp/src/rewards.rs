@@ -33,7 +33,7 @@ impl TransitionRewards {
         for state in 0..layout.num_states() {
             for (action, pair) in layout.pair_range(state).enumerate() {
                 for &target in &layout.col()[layout.transition_range(pair)] {
-                    values.push(f(state, action, target));
+                    values.push(f(state, action, target as usize));
                 }
             }
         }
@@ -167,7 +167,7 @@ impl TransitionRewards {
         let prob = csr.probabilities();
         let mut expected = vec![0.0; csr.num_pairs()];
         for (pair, slot) in expected.iter_mut().enumerate() {
-            let range = action_ptr[pair]..action_ptr[pair + 1];
+            let range = action_ptr[pair] as usize..action_ptr[pair + 1] as usize;
             *slot = prob[range.clone()]
                 .iter()
                 .zip(&self.values[range])

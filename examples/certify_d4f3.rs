@@ -1,0 +1,74 @@
+//! End-to-end certification at the compact-arena scale target: build the
+//! `d = 4, f = 3` topology (level budget `l = 2`, ~3.0M states / 22.9M
+//! transitions — the only level budget whose reachable set fits the solver's
+//! default 12M-state limit), instantiate one `(p, γ)` point and certify its
+//! expected relative revenue with the Dinkelbach analysis.
+//!
+//! ```text
+//! cargo run --release --example certify_d4f3
+//! ```
+//!
+//! Runs in the nightly CI job as the scale proof of the compact CSR arena:
+//! it must build, instantiate and certify without exhausting memory or the
+//! nightly wall-clock budget. Environment knobs:
+//!
+//! * `SM_KERNEL` — `jacobi` (default), `gauss_seidel` or `prioritized`;
+//!   β bounds and strategies are bit-identical across all three, so the
+//!   kernel only changes the wall-clock time.
+//! * `SM_EPSILON` — certification precision (default `1e-3`).
+
+use selfish_mining::{
+    AnalysisConfig, AnalysisProcedure, ParametricModel, SolverParallelism, SweepKernel,
+};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = match std::env::var("SM_KERNEL").as_deref() {
+        Ok("gauss_seidel") => SweepKernel::GaussSeidel,
+        Ok("prioritized") => SweepKernel::Prioritized { threshold: 1e-9 },
+        _ => SweepKernel::Jacobi,
+    };
+    let epsilon: f64 = std::env::var("SM_EPSILON")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1e-3);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let start = Instant::now();
+    let family = ParametricModel::build(4, 3, 2)?;
+    println!(
+        "build   d=4 f=3 l=2: {} states, {} pairs, {} transitions in {:.1?}",
+        family.num_states(),
+        family.num_pairs(),
+        family.num_transitions(),
+        start.elapsed()
+    );
+    println!(
+        "arena   layout {} B + term tables {} B",
+        family.layout_bytes(),
+        family.term_table_bytes()
+    );
+
+    let (p, gamma) = (0.35, 0.5);
+    let stage = Instant::now();
+    let model = family.instantiate(p, gamma)?;
+    println!("instantiate p={p} gamma={gamma}: {:.1?}", stage.elapsed());
+
+    let stage = Instant::now();
+    let procedure = AnalysisProcedure::new(
+        AnalysisConfig::with_epsilon(epsilon)
+            .with_parallelism(SolverParallelism::threads(threads))
+            .with_kernel(kernel),
+    );
+    let result = procedure.solve_dinkelbach(&model)?;
+    println!(
+        "certify ({kernel:?}, {threads} threads): beta in [{:.6}, {:.6}] after {} solves, {:.1?}",
+        result.beta_low,
+        result.beta_up,
+        result.steps.len(),
+        stage.elapsed()
+    );
+    assert!(result.beta_up - result.beta_low <= epsilon + 1e-12);
+    println!("total   {:.1?}", start.elapsed());
+    Ok(())
+}

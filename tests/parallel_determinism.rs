@@ -7,11 +7,17 @@
 //! exact `f64::to_bits` comparisons across 1/2/8 intra-solve threads over a
 //! seeded `(p, γ)` grid, plus a pinned large-instance (`d = 3, f = 2`)
 //! smoke test.
+//!
+//! The same bar applies to the sweep *kernels*: Gauss-Seidel and prioritized
+//! evaluation sweeps only accelerate convergence between the full Jacobi
+//! Bellman sweeps that certificates come from, so the certified curve — β
+//! bounds, strategies, revenues — must be bit-identical across every
+//! kernel × thread-count combination.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use selfish_mining::experiments::attack_curve_certified_with;
-use selfish_mining::{ParametricModel, SolverParallelism};
+use selfish_mining::experiments::{attack_curve_certified_config, attack_curve_certified_with};
+use selfish_mining::{AnalysisConfig, ParametricModel, SolverParallelism, SweepKernel};
 use sm_mdp::{DiscountedValueIteration, RelativeValueIteration};
 
 /// The seeded `(p, γ)` grid shared by the per-solver properties.
@@ -173,6 +179,40 @@ fn certified_attack_curves_are_bit_identical_across_thread_counts() {
         .unwrap();
         // CertifiedSolve's PartialEq compares every f64 exactly.
         assert_eq!(reference, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn certified_attack_curves_are_bit_identical_across_sweep_kernels() {
+    // The certified curve may not see the kernel: Gauss-Seidel / prioritized
+    // sweeps only run between the certifying Jacobi sweeps, and β bounds are
+    // evaluated by pure-Jacobi revenue solves on the per-step strategies.
+    let family = ParametricModel::build(2, 2, 4).unwrap();
+    let ps = [0.15, 0.25, 0.35];
+    let reference =
+        attack_curve_certified_config(&family, 0.5, &ps, true, AnalysisConfig::with_epsilon(1e-3))
+            .unwrap();
+    for kernel in [
+        SweepKernel::GaussSeidel,
+        SweepKernel::Prioritized { threshold: 1e-7 },
+    ] {
+        for threads in [1usize, 2, 8] {
+            let candidate = attack_curve_certified_config(
+                &family,
+                0.5,
+                &ps,
+                true,
+                AnalysisConfig::with_epsilon(1e-3)
+                    .with_parallelism(SolverParallelism::threads(threads))
+                    .with_kernel(kernel),
+            )
+            .unwrap();
+            // CertifiedSolve's PartialEq compares every f64 exactly.
+            assert_eq!(
+                reference, candidate,
+                "kernel = {kernel:?}, threads = {threads}"
+            );
+        }
     }
 }
 
