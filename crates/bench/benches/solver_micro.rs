@@ -493,6 +493,36 @@ fn bench_figure2_coarse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Certificate-audit throughput: one full re-validation (fingerprint, shape
+/// obligations, three Jacobi residual passes) of a certified solve on the
+/// pinned topologies. The audit must stay a single O(transitions) pass per
+/// sweep — a regression here means the checker grew solver-shaped work. The
+/// `d = 3, f = 2` row is gated behind `SM_BENCH_EXPENSIVE` like the other
+/// large-arena groups; its setup includes one certified solve.
+fn bench_certificate_audit(c: &mut Criterion) {
+    use sm_audit::{audit_certificate, AuditConfig, CertificateArtifact};
+
+    let mut configs: Vec<(usize, usize)> = vec![(2, 2)];
+    if sm_bench::expensive_enabled() {
+        configs.push((3, 2));
+    }
+    for (depth, forks) in configs {
+        let family = ParametricModel::build(depth, forks, 4).unwrap();
+        let solves =
+            selfish_mining::experiments::attack_curve_certified(&family, 0.5, &[0.3], 1e-3, false)
+                .unwrap();
+        let model = family.instantiate(0.3, 0.5).unwrap();
+        let artifact = CertificateArtifact::from_certified(&solves[0], &model).unwrap();
+        let config = AuditConfig::default();
+        let mut group = c.benchmark_group("audit");
+        group.sample_size(10);
+        group.bench_function(format!("certificate_d{depth}f{forks}"), |b| {
+            b.iter(|| audit_certificate(&artifact, &model, &config).passed());
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_mean_payoff_methods,
@@ -502,6 +532,7 @@ criterion_group!(
     bench_intra_parallel_scaling,
     bench_sweep_kernels,
     bench_d4f3_thread_scaling,
-    bench_figure2_coarse_sweep
+    bench_figure2_coarse_sweep,
+    bench_certificate_audit
 );
 criterion_main!(benches);

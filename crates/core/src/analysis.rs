@@ -154,6 +154,13 @@ pub struct AnalysisResult {
     pub beta_up: f64,
     /// The `ε`-optimal selfish-mining strategy.
     pub strategy: PositionalStrategy,
+    /// Final bias vector of the last inner relative-value-iteration solve —
+    /// the witness that lets an *independent* checker re-validate the
+    /// certificate with single Jacobi Bellman-residual passes (see the
+    /// `sm-audit` crate). Empty when the inner solver is one of the exact
+    /// methods (they carry no bias) or when the bisection path terminated
+    /// without a seeded solve.
+    pub bias: Vec<f64>,
     /// One entry per inner mean-payoff solve.
     pub steps: Vec<SolveStep>,
 }
@@ -230,7 +237,15 @@ impl AnalysisProcedure {
             }
         }
 
-        self.finalize(model, beta_low, beta_up, steps, low_strategy, None)
+        self.finalize(
+            model,
+            beta_low,
+            beta_up,
+            steps,
+            low_strategy,
+            None,
+            Vec::new(),
+        )
     }
 
     /// Dinkelbach-style acceleration: instead of bisecting, the next `β` is
@@ -320,6 +335,7 @@ impl AnalysisProcedure {
                     steps,
                     Some(result.strategy),
                     Some(revenue),
+                    bias.clone(),
                 )?;
                 let carry = DinkelbachWarmStart {
                     beta: analysis.beta_low,
@@ -341,6 +357,7 @@ impl AnalysisProcedure {
     /// do), it is reused directly instead of re-solving the MDP at `β_low` —
     /// the pre-fix code performed that redundant solve and doubled the final
     /// solve cost.
+    #[allow(clippy::too_many_arguments)]
     fn finalize(
         &self,
         model: &SelfishMiningModel,
@@ -349,6 +366,7 @@ impl AnalysisProcedure {
         steps: Vec<SolveStep>,
         strategy: Option<PositionalStrategy>,
         strategy_revenue: Option<f64>,
+        bias: Vec<f64>,
     ) -> Result<AnalysisResult, SelfishMiningError> {
         if beta_low > beta_up {
             return Err(SelfishMiningError::BracketingFailure { beta_low, beta_up });
@@ -383,6 +401,7 @@ impl AnalysisProcedure {
             beta_low,
             beta_up,
             strategy,
+            bias,
             steps,
         })
     }

@@ -212,6 +212,15 @@ pub struct CertifiedSolve {
     pub strategy_revenue: f64,
     /// The ε-optimal positional strategy of the point.
     pub strategy: PositionalStrategy,
+    /// Precision `ε` the point was certified at (`β_up − β_low ≤ ε` up to
+    /// the clamping of both ends into `[0, 1]`).
+    pub epsilon: f64,
+    /// Final bias vector of the certifying solve — the witness an
+    /// independent checker (the `sm-audit` crate) replays single
+    /// Bellman-residual passes against to re-validate `[β_low, β_up]`
+    /// without re-running the solver. Empty when the inner solver carries
+    /// no bias (exact methods).
+    pub bias: Vec<f64>,
 }
 
 /// [`attack_curve`] returning the full per-point certificates instead of the
@@ -310,6 +319,8 @@ pub fn attack_curve_certified_config(
             beta_up: result.beta_up,
             strategy_revenue: result.strategy_revenue,
             strategy: result.strategy,
+            epsilon: procedure.config().epsilon,
+            bias: result.bias,
         });
     }
     Ok(solves)

@@ -66,7 +66,7 @@ pub use analysis::{
 pub use error::SelfishMiningError;
 pub use export::StrategyExport;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
-pub use parametric::ParametricModel;
+pub use parametric::{ParametricModel, RewardAtom};
 pub use params::AttackParams;
 pub use scenario::AttackScenario;
 pub use state::{Owner, Phase, SmState};

@@ -39,11 +39,13 @@ use std::sync::Arc;
 /// ever produces a handful of distinct outcomes, so the per-transition
 /// working set shrinks to one small integer per atom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RewardAtom {
+pub struct RewardAtom {
     /// Id of the probability term in the interned term pool.
-    term: u32,
-    adversary: u32,
-    honest: u32,
+    pub term: u32,
+    /// Adversarial blocks finalized by the outcome.
+    pub adversary: u32,
+    /// Honest blocks finalized by the outcome.
+    pub honest: u32,
 }
 
 /// Interns `value` into `pool`, returning its stable `u32` id.
@@ -485,6 +487,22 @@ impl ParametricModel {
             adversary[range.clone()].fill(adv);
             honest[range].fill(hon);
         }
+        // `reweight_in_place` already re-validated the arena under
+        // deep-checks; this additionally covers the reward buffers.
+        #[cfg(feature = "deep-checks")]
+        debug_assert!(
+            model
+                .adversary_rewards
+                .values()
+                .iter()
+                .all(|r| r.is_finite() && *r >= 0.0)
+                && model
+                    .honest_rewards
+                    .values()
+                    .iter()
+                    .all(|r| r.is_finite() && *r >= 0.0),
+            "deep-checks: re-instantiation produced an invalid reward buffer"
+        );
         Ok(())
     }
 
@@ -531,6 +549,45 @@ impl ParametricModel {
     /// outcome-pool size).
     pub fn distinct_outcomes(&self) -> usize {
         self.atom_pool.len()
+    }
+
+    /// Read-only view of the interned probability-term pool, in stable
+    /// first-seen order. The ids in [`Self::prob_atoms`] and the `term`
+    /// fields of [`Self::atom_pool`] index into this slice. Exposed for
+    /// external static analysis (the `sm-audit` crate) — the solver paths
+    /// never need it.
+    pub fn term_pool(&self) -> &[ProbTerm] {
+        &self.term_pool
+    }
+
+    /// Read-only view of the interned outcome pool, in stable first-seen
+    /// order. The ids in [`Self::reward_atoms`] index into this slice.
+    pub fn atom_pool(&self) -> &[RewardAtom] {
+        &self.atom_pool
+    }
+
+    /// Per arena transition, the offset of its probability atoms in
+    /// [`Self::prob_atoms`]; length [`Self::num_transitions`]` + 1`,
+    /// monotone non-decreasing.
+    pub fn prob_atom_ptr(&self) -> &[u32] {
+        &self.prob_atom_ptr
+    }
+
+    /// Probability-atom term ids (into [`Self::term_pool`]) in arena order.
+    pub fn prob_atoms(&self) -> &[u32] {
+        &self.prob_atoms
+    }
+
+    /// Per state-action pair, the offset of its outcomes in
+    /// [`Self::reward_atoms`]; length [`Self::num_pairs`]` + 1`, monotone
+    /// non-decreasing.
+    pub fn reward_ptr(&self) -> &[u32] {
+        &self.reward_ptr
+    }
+
+    /// Outcome-atom ids (into [`Self::atom_pool`]) in discovery order.
+    pub fn reward_atoms(&self) -> &[u32] {
+        &self.reward_atoms
     }
 
     /// Evaluates every pooled term once at `(p, gamma)`. The fill passes

@@ -6,7 +6,7 @@ use crate::{
     StationaryMethod, SweepKernel,
 };
 use sm_linalg::{solve_linear_system, DenseMatrix};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Long-run average reward (gain) of every state of a chain under a per-state
 /// reward vector.
@@ -540,8 +540,12 @@ fn gain_sweeps_parallel(
     // token carries the open mask, the result the per-reward span statistics.
     let run_block = |block: usize, open: &Vec<bool>| -> Vec<(f64, f64)> {
         let range = blocks[block].clone();
-        let h_read = h.read().expect("gain sweep bias lock poisoned");
-        let mut chunk = chunks[block].lock().expect("gain sweep chunk poisoned");
+        // Lock poisoning only means another block's worker panicked; the
+        // buffers hold plain numeric data written in disjoint slices, so
+        // recovery is sound — the originating panic still propagates through
+        // the sweep scope's join.
+        let h_read = h.read().unwrap_or_else(PoisonError::into_inner);
+        let mut chunk = chunks[block].lock().unwrap_or_else(PoisonError::into_inner);
         let mut stats = vec![(f64::INFINITY, f64::NEG_INFINITY); k];
         for s in range.clone() {
             let (targets, probs) = chain.successors(s);
@@ -581,10 +585,10 @@ fn gain_sweeps_parallel(
             }
             // Renormalise each open bias so state 0 stays at 0 (state 0 is
             // always in block 0), exactly like the serial update.
-            let mut h_write = h.write().expect("gain sweep bias lock poisoned");
+            let mut h_write = h.write().unwrap_or_else(PoisonError::into_inner);
             let mut offsets = vec![0.0; k];
             {
-                let chunk0 = chunks[0].lock().expect("gain sweep chunk poisoned");
+                let chunk0 = chunks[0].lock().unwrap_or_else(PoisonError::into_inner);
                 for r in 0..k {
                     if open[r] {
                         offsets[r] = chunk0[r][0];
@@ -592,7 +596,7 @@ fn gain_sweeps_parallel(
                 }
             }
             for (range, chunk) in blocks.iter().zip(&chunks) {
-                let chunk = chunk.lock().expect("gain sweep chunk poisoned");
+                let chunk = chunk.lock().unwrap_or_else(PoisonError::into_inner);
                 for r in 0..k {
                     if !open[r] {
                         continue;
@@ -626,7 +630,7 @@ fn gain_sweeps_parallel(
     })?;
     Ok((
         gains,
-        h.into_inner().expect("gain sweep bias lock poisoned"),
+        h.into_inner().unwrap_or_else(PoisonError::into_inner),
     ))
 }
 

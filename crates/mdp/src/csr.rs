@@ -321,6 +321,12 @@ impl CsrMdp {
         for (k, p) in self.prob.iter_mut().enumerate() {
             *p = weight(k);
         }
+        #[cfg(feature = "deep-checks")]
+        debug_assert!(
+            self.validate().is_ok(),
+            "deep-checks: reweighted arena fails validation: {:?}",
+            self.validate()
+        );
     }
 
     /// Number of states.
@@ -698,11 +704,16 @@ impl CsrMdpBuilder {
             if p == 0.0 {
                 continue;
             }
-            if self.col.len() > action_start && *self.col.last().unwrap() == target {
-                *self.prob.last_mut().unwrap() += p;
-            } else {
-                self.col.push(target);
-                self.prob.push(p);
+            match self.prob.last_mut() {
+                Some(last_prob)
+                    if self.col.len() > action_start && self.col.last() == Some(&target) =>
+                {
+                    *last_prob += p;
+                }
+                _ => {
+                    self.col.push(target);
+                    self.prob.push(p);
+                }
             }
         }
         self.action_ptr.push(self.col.len() as u32);
@@ -753,13 +764,20 @@ impl CsrMdpBuilder {
             action_ptr: self.action_ptr,
             col: self.col,
         };
-        Ok(Mdp::from_csr(CsrMdp {
+        let csr = CsrMdp {
             layout: Arc::new(layout),
             prob: self.prob,
             names: self.names,
             name_of_pair: self.name_of_pair,
             initial_state,
-        }))
+        };
+        #[cfg(feature = "deep-checks")]
+        debug_assert!(
+            csr.validate().is_ok(),
+            "deep-checks: finished arena fails validation: {:?}",
+            csr.validate()
+        );
+        Ok(Mdp::from_csr(csr))
     }
 }
 

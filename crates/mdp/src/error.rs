@@ -69,6 +69,13 @@ pub enum MdpError {
         /// Description of the constraint that was violated.
         constraint: &'static str,
     },
+    /// An internal structural invariant was violated — a "cannot happen"
+    /// condition surfaced as a typed error instead of a panic, so library
+    /// callers can recover (or at least report) rather than unwind.
+    InvariantViolation {
+        /// Description of the violated invariant.
+        detail: &'static str,
+    },
     /// An underlying Markov-chain computation failed.
     Markov(MarkovError),
     /// An underlying linear-algebra computation failed.
@@ -107,6 +114,9 @@ impl fmt::Display for MdpError {
             MdpError::EmptyModel => write!(f, "MDP has no states"),
             MdpError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter {name} violates constraint: {constraint}")
+            }
+            MdpError::InvariantViolation { detail } => {
+                write!(f, "internal invariant violated: {detail}")
             }
             MdpError::Markov(err) => write!(f, "markov error: {err}"),
             MdpError::Linalg(err) => write!(f, "linear algebra error: {err}"),

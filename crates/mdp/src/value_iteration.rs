@@ -9,7 +9,7 @@ use sm_markov::{
     mass_balanced_blocks, mass_capped_threads, priority_blocks, sweep_scope, SolverParallelism,
     SweepKernel,
 };
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Relative value iteration (RVI) with the standard aperiodicity ("lazy")
 /// transformation, for unichain MDPs under the *maximal* mean-payoff
@@ -736,9 +736,13 @@ impl RelativeValueIteration {
 
         let run_block = |block: usize, kind: &SweepKind| -> BlockStats {
             let range = blocks[block].clone();
-            let h_read = h.read().expect("bias lock poisoned");
+            // Lock poisoning only means another block's worker panicked; the
+            // buffers hold plain numeric data written in disjoint slices, so
+            // recovery is sound — the originating panic still propagates
+            // through the sweep scope's join.
+            let h_read = h.read().unwrap_or_else(PoisonError::into_inner);
             let h_read = &h_read[..];
-            let mut chunk = chunks[block].lock().expect("sweep chunk poisoned");
+            let mut chunk = chunks[block].lock().unwrap_or_else(PoisonError::into_inner);
             let chunk = &mut *chunk;
             let mut stats = BlockStats {
                 min_delta: f64::INFINITY,
@@ -794,19 +798,24 @@ impl RelativeValueIteration {
         // Renormalise exactly like the serial relative step: every state of
         // the new iterate shifted so the reference state stays at 0.
         let apply_renormalised = |offset: f64| {
-            let mut h_write = h.write().expect("bias lock poisoned");
+            let mut h_write = h.write().unwrap_or_else(PoisonError::into_inner);
             for (range, chunk) in blocks.iter().zip(&chunks) {
-                let chunk = chunk.lock().expect("sweep chunk poisoned");
+                let chunk = chunk.lock().unwrap_or_else(PoisonError::into_inner);
                 for (i, &value) in chunk.next.iter().enumerate() {
                     h_write[range.start + i] = value - offset;
                 }
             }
         };
-        let reference_offset = |round: &[BlockStats]| -> f64 {
+        // The blocks partition `0..n` and `reference < n`, so exactly one
+        // block reports the reference value; a missing report is a broken
+        // partition and surfaces as a typed error instead of a panic.
+        let reference_offset = |round: &[BlockStats]| -> Result<f64, MdpError> {
             round
                 .iter()
                 .find_map(|stats| stats.reference)
-                .expect("exactly one block contains the reference state")
+                .ok_or(MdpError::InvariantViolation {
+                    detail: "no sweep block contains the reference state",
+                })
         };
 
         sweep_scope(blocks.len() - 1, run_block, |pool| {
@@ -821,10 +830,10 @@ impl RelativeValueIteration {
                     min_delta = min_delta.min(stats.min_delta);
                     max_delta = max_delta.max(stats.max_delta);
                 }
-                apply_renormalised(reference_offset(&round));
+                apply_renormalised(reference_offset(&round)?);
                 if max_delta - min_delta < self.epsilon.min(refine.target) {
                     let span = max_delta - min_delta;
-                    let bias = h.read().expect("bias lock poisoned").clone();
+                    let bias = h.read().unwrap_or_else(PoisonError::into_inner).clone();
                     // The canonical extraction runs serially over the final
                     // bias — a per-state pure function of `bias`, so it (and
                     // the borderline check plus any refinement rounds it
@@ -854,7 +863,7 @@ impl RelativeValueIteration {
                     }
                     sweeps += 1;
                     let round = pool.round(SweepKind::Evaluation);
-                    apply_renormalised(reference_offset(&round));
+                    apply_renormalised(reference_offset(&round)?);
                 }
             }
             if let Some(outcome) = refine.fallback {

@@ -17,9 +17,11 @@
 //!   kernel only changes the wall-clock time.
 //! * `SM_EPSILON` — certification precision (default `1e-3`).
 
+use selfish_mining::experiments::CertifiedSolve;
 use selfish_mining::{
     AnalysisConfig, AnalysisProcedure, ParametricModel, SolverParallelism, SweepKernel,
 };
+use sm_audit::{audit_certificate, AuditConfig, CertificateArtifact};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -69,6 +71,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stage.elapsed()
     );
     assert!(result.beta_up - result.beta_low <= epsilon + 1e-12);
+
+    // Package the solve as a certificate artifact, round-trip it through the
+    // JSON form nightly CI archives, and re-validate it with the independent
+    // auditor — three solver-free residual passes over the 22.9M-transition
+    // arena, a few percent of one solve's wall-clock time.
+    let stage = Instant::now();
+    let solve = CertifiedSolve {
+        scenario: family.scenario(),
+        p,
+        gamma,
+        beta_low: result.beta_low,
+        beta_up: result.beta_up,
+        strategy_revenue: result.strategy_revenue,
+        strategy: result.strategy,
+        epsilon,
+        bias: result.bias,
+    };
+    let artifact = CertificateArtifact::from_certified(&solve, &model)?;
+    let artifact = CertificateArtifact::from_json(&artifact.to_json())?;
+    let report = audit_certificate(&artifact, &model, &AuditConfig::default());
+    println!(
+        "audit   digest {:016x}: {} in {:.1?}",
+        artifact.fingerprint,
+        if report.passed() { "PASS" } else { "FAIL" },
+        stage.elapsed()
+    );
+    if !report.passed() {
+        eprintln!("{report}");
+        return Err("certificate audit failed".into());
+    }
     println!("total   {:.1?}", start.elapsed());
     Ok(())
 }

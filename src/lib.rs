@@ -18,12 +18,15 @@
 //!   certification.
 //! * [`sweep`] — the parallel `(p, γ)` sweep engine over the parametric
 //!   transition arena (worker pool + warm-started solves).
+//! * [`audit`] — the independent static-analysis layer: certificate
+//!   re-verification, arena invariant checks and the source lint.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the reproduction
 //! of every table and figure of the paper.
 
 #![forbid(unsafe_code)]
 
+pub use sm_audit as audit;
 pub use sm_chain as chain;
 pub use sm_conformance as conformance;
 pub use sm_linalg as linalg;

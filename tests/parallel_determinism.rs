@@ -187,6 +187,9 @@ fn certified_attack_curves_are_bit_identical_across_sweep_kernels() {
     // The certified curve may not see the kernel: Gauss-Seidel / prioritized
     // sweeps only run between the certifying Jacobi sweeps, and β bounds are
     // evaluated by pure-Jacobi revenue solves on the per-step strategies.
+    // The bias vector is the one field outside the guarantee — the
+    // interleaved evaluation sweeps shape it per kernel; it is a certificate
+    // witness (any finite bias sandwiches the gain), not a certified output.
     let family = ParametricModel::build(2, 2, 4).unwrap();
     let ps = [0.15, 0.25, 0.35];
     let reference =
@@ -207,11 +210,22 @@ fn certified_attack_curves_are_bit_identical_across_sweep_kernels() {
                     .with_kernel(kernel),
             )
             .unwrap();
-            // CertifiedSolve's PartialEq compares every f64 exactly.
-            assert_eq!(
-                reference, candidate,
-                "kernel = {kernel:?}, threads = {threads}"
-            );
+            assert_eq!(reference.len(), candidate.len());
+            for (expected, got) in reference.iter().zip(&candidate) {
+                // Every f64 compared exactly; only `bias` is kernel-local.
+                let context = format!(
+                    "kernel = {kernel:?}, threads = {threads}, p = {}",
+                    expected.p
+                );
+                assert_eq!(expected.scenario, got.scenario, "{context}");
+                assert_eq!(expected.p, got.p, "{context}");
+                assert_eq!(expected.gamma, got.gamma, "{context}");
+                assert_eq!(expected.beta_low, got.beta_low, "{context}");
+                assert_eq!(expected.beta_up, got.beta_up, "{context}");
+                assert_eq!(expected.strategy_revenue, got.strategy_revenue, "{context}");
+                assert_eq!(expected.strategy, got.strategy, "{context}");
+                assert_eq!(expected.epsilon, got.epsilon, "{context}");
+            }
         }
     }
 }
