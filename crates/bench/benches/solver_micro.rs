@@ -523,6 +523,48 @@ fn bench_certificate_audit(c: &mut Criterion) {
     }
 }
 
+/// Warm-vs-cold latency of the certified-analysis query service on its
+/// acceptance workload (`d = 2, f = 2`, `ε = 10⁻³`, `p` off the anchor
+/// lattice). The cold arm stands up a fresh service per iteration, so it
+/// pays the arena build, the whole anchor chain up to `p`'s cell and the
+/// final probe; the warm arm asks one long-lived service a *distinct,
+/// never-repeated* off-lattice `p` inside an already-advanced cell each
+/// iteration, so the timed work is exactly one warm-started probe — no memo
+/// hits, no chain advances, no arena builds. Both arms return bit-identical
+/// intervals for equal queries (the determinism suite in `tests/service.rs`
+/// checks that); this group gates only the speedup, which must stay ≥ 5×.
+fn bench_service_warm_vs_cold(c: &mut Criterion) {
+    use sm_service::{Query, Service, ServiceConfig};
+    use std::cell::Cell;
+
+    let query = |p: f64| Query {
+        depth: 2,
+        forks_per_block: 2,
+        p,
+        ..Query::default()
+    };
+    let mut group = c.benchmark_group("service/query_warm_vs_cold");
+    group.sample_size(10);
+    group.bench_function("cold_first_query_d2_f2", |b| {
+        b.iter(|| {
+            let service = Service::new(ServiceConfig::default()).unwrap();
+            service.answer(&query(0.325)).unwrap().interval.beta_low
+        });
+    });
+    group.bench_function("warm_probe_d2_f2", |b| {
+        let service = Service::new(ServiceConfig::default()).unwrap();
+        service.answer(&query(0.325)).unwrap();
+        let step = Cell::new(0u64);
+        b.iter(|| {
+            let offset = step.get();
+            step.set(offset + 1);
+            let p = 0.300_001 + offset as f64 * 1e-6;
+            service.answer(&query(p)).unwrap().interval.beta_low
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mean_payoff_methods,
@@ -533,6 +575,7 @@ criterion_group!(
     bench_sweep_kernels,
     bench_d4f3_thread_scaling,
     bench_figure2_coarse_sweep,
-    bench_certificate_audit
+    bench_certificate_audit,
+    bench_service_warm_vs_cold
 );
 criterion_main!(benches);

@@ -183,10 +183,29 @@ impl Estimate {
         self.overlaps(other.lower(), other.upper())
     }
 
-    /// Distance between the confidence interval and `[lower, upper]`
-    /// (0 when they overlap).
+    /// Distance between the confidence interval and `[lower, upper]`: 0 if
+    /// and only if [`Estimate::overlaps`] holds, the positive separation
+    /// otherwise, and `+∞` when either interval has a NaN endpoint (a
+    /// non-finite estimate can never witness a certificate).
+    ///
+    /// The historical fold `(lower - upper()).max(lower() - upper).max(0.0)`
+    /// silently absorbed NaN — [`f64::max`] returns the other operand when
+    /// one side is NaN — so a NaN Monte-Carlo mean reported a gap of `0`
+    /// while [`Estimate::overlaps`] was `false`, breaking the "0 iff
+    /// conforms" contract of `ConformancePoint::worst_gap`.
     pub fn gap_to(&self, lower: f64, upper: f64) -> f64 {
-        (lower - self.upper()).max(self.lower() - upper).max(0.0)
+        if self.overlaps(lower, upper) {
+            return 0.0;
+        }
+        let gap = (lower - self.upper()).max(self.lower() - upper);
+        // Non-overlapping finite intervals have a strictly positive gap; a
+        // NaN endpoint (no overlap by IEEE comparison, NaN arithmetic here)
+        // maps to +∞ so the verdict and the gap can never disagree.
+        if gap.is_nan() {
+            f64::INFINITY
+        } else {
+            gap
+        }
     }
 }
 

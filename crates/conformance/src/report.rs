@@ -264,6 +264,46 @@ mod tests {
     }
 
     #[test]
+    fn nan_estimate_cannot_report_a_zero_gap() {
+        // Regression: `gap_to`/`worst_gap` folded with `f64::max`, which
+        // silently drops NaN operands — a NaN Monte-Carlo mean (e.g. from a
+        // poisoned replica) reported `worst_gap() == 0` while `conforms()`
+        // was false, breaking the "0 iff conforms" contract this test pins.
+        let mut p = point(f64::NAN);
+        assert!(!p.conforms(), "a NaN estimate must not conform");
+        assert_eq!(
+            p.worst_gap(),
+            f64::INFINITY,
+            "a NaN estimate must surface an infinite gap, not 0"
+        );
+        let report = ConformanceReport {
+            points: vec![p.clone()],
+        };
+        assert!(!report.all_conform());
+        assert_eq!(report.worst_gap(), f64::INFINITY);
+        assert_eq!(report.violations().len(), 1);
+        // A NaN half-width poisons the interval the same way.
+        p.estimates[0].mean = 0.335;
+        p.estimates[0].half_width = f64::NAN;
+        assert!(!p.conforms());
+        assert_eq!(p.worst_gap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn worst_gap_is_zero_iff_the_point_conforms() {
+        // The invariant the example drivers and CI gate on, across
+        // conforming, violating and non-finite estimates.
+        for mean in [0.335, 0.40, 0.0, 1.0, f64::NAN] {
+            let p = point(mean);
+            assert_eq!(
+                p.worst_gap() == 0.0,
+                p.conforms(),
+                "worst_gap/conforms disagree at mean {mean}"
+            );
+        }
+    }
+
+    #[test]
     fn certificate_slack_absorbs_solver_noise() {
         // A CI missing the raw certificate by less than the slack conforms:
         // the solver's bounds are only certified up to its inner precision.

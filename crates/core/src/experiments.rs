@@ -287,43 +287,197 @@ pub fn attack_curve_certified_config(
     warm_start: bool,
     config: AnalysisConfig,
 ) -> Result<Vec<CertifiedSolve>, SelfishMiningError> {
-    let procedure = AnalysisProcedure::new(config);
-    let mut model: Option<SelfishMiningModel> = None;
-    let mut warm: Option<DinkelbachWarmStart> = None;
+    let mut tracker = CurveTracker::new(family, gamma, warm_start, config);
+    ps.iter().map(|&p| tracker.advance(p)).collect()
+}
+
+/// Incremental warm-start state of one attack curve: the reusable arena, the
+/// Dinkelbach carry (`β` seed + bias vectors) and the `(p, β_low)` history
+/// driving the quadratic `β` extrapolation.
+///
+/// [`attack_curve_certified_config`] is a thin loop over
+/// [`CurveTracker::advance`]; the query service holds trackers *open* across
+/// requests instead, so a cached curve keeps warm-starting new points for as
+/// long as it stays resident. The certificate produced for a point is a pure
+/// function of the family, `γ`, the analysis config and the sequence of
+/// `advance`d points before it — never of thread counts ([`CurveTracker::
+/// set_parallelism`]) — which is what lets a caching layer replay the same
+/// canonical sequence and answer bit-identically in any cache state.
+#[derive(Debug, Clone)]
+pub struct CurveTracker<'a> {
+    family: &'a ParametricModel,
+    gamma: f64,
+    warm_start: bool,
+    config: AnalysisConfig,
+    model: Option<SelfishMiningModel>,
+    warm: Option<DinkelbachWarmStart>,
     // The most recent (p, certified β_low) points, newest last, for the β
     // extrapolation.
-    let mut history: Vec<(f64, f64)> = Vec::new();
-    let mut solves = Vec::with_capacity(ps.len());
-    for &p in ps {
-        let instance = match model.as_mut() {
+    history: Vec<(f64, f64)>,
+}
+
+impl<'a> CurveTracker<'a> {
+    /// Opens a tracker over `family` at switching probability `gamma`.
+    /// `warm_start = false` solves every point cold (the sweep engine's
+    /// ablation knob) while still reusing the arena.
+    pub fn new(
+        family: &'a ParametricModel,
+        gamma: f64,
+        warm_start: bool,
+        config: AnalysisConfig,
+    ) -> Self {
+        CurveTracker {
+            family,
+            gamma,
+            warm_start,
+            config,
+            model: None,
+            warm: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The curve's switching probability.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The last `advance`d `p`, if any — a caching layer uses this as the
+    /// curve's warm frontier.
+    pub fn frontier(&self) -> Option<f64> {
+        self.history.last().map(|&(p, _)| p)
+    }
+
+    /// Re-targets the intra-solve thread allowance for subsequent solves.
+    /// Certificates are bit-identical for any setting, so a scheduler may
+    /// re-shape this freely between calls (e.g. per-request allowances).
+    pub fn set_parallelism(&mut self, parallelism: SolverParallelism) {
+        self.config = self.config.clone().with_parallelism(parallelism);
+    }
+
+    /// Solves the point `p` warm from the tracker's state and advances the
+    /// state (carry, extrapolation history) past it — the sweep engine's
+    /// per-curve schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instantiation and solver errors; the tracker state is
+    /// unchanged on error.
+    pub fn advance(&mut self, p: f64) -> Result<CertifiedSolve, SelfishMiningError> {
+        let (solve, carry) = self.solve(p)?;
+        self.warm = if self.warm_start { Some(carry) } else { None };
+        if self.history.len() == 3 {
+            self.history.remove(0);
+        }
+        self.history.push((p, solve.beta_low));
+        Ok(solve)
+    }
+
+    /// Solves the point `p` warm from the tracker's state **without**
+    /// advancing it: the carry and extrapolation history are left exactly as
+    /// before, so later `advance`/`probe` calls are unaffected by the probe.
+    /// This is how the query service answers off-lattice points — the result
+    /// is a pure function of the canonical lattice prefix and `p`, never of
+    /// which other queries happened to be probed in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instantiation and solver errors.
+    pub fn probe(&mut self, p: f64) -> Result<CertifiedSolve, SelfishMiningError> {
+        self.solve(p).map(|(solve, _)| solve)
+    }
+
+    /// Snapshots the detachable warm-start state — the Dinkelbach carry and
+    /// the `(p, β_low)` extrapolation history, *not* the arena buffer. A
+    /// caching layer stores one snapshot per canonical chain position and
+    /// [`CurveTracker::restore`]s it into a fresh tracker to continue (or
+    /// probe off) that exact position later, with bit-identical results.
+    pub fn snapshot(&self) -> CurveCarry {
+        CurveCarry {
+            warm: self.warm.clone(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Restores a [`CurveTracker::snapshot`]. The tracker behaves exactly as
+    /// the one the snapshot was taken from (the arena is refilled per solve,
+    /// so its contents never leak across positions).
+    pub fn restore(&mut self, carry: &CurveCarry) {
+        self.warm.clone_from(&carry.warm);
+        self.history.clone_from(&carry.history);
+    }
+
+    /// Releases the instantiated arena buffer for external reuse (e.g. a
+    /// cache keeping one buffer per curve instead of one per solve).
+    pub fn into_arena(self) -> Option<SelfishMiningModel> {
+        self.model
+    }
+
+    /// Seeds the tracker with a previously [`CurveTracker::into_arena`]-
+    /// released buffer, saving the first solve's allocation. Buffers are
+    /// interchangeable within a family: every solve refills the arena for
+    /// its own `(p, γ)` before reading it.
+    pub fn with_arena(mut self, arena: Option<SelfishMiningModel>) -> Self {
+        self.model = arena;
+        self
+    }
+
+    /// One warm solve at `p` from the current state; returns the certificate
+    /// and the Dinkelbach carry without touching the tracker's own carry or
+    /// history. Only the arena is (re)filled in place, which is invisible:
+    /// every solve refills it for its own `p` first.
+    fn solve(
+        &mut self,
+        p: f64,
+    ) -> Result<(CertifiedSolve, DinkelbachWarmStart), SelfishMiningError> {
+        let instance = match self.model.as_mut() {
             Some(instance) => {
-                family.instantiate_into(instance, p, gamma)?;
+                self.family.instantiate_into(instance, p, self.gamma)?;
                 instance
             }
-            None => model.insert(family.instantiate(p, gamma)?),
+            None => self.model.insert(self.family.instantiate(p, self.gamma)?),
         };
-        if let Some(w) = warm.as_mut() {
-            w.beta = extrapolate_beta(p, &history);
-        }
-        let (result, carry) = procedure.solve_dinkelbach_warm(instance, warm.as_ref())?;
-        warm = if warm_start { Some(carry) } else { None };
-        if history.len() == 3 {
-            history.remove(0);
-        }
-        history.push((p, result.beta_low));
-        solves.push(CertifiedSolve {
-            scenario: family.scenario(),
+        let mut seeded;
+        let warm = match self.warm.as_ref() {
+            Some(w) => {
+                seeded = w.clone();
+                seeded.beta = extrapolate_beta(p, &self.history);
+                Some(&seeded)
+            }
+            None => None,
+        };
+        let procedure = AnalysisProcedure::new(self.config.clone());
+        let (result, carry) = procedure.solve_dinkelbach_warm(instance, warm)?;
+        let solve = CertifiedSolve {
+            scenario: self.family.scenario(),
             p,
-            gamma,
+            gamma: self.gamma,
             beta_low: result.beta_low,
             beta_up: result.beta_up,
             strategy_revenue: result.strategy_revenue,
             strategy: result.strategy,
-            epsilon: procedure.config().epsilon,
+            epsilon: self.config.epsilon,
             bias: result.bias,
-        });
+        };
+        Ok((solve, carry))
     }
-    Ok(solves)
+}
+
+/// Detached warm-start state of a [`CurveTracker`]: the Dinkelbach carry
+/// (`β` seed + bias vectors) and the `(p, β_low)` extrapolation history at
+/// one chain position. [`Default`] is the cold state a fresh tracker starts
+/// from. See [`CurveTracker::snapshot`]/[`CurveTracker::restore`].
+#[derive(Debug, Clone, Default)]
+pub struct CurveCarry {
+    warm: Option<DinkelbachWarmStart>,
+    history: Vec<(f64, f64)>,
+}
+
+impl CurveCarry {
+    /// The chain position's last certified `p`, if the carry is warm.
+    pub fn frontier(&self) -> Option<f64> {
+        self.history.last().map(|&(p, _)| p)
+    }
 }
 
 /// Extrapolation of the revenue curve to seed the next point's Dinkelbach
@@ -511,6 +665,38 @@ mod tests {
             assert!(solve.beta_up - solve.beta_low <= epsilon + 1e-12);
             assert_eq!(solve.strategy.num_states(), family.num_states());
         }
+    }
+
+    #[test]
+    fn tracker_probe_is_invisible_to_the_chain() {
+        // Two trackers advance the same prefix; one additionally probes an
+        // off-grid point in between. The probe must not perturb any later
+        // certificate — that invariance is what lets the query service
+        // answer arbitrary points from a canonical lattice bit-identically.
+        let family = ParametricModel::build(2, 1, 4).unwrap();
+        let config = AnalysisConfig::with_epsilon(5e-3);
+        let mut plain = CurveTracker::new(&family, 0.5, true, config.clone());
+        let mut probed = CurveTracker::new(&family, 0.5, true, config.clone());
+        let mut plain_solves = Vec::new();
+        let mut probed_solves = Vec::new();
+        for &p in &[0.1, 0.2, 0.3] {
+            plain_solves.push(plain.advance(p).unwrap());
+            let before = probed.probe(p + 0.025).unwrap();
+            probed_solves.push(probed.advance(p).unwrap());
+            let after = probed.probe(p + 0.025).unwrap();
+            // The probe answer moves only when the chain advances under it.
+            assert_eq!(before.p, after.p);
+            assert!(before.beta_up - before.beta_low <= 5e-3 + 1e-12);
+            assert!(after.beta_up - after.beta_low <= 5e-3 + 1e-12);
+        }
+        assert_eq!(plain_solves, probed_solves);
+        assert_eq!(plain.frontier(), Some(0.3));
+        // Probing from identical chain state is reproducible bit for bit.
+        assert_eq!(plain.probe(0.25).unwrap(), probed.probe(0.25).unwrap());
+        // And the legacy curve entry point is exactly a fold over advance.
+        let wrapped =
+            attack_curve_certified_config(&family, 0.5, &[0.1, 0.2, 0.3], true, config).unwrap();
+        assert_eq!(wrapped, plain_solves);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use error::SelfishMiningError;
 pub use export::StrategyExport;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
 pub use parametric::{ParametricModel, RewardAtom};
-pub use params::AttackParams;
+pub use params::{validate_epsilon, validate_share, AttackParams};
 pub use scenario::AttackScenario;
 pub use state::{Owner, Phase, SmState};
 

@@ -2,6 +2,45 @@
 
 use crate::SelfishMiningError;
 
+/// Validates that a probability-like parameter (`p`, `gamma`, …) is finite
+/// and lies in `[0, 1]`.
+///
+/// Shared by [`AttackParams::validate`], the sweep engine's up-front grid
+/// validation and the query service's request validation, so every entry
+/// point rejects `NaN`/out-of-range shares with the same typed error before
+/// any solver work starts.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::InvalidParameter`] naming the offending
+/// parameter when the value is `NaN`, infinite or outside `[0, 1]`.
+pub fn validate_share(name: &'static str, value: f64) -> Result<(), SelfishMiningError> {
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(SelfishMiningError::InvalidParameter {
+            name,
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+/// Validates that a certificate width `ε` is finite and strictly positive.
+///
+/// # Errors
+///
+/// Returns [`SelfishMiningError::InvalidParameter`] when `ε` is `NaN`,
+/// infinite, zero or negative — a non-finite width would make every
+/// Dinkelbach bracket test vacuous and the iteration non-terminating.
+pub fn validate_epsilon(value: f64) -> Result<(), SelfishMiningError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(SelfishMiningError::InvalidParameter {
+            name: "epsilon",
+            constraint: "must be finite and strictly positive",
+        });
+    }
+    Ok(())
+}
+
 /// Parameters of the selfish-mining attack MDP.
 ///
 /// * `p` — relative resource of the adversary, the fraction of the total
@@ -70,18 +109,8 @@ impl AttackParams {
     ///
     /// See [`AttackParams::new`].
     pub fn validate(&self) -> Result<(), SelfishMiningError> {
-        if !(0.0..=1.0).contains(&self.p) || !self.p.is_finite() {
-            return Err(SelfishMiningError::InvalidParameter {
-                name: "p",
-                constraint: "must lie in [0, 1]",
-            });
-        }
-        if !(0.0..=1.0).contains(&self.gamma) || !self.gamma.is_finite() {
-            return Err(SelfishMiningError::InvalidParameter {
-                name: "gamma",
-                constraint: "must lie in [0, 1]",
-            });
-        }
+        validate_share("p", self.p)?;
+        validate_share("gamma", self.gamma)?;
         if self.depth == 0 {
             return Err(SelfishMiningError::InvalidParameter {
                 name: "depth",
@@ -195,6 +224,20 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(AttackParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn share_and_epsilon_helpers_reject_non_finite_inputs() {
+        assert!(validate_share("p", 0.0).is_ok());
+        assert!(validate_share("p", 1.0).is_ok());
+        assert!(validate_share("gamma", f64::NAN).is_err());
+        assert!(validate_share("gamma", f64::INFINITY).is_err());
+        assert!(validate_share("p", -0.001).is_err());
+        assert!(validate_epsilon(1e-4).is_ok());
+        assert!(validate_epsilon(0.0).is_err());
+        assert!(validate_epsilon(-1e-4).is_err());
+        assert!(validate_epsilon(f64::NAN).is_err());
+        assert!(validate_epsilon(f64::INFINITY).is_err());
     }
 
     #[test]

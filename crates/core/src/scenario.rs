@@ -108,6 +108,45 @@ impl AttackScenario {
         }
     }
 
+    /// Parses a scenario from its [`AttackScenario::label`] string — the
+    /// inverse of `label` for every representable scenario, so labels can
+    /// round-trip through reports and the query service's JSONL requests.
+    ///
+    /// Returns `None` for anything that is not exactly a label this crate
+    /// emits (including a malformed `trail-stubborn(..)` lag).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use selfish_mining::AttackScenario;
+    ///
+    /// assert_eq!(
+    ///     AttackScenario::from_label("lead-stubborn"),
+    ///     Some(AttackScenario::LeadStubborn)
+    /// );
+    /// assert_eq!(
+    ///     AttackScenario::from_label("trail-stubborn(2)"),
+    ///     Some(AttackScenario::TrailStubborn { lag: 2 })
+    /// );
+    /// assert_eq!(AttackScenario::from_label("evil"), None);
+    /// ```
+    pub fn from_label(label: &str) -> Option<AttackScenario> {
+        match label {
+            "optimal" => Some(AttackScenario::Optimal),
+            "honest-mining" => Some(AttackScenario::HonestMining),
+            "lead-stubborn" => Some(AttackScenario::LeadStubborn),
+            "equal-fork-stubborn" => Some(AttackScenario::EqualForkStubborn),
+            other => {
+                let lag = other
+                    .strip_prefix("trail-stubborn(")?
+                    .strip_suffix(')')?
+                    .parse::<usize>()
+                    .ok()?;
+                Some(AttackScenario::TrailStubborn { lag })
+            }
+        }
+    }
+
     /// The scenario family shipped with the crate, in report order: the
     /// optimal scenario, the three stubborn variants (trail with lag 0), and
     /// the honest sanity scenario.
@@ -309,6 +348,29 @@ mod tests {
             "trail-stubborn(2)"
         );
         assert_eq!(format!("{}", AttackScenario::HonestMining), "honest-mining");
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        let mut family = AttackScenario::default_family();
+        family.push(AttackScenario::TrailStubborn { lag: 7 });
+        for scenario in family {
+            assert_eq!(
+                AttackScenario::from_label(&scenario.label()),
+                Some(scenario)
+            );
+        }
+        for junk in [
+            "",
+            "Optimal",
+            "trail-stubborn",
+            "trail-stubborn()",
+            "trail-stubborn(-1)",
+            "trail-stubborn(two)",
+            "lead-stubborn ",
+        ] {
+            assert_eq!(AttackScenario::from_label(junk), None, "{junk:?}");
+        }
     }
 
     #[test]

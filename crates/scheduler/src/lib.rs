@@ -1,18 +1,26 @@
-//! The workspace's shared scoped worker pool for independent indexed jobs.
+//! The workspace's shared scheduler for independent indexed jobs.
 //!
-//! Both the Monte-Carlo estimator (replicas) and the sweep engine (curve
-//! jobs, conformance jobs) fan deterministic, independent work items over a
-//! [`std::thread::scope`] pool: workers drain an atomic index and results
-//! are collected **in job order**, so the output is identical for any worker
-//! count — only wall-clock time changes.
+//! Three subsystems fan deterministic, independent work items over scoped
+//! worker pools: the Monte-Carlo estimator (replicas), the sweep engine
+//! (curve jobs, conformance jobs) and the certified-analysis query service
+//! (daemon query batches). They all share the two primitives in this crate —
+//! historically a private module of `sm-conformance`, promoted to its own
+//! crate so the batch and serving paths run the exact same scheduler:
 //!
-//! [`run_budgeted_jobs`] adds *nested budgeting* on top: the caller hands
-//! over one global thread budget, outer jobs are preferred while the queue
-//! is deep, and as the queue drains the left-over budget is granted to the
-//! running jobs as an intra-job thread allowance (which the sweep engine
-//! forwards to the solvers' intra-solve parallelism). This fixes the
-//! historical short-queue behaviour where a 2-job sweep on an 8-thread
-//! budget spawned 2 workers and left 6 cores idle.
+//! * [`run_indexed_jobs`] — workers drain an atomic index and results are
+//!   collected **in job order**, so the output is identical for any worker
+//!   count; only wall-clock time changes.
+//! * [`run_budgeted_jobs`] — adds *nested budgeting* on top: the caller
+//!   hands over one global thread budget, outer jobs are preferred while the
+//!   queue is deep, and as the queue drains the left-over budget is granted
+//!   to the running jobs as an intra-job thread allowance (which the sweep
+//!   engine and the query service forward to the solvers' intra-solve
+//!   parallelism). This fixes the historical short-queue behaviour where a
+//!   2-job sweep on an 8-thread budget spawned 2 workers and left 6 cores
+//!   idle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

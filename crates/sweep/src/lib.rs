@@ -47,12 +47,11 @@
 use selfish_mining::baselines::{honest_relative_revenue, SingleTreeAttack};
 use selfish_mining::experiments::{attack_curve_certified_with, attack_curve_with, Figure2Point};
 use selfish_mining::{
-    AttackScenario, ParametricModel, SelfishMiningError, SolverParallelism, StrategyExport,
+    validate_epsilon, validate_share, AttackScenario, ParametricModel, SelfishMiningError,
+    SolverParallelism, StrategyExport,
 };
-use sm_conformance::{
-    certify_point, resolve_budget, run_budgeted_jobs, ConformanceError, ConformancePoint,
-    ConformanceReport,
-};
+use sm_conformance::{certify_point, ConformanceError, ConformancePoint, ConformanceReport};
+use sm_scheduler::{resolve_budget, run_budgeted_jobs};
 
 pub use sm_conformance::ConformanceSettings;
 
@@ -130,8 +129,13 @@ impl SweepConfig {
     ///
     /// # Errors
     ///
-    /// Propagates the first model-construction or solver error any job hits.
+    /// Rejects a non-finite or non-positive `ε` and any `p`/`γ` grid value
+    /// outside `[0, 1]` (or `NaN`) up front with
+    /// [`SelfishMiningError::InvalidParameter`], before any model is built;
+    /// then propagates the first model-construction or solver error any job
+    /// hits.
     pub fn run(&self, gammas: &[f64], ps: &[f64]) -> Result<Vec<Figure2Point>, SelfishMiningError> {
+        self.validate_grid(gammas, ps)?;
         // Build each (d, f) family once, up front; jobs share them read-only.
         let families = self.build_families()?;
 
@@ -201,7 +205,10 @@ impl SweepConfig {
     ///
     /// # Errors
     ///
-    /// Propagates the first model-construction, solver or estimator error
+    /// Rejects a non-finite or non-positive `ε` and any `p`/`γ` grid value
+    /// outside `[0, 1]` (or `NaN`) up front — wrapped in
+    /// [`ConformanceError::Analysis`] — before any model is built; then
+    /// propagates the first model-construction, solver or estimator error
     /// any job hits, and rejects an empty scenario list.
     pub fn run_conformance(
         &self,
@@ -209,6 +216,7 @@ impl SweepConfig {
         ps: &[f64],
         settings: &ConformanceSettings,
     ) -> Result<ConformanceReport, ConformanceError> {
+        self.validate_grid(gammas, ps)?;
         if self.scenarios.is_empty() {
             return Err(ConformanceError::InvalidConfig {
                 name: "scenarios",
@@ -238,6 +246,24 @@ impl SweepConfig {
             points.extend(outcome?);
         }
         Ok(ConformanceReport { points })
+    }
+
+    /// Validates the sweep precision and the whole `(γ, p)` grid before any
+    /// arena is built: a single `NaN` grid value would otherwise ride
+    /// through model instantiation into the Dinkelbach iteration, where it
+    /// surfaces (at best) as a confusing non-convergence error after real
+    /// work was spent. The same helpers back the query service's request
+    /// validation, so batch and daemon entry points reject bad inputs
+    /// identically.
+    fn validate_grid(&self, gammas: &[f64], ps: &[f64]) -> Result<(), SelfishMiningError> {
+        validate_epsilon(self.epsilon)?;
+        for &gamma in gammas {
+            validate_share("gamma", gamma)?;
+        }
+        for &p in ps {
+            validate_share("p", p)?;
+        }
+        Ok(())
     }
 
     /// Builds each `(d, f)` family of the grid once; jobs share them
@@ -423,6 +449,60 @@ mod tests {
             ..SweepConfig::default()
         };
         assert!(config.run(&[0.5], &[0.1]).is_err());
+    }
+
+    #[test]
+    fn run_rejects_non_finite_epsilon_and_out_of_range_grids_up_front() {
+        let expect_invalid = |result: Result<Vec<Figure2Point>, SelfishMiningError>,
+                              expected: &'static str| {
+            match result {
+                Err(SelfishMiningError::InvalidParameter { name, .. }) => {
+                    assert_eq!(name, expected)
+                }
+                other => panic!("expected InvalidParameter({expected}), got {other:?}"),
+            }
+        };
+        for bad_epsilon in [f64::NAN, f64::INFINITY, 0.0, -1e-3] {
+            let config = SweepConfig {
+                epsilon: bad_epsilon,
+                ..small_config(1)
+            };
+            expect_invalid(config.run(&[0.5], &[0.1]), "epsilon");
+        }
+        let config = small_config(1);
+        for bad_share in [f64::NAN, f64::INFINITY, -0.1, 1.1] {
+            expect_invalid(config.run(&[bad_share], &[0.1]), "gamma");
+            expect_invalid(config.run(&[0.5], &[bad_share]), "p");
+        }
+    }
+
+    #[test]
+    fn conformance_pass_rejects_invalid_inputs_before_building_models() {
+        // The (0, 1) grid would error during model construction; the NaN p
+        // must win because validation runs first.
+        let config = SweepConfig {
+            attack_grid: vec![(0, 1)],
+            ..SweepConfig::default()
+        };
+        match config.run_conformance(&[0.5], &[f64::NAN], &small_conformance_settings()) {
+            Err(ConformanceError::Analysis(SelfishMiningError::InvalidParameter {
+                name, ..
+            })) => assert_eq!(name, "p"),
+            other => panic!("expected InvalidParameter(p), got {other:?}"),
+        }
+        let config = SweepConfig {
+            epsilon: f64::NAN,
+            ..SweepConfig::default()
+        };
+        assert!(matches!(
+            config.run_conformance(&[0.5], &[0.1], &small_conformance_settings()),
+            Err(ConformanceError::Analysis(
+                SelfishMiningError::InvalidParameter {
+                    name: "epsilon",
+                    ..
+                }
+            ))
+        ));
     }
 
     fn small_conformance_settings() -> ConformanceSettings {

@@ -1,0 +1,48 @@
+//! The certified-analysis query daemon: a thin stdin/stdout wrapper around
+//! `sm_service` speaking line-delimited JSON.
+//!
+//! ```text
+//! cargo run --release --example service                 # serve stdin until EOF/shutdown
+//! echo '{"p": 0.33}' | cargo run --release --example service
+//! cargo run --release --example service < queries.jsonl > answers.jsonl
+//! ```
+//!
+//! One request object per line, one response per line, in order; see
+//! `sm_service::jsonl` for the request schema. `--threads N` pins the
+//! global thread budget (it accelerates the solves, never changes a bit of
+//! the answers); the transcript for a fixed input script is deterministic,
+//! which is what the CI smoke step diffs against its golden file.
+
+use selfish_mining_repro::cli::thread_budget;
+use selfish_mining_repro::service::{jsonl, Service, ServiceConfig};
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let workers = match thread_budget(std::env::args().skip(1)) {
+        Ok(workers) => workers.unwrap_or(0),
+        Err(message) => {
+            eprintln!("service: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    }) {
+        Ok(service) => service,
+        Err(err) => {
+            eprintln!("service: {}", jsonl::render_error(&err));
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut output = BufWriter::new(stdout.lock());
+    if let Err(err) = jsonl::serve(&service, stdin.lock(), &mut output) {
+        eprintln!("service: i/o error: {err}");
+        return ExitCode::FAILURE;
+    }
+    let _ = output.flush();
+    ExitCode::SUCCESS
+}

@@ -16,8 +16,13 @@
 //! * [`conformance`] — statistical conformance: parallel Monte-Carlo
 //!   estimation of exported strategies and solver-vs-simulator
 //!   certification.
+//! * [`scheduler`] — the shared nested-budget job scheduler (outer fan-out
+//!   plus intra-solve thread allowances) used by the conformance estimator,
+//!   the sweep engine and the query service.
 //! * [`sweep`] — the parallel `(p, γ)` sweep engine over the parametric
 //!   transition arena (worker pool + warm-started solves).
+//! * [`service`] — the persistent certified-analysis query service: cached
+//!   parametric arenas, memoized certified solves and a JSONL front end.
 //! * [`audit`] — the independent static-analysis layer: certificate
 //!   re-verification, arena invariant checks and the source lint.
 //!
@@ -33,6 +38,8 @@ pub use sm_linalg as linalg;
 pub use sm_markov as markov;
 pub use sm_mdp as mdp;
 pub use sm_proofs as proofs;
+pub use sm_scheduler as scheduler;
+pub use sm_service as service;
 pub use sm_sweep as sweep;
 
 pub use selfish_mining;
@@ -50,14 +57,19 @@ pub mod cli {
     /// cargo run --release --example parameter_sweep -- --threads 4
     /// ```
     ///
+    /// When the flag is repeated, the last occurrence wins — the usual
+    /// command-line convention, which lets wrapper scripts append an
+    /// override after a default (`--threads 4 ... --threads=8` is 8).
+    ///
     /// # Errors
     ///
-    /// Returns a usage message when the flag is present without a positive
-    /// integer value.
+    /// Returns a usage message when any occurrence of the flag is missing a
+    /// value or carries one that is not a positive integer.
     pub fn thread_budget<I>(args: I) -> Result<Option<usize>, String>
     where
         I: IntoIterator<Item = String>,
     {
+        let mut budget = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let value = if arg == "--threads" {
@@ -68,16 +80,17 @@ pub mod cli {
             } else {
                 continue;
             };
-            return value
-                .parse::<usize>()
-                .ok()
-                .filter(|&threads| threads >= 1)
-                .map(Some)
-                .ok_or(format!(
-                    "--threads expects a positive integer, got {value:?}"
-                ));
+            budget = Some(
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&threads| threads >= 1)
+                    .ok_or(format!(
+                        "--threads expects a positive integer, got {value:?}"
+                    ))?,
+            );
         }
-        Ok(None)
+        Ok(budget)
     }
 
     #[cfg(test)]
@@ -106,6 +119,25 @@ pub mod cli {
             assert!(thread_budget(strings(&["--threads"])).is_err());
             assert!(thread_budget(strings(&["--threads", "zero"])).is_err());
             assert!(thread_budget(strings(&["--threads", "0"])).is_err());
+        }
+
+        #[test]
+        fn last_occurrence_wins_across_both_spellings() {
+            assert_eq!(
+                thread_budget(strings(&["--threads", "4", "--threads", "8"])).unwrap(),
+                Some(8)
+            );
+            assert_eq!(
+                thread_budget(strings(&["--threads=4", "reduced", "--threads", "2"])).unwrap(),
+                Some(2)
+            );
+            assert_eq!(
+                thread_budget(strings(&["--threads", "2", "--threads=6"])).unwrap(),
+                Some(6)
+            );
+            // A malformed occurrence is a usage error even when a later
+            // occurrence would be valid: silent recovery would hide typos.
+            assert!(thread_budget(strings(&["--threads", "x", "--threads", "4"])).is_err());
         }
     }
 }
