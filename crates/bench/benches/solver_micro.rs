@@ -565,8 +565,42 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-backend arrival-draw throughput: 10 000 `next_block` draws at
+/// `p = 0.3, σ = 3` through each consensus backend's `ArrivalSource`. The
+/// Bernoulli source is one RNG draw per step and anchors the group; the
+/// proof-backed sources pay their real proof mechanisms (stake-table
+/// lottery, plot race, space-time prove + VDF, VDF beacon), so this gates
+/// the conformance estimator's per-step cost under `--backends all` — a
+/// regression here multiplies straight into every multi-backend
+/// certification run.
+fn bench_backend_draw(c: &mut Criterion) {
+    use rand::{rngs::StdRng, SeedableRng};
+    use selfish_mining::ConsensusBackend;
+
+    let mut group = c.benchmark_group("arrivals/backend_draw");
+    group.sample_size(10);
+    for backend in ConsensusBackend::default_family() {
+        group.bench_function(format!("{backend}_10k_draws"), |b| {
+            b.iter(|| {
+                let mut source = backend.source(0.3, 0xA11CE).unwrap();
+                let mut rng = StdRng::seed_from_u64(0xFACADE);
+                let mut adversary_wins = 0usize;
+                for _ in 0..10_000 {
+                    if let sm_chain::ArrivalEvent::Adversary { .. } = source.next_block(&mut rng, 3)
+                    {
+                        adversary_wins += 1;
+                    }
+                }
+                adversary_wins
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_backend_draw,
     bench_mean_payoff_methods,
     bench_search_strategies,
     bench_model_construction,

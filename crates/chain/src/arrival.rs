@@ -7,7 +7,10 @@
 //! the block and on which of the adversary's mining positions — which is
 //! exactly what [`ArrivalSource`] abstracts.
 //!
-//! Two realisations are provided:
+//! Two realisations live here (the further proof-backed ones — stake, space,
+//! space-time and VDF lotteries — live in [`crate::backend`], which also
+//! provides the [`crate::ConsensusBackend`] descriptor enumerating all of
+//! them):
 //!
 //! * [`BernoulliSource`] — the ideal lottery, drawn directly from the
 //!   simulation's RNG. [`crate::Simulator::run`] uses this source and its
@@ -23,6 +26,7 @@
 //!   two sources is part of the statistical-conformance check in
 //!   `sm-conformance`.
 
+use crate::error::{validate_share, ChainError};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sm_proofs::pow::ProofOfWork;
@@ -82,11 +86,19 @@ impl BernoulliSource {
     /// Creates the lottery for an adversary owning a `p` fraction of the
     /// resource.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` lies outside `[0, 1]`.
-    pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    /// Returns [`ChainError::InvalidParameter`] if `p` lies outside `[0, 1]`
+    /// or is not finite.
+    pub fn new(p: f64) -> Result<Self, ChainError> {
+        validate_share("p", p)?;
+        Ok(BernoulliSource { p })
+    }
+
+    /// Infallible constructor for callers that have already validated `p`
+    /// (e.g. [`crate::Simulator::new`] rejects invalid shares up front).
+    pub(crate) fn for_validated(p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
         BernoulliSource { p }
     }
 }
@@ -114,6 +126,17 @@ impl ArrivalSource for BernoulliSource {
 /// Miner id under which the adversarial coalition grinds its PoW attempts.
 const ADVERSARY_MINER: u64 = 0xAD;
 
+/// Attributes a winning proof to one of the adversary's `sigma` mining
+/// positions, uniformly, by hashing the proof digest. Shared by every
+/// proof-backed arrival source (here and in [`crate::backend`]).
+pub(crate) fn slot_for(digest: &Digest, sigma: usize) -> usize {
+    if sigma > 1 {
+        (hash_concat(&[b"arrival-slot", &digest.0]).leading_u64() % sigma as u64) as usize
+    } else {
+        0
+    }
+}
+
 /// A proof-backed arrival lottery: one hashcash attempt per time step.
 ///
 /// Each step the adversary submits one [`ProofOfWork`] attempt whose target
@@ -140,18 +163,19 @@ impl PowLotterySource {
     /// Creates the proof-backed lottery for resource share `p`, with the
     /// genesis challenge derived from `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` lies outside `[0, 1]`.
-    pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
-        PowLotterySource {
+    /// Returns [`ChainError::InvalidParameter`] if `p` lies outside `[0, 1]`
+    /// or is not finite.
+    pub fn new(p: f64, seed: u64) -> Result<Self, ChainError> {
+        validate_share("p", p)?;
+        Ok(PowLotterySource {
             p,
             schedule: UnpredictableSchedule,
             challenge: hash_concat(&[b"arrival-genesis", &seed.to_be_bytes()]),
             height: 0,
             nonce: 0,
-        }
+        })
     }
 
     /// Advances the challenge chain past the block described by `digest`.
@@ -191,12 +215,7 @@ impl ArrivalSource for PowLotterySource {
         };
         match winning_digest {
             Some(digest) => {
-                let position = if sigma > 1 {
-                    (hash_concat(&[b"arrival-slot", &digest.0]).leading_u64() % sigma as u64)
-                        as usize
-                } else {
-                    0
-                };
+                let position = slot_for(&digest, sigma);
                 self.advance(digest);
                 ArrivalEvent::Adversary { position }
             }
@@ -241,7 +260,7 @@ mod tests {
         let p = 0.3;
         let sigma = 3;
         let expected = p * sigma as f64 / (1.0 - p + p * sigma as f64);
-        let freq = frequency(&mut BernoulliSource::new(p), sigma, 40_000);
+        let freq = frequency(&mut BernoulliSource::new(p).unwrap(), sigma, 40_000);
         assert!((freq - expected).abs() < 0.01, "freq {freq} vs {expected}");
     }
 
@@ -250,15 +269,15 @@ mod tests {
         let p = 0.3;
         let sigma = 3;
         let expected = p * sigma as f64 / (1.0 - p + p * sigma as f64);
-        let freq = frequency(&mut PowLotterySource::new(p, 11), sigma, 40_000);
+        let freq = frequency(&mut PowLotterySource::new(p, 11).unwrap(), sigma, 40_000);
         assert!((freq - expected).abs() < 0.01, "freq {freq} vs {expected}");
     }
 
     #[test]
     fn sources_handle_degenerate_resource_splits() {
         for source in [
-            &mut PowLotterySource::new(0.0, 1) as &mut dyn ArrivalSource,
-            &mut BernoulliSource::new(0.0),
+            &mut PowLotterySource::new(0.0, 1).unwrap() as &mut dyn ArrivalSource,
+            &mut BernoulliSource::new(0.0).unwrap(),
         ] {
             let mut rng = StdRng::seed_from_u64(1);
             for _ in 0..200 {
@@ -266,8 +285,8 @@ mod tests {
             }
         }
         for source in [
-            &mut PowLotterySource::new(1.0, 1) as &mut dyn ArrivalSource,
-            &mut BernoulliSource::new(1.0),
+            &mut PowLotterySource::new(1.0, 1).unwrap() as &mut dyn ArrivalSource,
+            &mut BernoulliSource::new(1.0).unwrap(),
         ] {
             let mut rng = StdRng::seed_from_u64(2);
             for _ in 0..200 {
@@ -282,7 +301,7 @@ mod tests {
     #[test]
     fn pow_lottery_is_deterministic_per_seed_and_ignores_the_rng() {
         let draw_all = |seed: u64, rng_seed: u64| {
-            let mut source = PowLotterySource::new(0.35, seed);
+            let mut source = PowLotterySource::new(0.35, seed).unwrap();
             let mut rng = StdRng::seed_from_u64(rng_seed);
             (0..500)
                 .map(|_| source.next_block(&mut rng, 2))
@@ -294,7 +313,7 @@ mod tests {
 
     #[test]
     fn pow_slot_attribution_covers_all_positions() {
-        let mut source = PowLotterySource::new(0.5, 3);
+        let mut source = PowLotterySource::new(0.5, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut seen = [false; 3];
         for _ in 0..2_000 {
@@ -306,8 +325,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "p must lie in [0, 1]")]
-    fn bernoulli_rejects_invalid_p() {
-        let _ = BernoulliSource::new(1.2);
+    fn invalid_shares_are_typed_errors_not_panics() {
+        // Fails on the old code, which `assert!`ed instead of returning the
+        // shared typed error.
+        let expected = ChainError::InvalidParameter {
+            name: "p",
+            constraint: "must lie in [0, 1]",
+        };
+        for bad in [1.2, -0.1, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                BernoulliSource::new(bad).err(),
+                Some(expected),
+                "bernoulli p = {bad}"
+            );
+            assert_eq!(
+                PowLotterySource::new(bad, 1).err(),
+                Some(expected),
+                "pow-lottery p = {bad}"
+            );
+        }
     }
 }

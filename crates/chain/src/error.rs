@@ -1,0 +1,93 @@
+//! Typed errors for the chain crate's fallible constructors.
+//!
+//! The chain layer sits below `sm-core` in the dependency graph, so it hosts
+//! its own error type; `selfish_mining::SelfishMiningError` converts from it
+//! (via `From`) and `selfish_mining::validate_share` delegates to
+//! [`validate_share`] here, keeping one canonical share check for the whole
+//! workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by fallible `sm-chain` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// A numeric parameter violates its documented constraint.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The violated constraint, stated positively.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter {name} violates constraint: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for ChainError {}
+
+/// Validates that `value` is a resource share: finite and in `[0, 1]`.
+///
+/// This is the canonical share check of the workspace;
+/// `selfish_mining::validate_share` delegates here (mapping the error into
+/// `SelfishMiningError`), so both layers reject exactly the same inputs with
+/// the same wording.
+///
+/// # Errors
+///
+/// Returns [`ChainError::InvalidParameter`] when `value` is NaN, infinite or
+/// outside `[0, 1]`.
+pub fn validate_share(name: &'static str, value: f64) -> Result<(), ChainError> {
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(ChainError::InvalidParameter {
+            name,
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_inside_the_unit_interval_pass() {
+        assert!(validate_share("p", 0.0).is_ok());
+        assert!(validate_share("p", 0.5).is_ok());
+        assert!(validate_share("p", 1.0).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_and_non_finite_shares_are_typed_errors() {
+        for bad in [-0.001, 1.001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                validate_share("p", bad),
+                Err(ChainError::InvalidParameter {
+                    name: "p",
+                    constraint: "must lie in [0, 1]",
+                }),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_the_core_error_wording() {
+        let err = ChainError::InvalidParameter {
+            name: "p",
+            constraint: "must lie in [0, 1]",
+        };
+        assert_eq!(
+            err.to_string(),
+            "parameter p violates constraint: must lie in [0, 1]"
+        );
+    }
+}

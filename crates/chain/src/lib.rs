@@ -29,13 +29,20 @@
 #![warn(missing_docs)]
 
 mod arrival;
+mod backend;
 mod block;
+mod error;
 mod metrics;
 mod simulator;
 mod strategy;
 
 pub use arrival::{ArrivalEvent, ArrivalSource, BernoulliSource, PowLotterySource};
+pub use backend::{
+    ChallengeVisibility, ConsensusBackend, PostLotterySource, SpaceLotterySource,
+    StakeLotterySource, VdfLotterySource,
+};
 pub use block::{BlockId, BlockTree, MinerClass};
+pub use error::{validate_share, ChainError};
 pub use metrics::SimulationReport;
 pub use simulator::{MiningRegime, SimulationConfig, Simulator};
 pub use strategy::{

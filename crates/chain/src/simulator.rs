@@ -115,7 +115,8 @@ impl Simulator {
     /// historical inlined lottery. Use [`Simulator::run_with_source`] to run
     /// on a different arrival realisation (e.g. the proof-backed lottery).
     pub fn run(&self, strategy: &mut dyn AdversaryStrategy) -> SimulationReport {
-        self.run_with_source(strategy, &mut BernoulliSource::new(self.config.p))
+        // `Simulator::new` already validated `p`, so skip the fallible path.
+        self.run_with_source(strategy, &mut BernoulliSource::for_validated(self.config.p))
     }
 
     /// Runs the simulation with the given adversary strategy, drawing block
@@ -502,15 +503,17 @@ mod tests {
         // sequence.
         let simulator = Simulator::new(config(0.35, 0.5, 20_000, 13));
         let direct = simulator.run(&mut Sm1Strategy);
-        let via_source =
-            simulator.run_with_source(&mut Sm1Strategy, &mut crate::BernoulliSource::new(0.35));
+        let via_source = simulator.run_with_source(
+            &mut Sm1Strategy,
+            &mut crate::BernoulliSource::new(0.35).unwrap(),
+        );
         assert_eq!(direct, via_source);
     }
 
     #[test]
     fn pow_lottery_source_yields_consistent_honest_share() {
         let simulator = Simulator::new(config(0.3, 0.5, 60_000, 4));
-        let mut source = crate::PowLotterySource::new(0.3, 17);
+        let mut source = crate::PowLotterySource::new(0.3, 17).unwrap();
         let report = simulator.run_with_source(&mut HonestStrategy, &mut source);
         let revenue = report.relative_revenue();
         assert!(

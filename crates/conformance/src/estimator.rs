@@ -9,41 +9,14 @@
 //! result is **bit-identical for any worker count**: replica `i`'s seeds are
 //! a pure function of the master seed and `i`, and the accumulator always
 //! folds the per-replica results in replica order.
+//!
+//! Replicas draw block arrivals from any [`ConsensusBackend`] realisation:
+//! the ideal Bernoulli lottery or one of the proof-backed lotteries from
+//! `sm-proofs` (hashcash, stake, space, space-time, VDF beacon).
 
 use crate::ConformanceError;
-use sm_chain::{
-    AdversaryStrategy, ArrivalSource, BernoulliSource, PowLotterySource, SimulationConfig,
-    Simulator,
-};
-
-/// Which realisation of the block-arrival lottery the replicas run on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ArrivalKind {
-    /// The ideal Bernoulli lottery drawn from the simulation RNG
-    /// ([`sm_chain::BernoulliSource`]).
-    Bernoulli,
-    /// The proof-backed hashcash lottery from `sm-proofs`
-    /// ([`sm_chain::PowLotterySource`]).
-    PowLottery,
-}
-
-impl ArrivalKind {
-    /// Human-readable label used in reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ArrivalKind::Bernoulli => "bernoulli",
-            ArrivalKind::PowLottery => "pow-lottery",
-        }
-    }
-
-    /// Builds a seeded source of this kind for resource share `p`.
-    fn source(&self, p: f64, seed: u64) -> Box<dyn ArrivalSource> {
-        match self {
-            ArrivalKind::Bernoulli => Box::new(BernoulliSource::new(p)),
-            ArrivalKind::PowLottery => Box::new(PowLotterySource::new(p, seed)),
-        }
-    }
-}
+use selfish_mining::SelfishMiningError;
+use sm_chain::{AdversaryStrategy, ConsensusBackend, SimulationConfig, Simulator};
 
 /// Configuration of the Monte-Carlo estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,6 +102,14 @@ impl EstimatorConfig {
                 constraint: "must not exceed max_replicas",
             });
         }
+        // Reject an invalid resource share up front with a typed error; the
+        // historical path let `Simulator::new` catch it with an assert.
+        if sm_chain::validate_share("p", self.simulation.p).is_err() {
+            return Err(ConformanceError::InvalidConfig {
+                name: "simulation.p",
+                constraint: "must lie in [0, 1]",
+            });
+        }
         Ok(())
     }
 
@@ -142,8 +123,8 @@ impl EstimatorConfig {
 /// confidence interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
-    /// Label of the arrival source the replicas ran on.
-    pub source: &'static str,
+    /// The consensus backend whose arrival realisation the replicas ran on.
+    pub backend: ConsensusBackend,
     /// Sample mean of the per-replica relative revenues.
     pub mean: f64,
     /// Unbiased sample variance of the per-replica relative revenues.
@@ -256,9 +237,9 @@ fn replica_seeds(master: u64, index: usize) -> (u64, u64) {
 fn run_replica<S>(
     config: &EstimatorConfig,
     strategy: &S,
-    kind: ArrivalKind,
+    backend: ConsensusBackend,
     index: usize,
-) -> (f64, u64)
+) -> Result<(f64, u64), ConformanceError>
 where
     S: AdversaryStrategy + Clone,
 {
@@ -271,12 +252,14 @@ where
     // The clone inherits the prototype's miss counter (e.g. from a prior run
     // of the same table); report only the misses this replica adds.
     let baseline_misses = replica_strategy.unknown_views();
-    let mut source = kind.source(config.simulation.p, source_seed);
+    let mut source = backend
+        .source(config.simulation.p, source_seed)
+        .map_err(SelfishMiningError::from)?;
     let report = simulator.run_with_source(&mut replica_strategy, source.as_mut());
-    (
+    Ok((
         report.relative_revenue(),
         replica_strategy.unknown_views() - baseline_misses,
-    )
+    ))
 }
 
 /// Runs replicas `first..first + count` and returns their contributions in
@@ -284,20 +267,20 @@ where
 fn run_round<S>(
     config: &EstimatorConfig,
     strategy: &S,
-    kind: ArrivalKind,
+    backend: ConsensusBackend,
     first: usize,
     count: usize,
-) -> Vec<(f64, u64)>
+) -> Vec<Result<(f64, u64), ConformanceError>>
 where
     S: AdversaryStrategy + Clone + Send + Sync,
 {
     crate::run_indexed_jobs(config.worker_count(count), count, |offset| {
-        run_replica(config, strategy, kind, first + offset)
+        run_replica(config, strategy, backend, first + offset)
     })
 }
 
 /// Estimates the expected relative revenue of `strategy` under the given
-/// arrival realisation.
+/// backend's arrival realisation.
 ///
 /// Replicas run in batches of [`EstimatorConfig::batch`]; after each batch
 /// the CLT interval is recomputed and the run stops once its half-width
@@ -310,13 +293,15 @@ where
 ///
 /// Returns [`ConformanceError::InvalidConfig`] for non-finite or
 /// non-positive tolerances and z-scores, an empty batch, a replica budget
-/// below 2, or a replica floor below 2 or above the budget. (The historical
-/// code silently clamped an inconsistent `min_replicas` into range instead
-/// of rejecting the config.)
+/// below 2, a replica floor below 2 or above the budget, or an out-of-range
+/// resource share. (The historical code silently clamped an inconsistent
+/// `min_replicas` into range instead of rejecting the config.) Backend
+/// construction errors (e.g. a zero-VDF space-time budget) propagate as
+/// [`ConformanceError::Analysis`].
 pub fn estimate_revenue<S>(
     config: &EstimatorConfig,
     strategy: &S,
-    kind: ArrivalKind,
+    backend: ConsensusBackend,
 ) -> Result<Estimate, ConformanceError>
 where
     S: AdversaryStrategy + Clone + Send + Sync,
@@ -328,7 +313,8 @@ where
     let mut next_index = 0usize;
     while next_index < config.max_replicas {
         let round = config.batch.min(config.max_replicas - next_index);
-        for (revenue, misses) in run_round(config, strategy, kind, next_index, round) {
+        for result in run_round(config, strategy, backend, next_index, round) {
+            let (revenue, misses) = result?;
             welford.push(revenue);
             unknown_views += misses;
         }
@@ -341,7 +327,7 @@ where
         }
     }
     Ok(Estimate {
-        source: kind.label(),
+        backend,
         mean: welford.mean,
         variance: welford.variance(),
         half_width: welford.half_width(config.z_score),
@@ -374,7 +360,7 @@ mod tests {
         let estimate = estimate_revenue(
             &config(0.3, 20_000, 1),
             &HonestStrategy,
-            ArrivalKind::Bernoulli,
+            ConsensusBackend::Bernoulli,
         )
         .unwrap();
         assert!(estimate.replicas >= 4);
@@ -386,7 +372,7 @@ mod tests {
             estimate.half_width
         );
         assert_eq!(estimate.unknown_views, 0);
-        assert_eq!(estimate.source, "bernoulli");
+        assert_eq!(estimate.backend, ConsensusBackend::Bernoulli);
     }
 
     #[test]
@@ -405,7 +391,7 @@ mod tests {
                 ..base.clone()
             },
             &HonestStrategy,
-            ArrivalKind::PowLottery,
+            ConsensusBackend::PowLottery,
         )
         .unwrap();
         for workers in [2, 5, 8] {
@@ -415,7 +401,7 @@ mod tests {
                     ..base.clone()
                 },
                 &HonestStrategy,
-                ArrivalKind::PowLottery,
+                ConsensusBackend::PowLottery,
             )
             .unwrap();
             assert_eq!(reference, estimate, "workers = {workers}");
@@ -429,7 +415,7 @@ mod tests {
         let estimate = estimate_revenue(
             &config(0.0, 2_000, 3),
             &HonestStrategy,
-            ArrivalKind::Bernoulli,
+            ConsensusBackend::Bernoulli,
         )
         .unwrap();
         assert_eq!(estimate.mean, 0.0);
@@ -442,7 +428,7 @@ mod tests {
     #[test]
     fn interval_helpers_are_consistent() {
         let estimate = Estimate {
-            source: "bernoulli",
+            backend: ConsensusBackend::Bernoulli,
             mean: 0.3,
             variance: 1e-6,
             half_width: 0.01,
@@ -469,7 +455,7 @@ mod tests {
         let cfg = config(0.3, 2_000, 9);
         // An empty table misses (and counts) every decision point.
         let fresh = TableStrategy::new("empty");
-        let clean = estimate_revenue(&cfg, &fresh, ArrivalKind::Bernoulli).unwrap();
+        let clean = estimate_revenue(&cfg, &fresh, ConsensusBackend::Bernoulli).unwrap();
         assert!(clean.unknown_views > 0);
         // A prototype whose counter was dirtied before the run must report
         // the same per-replica misses, not the inherited baseline on top.
@@ -482,7 +468,7 @@ mod tests {
                 just_mined: false,
             });
         }
-        let dirtied = estimate_revenue(&cfg, &dirty, ArrivalKind::Bernoulli).unwrap();
+        let dirtied = estimate_revenue(&cfg, &dirty, ConsensusBackend::Bernoulli).unwrap();
         assert_eq!(clean, dirtied);
     }
 
@@ -492,17 +478,21 @@ mod tests {
             tolerance: 0.0,
             ..config(0.3, 100, 1)
         };
-        assert!(estimate_revenue(&bad_tol, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+        assert!(estimate_revenue(&bad_tol, &HonestStrategy, ConsensusBackend::Bernoulli).is_err());
         let bad_batch = EstimatorConfig {
             batch: 0,
             ..config(0.3, 100, 1)
         };
-        assert!(estimate_revenue(&bad_batch, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+        assert!(
+            estimate_revenue(&bad_batch, &HonestStrategy, ConsensusBackend::Bernoulli).is_err()
+        );
         let bad_budget = EstimatorConfig {
             max_replicas: 1,
             ..config(0.3, 100, 1)
         };
-        assert!(estimate_revenue(&bad_budget, &HonestStrategy, ArrivalKind::Bernoulli).is_err());
+        assert!(
+            estimate_revenue(&bad_budget, &HonestStrategy, ConsensusBackend::Bernoulli).is_err()
+        );
     }
 
     #[test]
@@ -514,7 +504,7 @@ mod tests {
             ..config(0.3, 100, 1)
         };
         assert!(matches!(
-            estimate_revenue(&too_low, &HonestStrategy, ArrivalKind::Bernoulli),
+            estimate_revenue(&too_low, &HonestStrategy, ConsensusBackend::Bernoulli),
             Err(ConformanceError::InvalidConfig {
                 name: "min_replicas",
                 ..
@@ -526,11 +516,64 @@ mod tests {
             ..config(0.3, 100, 1)
         };
         assert!(matches!(
-            estimate_revenue(&above_budget, &HonestStrategy, ArrivalKind::Bernoulli),
+            estimate_revenue(&above_budget, &HonestStrategy, ConsensusBackend::Bernoulli),
             Err(ConformanceError::InvalidConfig {
                 name: "min_replicas",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn every_backend_estimates_the_honest_share() {
+        // Proof-backed backends plug into the same estimator and land on the
+        // proportional share for honest behaviour (the σ = 1 law is p for
+        // every backend, including the budget-capped space-time miner).
+        for backend in [
+            ConsensusBackend::PoStake,
+            ConsensusBackend::Vdf,
+            ConsensusBackend::Post { vdfs: 1 },
+        ] {
+            let estimate =
+                estimate_revenue(&config(0.3, 8_000, 5), &HonestStrategy, backend).unwrap();
+            assert_eq!(estimate.backend, backend);
+            assert!(
+                (estimate.mean - 0.3).abs() <= estimate.half_width + 2e-2,
+                "{backend}: mean {} (hw {})",
+                estimate.mean,
+                estimate.half_width
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_shares_are_config_errors_not_asserts() {
+        // Regression direction: an invalid p used to reach Simulator::new's
+        // assert; the estimator now rejects it with its own typed error.
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(matches!(
+                estimate_revenue(
+                    &config(bad, 100, 1),
+                    &HonestStrategy,
+                    ConsensusBackend::Bernoulli
+                ),
+                Err(ConformanceError::InvalidConfig {
+                    name: "simulation.p",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn backend_construction_errors_propagate() {
+        assert!(matches!(
+            estimate_revenue(
+                &config(0.3, 100, 1),
+                &HonestStrategy,
+                ConsensusBackend::Post { vdfs: 0 },
+            ),
+            Err(ConformanceError::Analysis(_))
         ));
     }
 
@@ -544,7 +587,7 @@ mod tests {
                 ..config(0.3, 100, 1)
             };
             assert!(matches!(
-                estimate_revenue(&bad, &HonestStrategy, ArrivalKind::Bernoulli),
+                estimate_revenue(&bad, &HonestStrategy, ConsensusBackend::Bernoulli),
                 Err(ConformanceError::InvalidConfig {
                     name: "z_score",
                     ..
@@ -556,7 +599,7 @@ mod tests {
             ..config(0.3, 100, 1)
         };
         assert!(matches!(
-            estimate_revenue(&bad_tol, &HonestStrategy, ArrivalKind::Bernoulli),
+            estimate_revenue(&bad_tol, &HonestStrategy, ConsensusBackend::Bernoulli),
             Err(ConformanceError::InvalidConfig {
                 name: "tolerance",
                 ..

@@ -16,10 +16,12 @@
 //!    `[β_low, β_up]` revenue bracket of the solve
 //!    ([`ConformancePoint`], [`ConformanceReport`]).
 //!
-//! Replicas can draw block arrivals from the ideal Bernoulli lottery or from
-//! the proof-backed hashcash lottery of `sm-proofs`
-//! ([`ArrivalKind`]); running both cross-checks two independent realisations
-//! of the arrival law against each other *and* against the solver.
+//! Replicas can draw block arrivals from any [`ConsensusBackend`]
+//! realisation of the arrival lottery — the ideal Bernoulli draw or the
+//! proof-backed hashcash, stake, space, space-time and VDF-beacon lotteries
+//! of `sm-proofs`; witnessing several backends cross-checks independent
+//! realisations of the arrival law against each other *and* against the
+//! solver.
 //!
 //! The `sm-sweep` crate drives this machinery across whole `(p, γ)` grids;
 //! `examples/conformance.rs` runs the coarse Figure-2 grid end to end.
@@ -30,7 +32,7 @@
 mod estimator;
 mod report;
 
-pub use estimator::{estimate_revenue, ArrivalKind, Estimate, EstimatorConfig};
+pub use estimator::{estimate_revenue, Estimate, EstimatorConfig};
 pub use report::{ConformancePoint, ConformanceReport};
 // The scheduler primitives lived in a private `pool` module here before they
 // were promoted to the shared `sm-scheduler` crate (the sweep engine and the
@@ -40,7 +42,7 @@ pub use sm_scheduler::{effective_workers, resolve_budget, run_budgeted_jobs, run
 
 use selfish_mining::experiments::CertifiedSolve;
 use selfish_mining::{AttackScenario, SelfishMiningError, StrategyExport};
-use sm_chain::{MiningRegime, SimulationConfig, UnknownViewPolicy};
+use sm_chain::{ConsensusBackend, MiningRegime, SimulationConfig, UnknownViewPolicy};
 use std::error::Error;
 use std::fmt;
 
@@ -128,15 +130,17 @@ pub struct ConformanceSettings {
     /// check grid pass reliable without loosening what a real disagreement —
     /// typically ≫ the stopping tolerance — looks like.
     pub statistical_slack: f64,
-    /// The arrival realisations to witness each point under.
-    pub sources: Vec<ArrivalKind>,
+    /// The consensus backends to witness each point under.
+    pub backends: Vec<ConsensusBackend>,
 }
 
 impl Default for ConformanceSettings {
     /// Tuned so a coarse-grid pass stays in tens of seconds while the CLT
     /// interval is a few 10⁻³ wide: 60 000 steps per replica, 3σ intervals,
-    /// up to 64 replicas stopping at half-width ≤ 4·10⁻³, both arrival
-    /// sources.
+    /// up to 64 replicas stopping at half-width ≤ 4·10⁻³, witnessed under
+    /// the ideal Bernoulli lottery and the proof-backed hashcash lottery
+    /// (the historical source pair; widen via
+    /// [`ConsensusBackend::default_family`] for the full backend matrix).
     fn default() -> Self {
         ConformanceSettings {
             steps: 60_000,
@@ -149,23 +153,29 @@ impl Default for ConformanceSettings {
             master_seed: 0x5EED_C0DE,
             certificate_slack: 1e-6,
             statistical_slack: 2e-3,
-            sources: vec![ArrivalKind::Bernoulli, ArrivalKind::PowLottery],
+            backends: vec![ConsensusBackend::Bernoulli, ConsensusBackend::PowLottery],
         }
     }
 }
 
 impl ConformanceSettings {
-    /// The estimator configuration for one `(scenario, d, f, p, γ)` point.
-    /// The master seed is mixed with the point's coordinates so every grid
-    /// point owns an independent, reproducible replica stream; non-optimal
-    /// scenarios additionally fold in their
-    /// [`AttackScenario::seed_salt`], keeping scenario streams disjoint
-    /// while the optimal scenario's streams stay identical to the
-    /// pre-scenario subsystem. Scenarios with a restricted mining split
+    /// The estimator configuration for one `(backend, scenario, d, f, p, γ)`
+    /// point. The master seed is mixed with the point's coordinates so every
+    /// grid point owns an independent, reproducible replica stream;
+    /// non-optimal scenarios additionally fold in their
+    /// [`AttackScenario::seed_salt`], and non-Bernoulli backends their
+    /// [`ConsensusBackend::seed_salt`], keeping the full backend × scenario
+    /// product of streams disjoint while the optimal-scenario Bernoulli
+    /// streams stay identical to the pre-scenario subsystem. (The two salt
+    /// families live in disjoint `u64` namespaces, so the order-sensitive
+    /// folding cannot make a `(scenario, backend)` pair collide with any
+    /// other.) Scenarios with a restricted mining split
     /// ([`AttackScenario::restricts_mining_to_tip`]) run their replicas
     /// under the matching simulator [`MiningRegime`].
+    #[allow(clippy::too_many_arguments)]
     pub fn estimator_config(
         &self,
+        backend: ConsensusBackend,
         scenario: AttackScenario,
         p: f64,
         gamma: f64,
@@ -185,6 +195,9 @@ impl ConformanceSettings {
         }
         if scenario != AttackScenario::Optimal {
             seed = splitmix(seed ^ splitmix(scenario.seed_salt()));
+        }
+        if backend.seed_salt() != 0 {
+            seed = splitmix(seed ^ splitmix(backend.seed_salt()));
         }
         let mining = if scenario.restricts_mining_to_tip() {
             MiningRegime::TipOnly
@@ -222,8 +235,8 @@ pub(crate) fn splitmix(mut x: u64) -> u64 {
 }
 
 /// Certifies one solved grid point: exports the ε-optimal strategy into the
-/// simulator and estimates its revenue under every configured arrival
-/// source.
+/// simulator and estimates its revenue under every configured consensus
+/// backend.
 ///
 /// The export handle only reads the family's *structure*, so one handle —
 /// built via [`StrategyExport::from_family`] (no instantiation at all) or
@@ -242,10 +255,10 @@ pub fn certify_point(
     solve: &CertifiedSolve,
     settings: &ConformanceSettings,
 ) -> Result<ConformancePoint, ConformanceError> {
-    if settings.sources.is_empty() {
+    if settings.backends.is_empty() {
         return Err(ConformanceError::InvalidConfig {
-            name: "sources",
-            constraint: "must name at least one arrival source",
+            name: "backends",
+            constraint: "must name at least one consensus backend",
         });
     }
     // The slacks widen the certificate; a negative one would silently
@@ -272,18 +285,21 @@ pub fn certify_point(
         solve.scenario.label(),
     )?;
     let table_entries = table.len();
-    let config = settings.estimator_config(
-        solve.scenario,
-        solve.p,
-        solve.gamma,
-        export.depth(),
-        export.forks_per_block(),
-        export.max_fork_length(),
-    );
     let estimates = settings
-        .sources
+        .backends
         .iter()
-        .map(|&kind| estimate_revenue(&config, &table, kind))
+        .map(|&backend| {
+            let config = settings.estimator_config(
+                backend,
+                solve.scenario,
+                solve.p,
+                solve.gamma,
+                export.depth(),
+                export.forks_per_block(),
+                export.max_fork_length(),
+            );
+            estimate_revenue(&config, &table, backend)
+        })
         .collect::<Result<Vec<_>, _>>()?;
     Ok(ConformancePoint {
         scenario: solve.scenario.label(),
@@ -319,6 +335,8 @@ mod tests {
         let point =
             certify_point(&StrategyExport::from_family(&family), &solves[0], &settings).unwrap();
         assert_eq!(point.estimates.len(), 2);
+        assert_eq!(point.estimates[0].backend, ConsensusBackend::Bernoulli);
+        assert_eq!(point.estimates[1].backend, ConsensusBackend::PowLottery);
         assert_eq!(point.depth, 2);
         assert!(point.table_entries > 0);
         assert!(
@@ -332,14 +350,33 @@ mod tests {
     fn per_point_seeds_differ() {
         let settings = ConformanceSettings::default();
         let optimal = AttackScenario::Optimal;
-        let a = settings.estimator_config(optimal, 0.1, 0.5, 2, 1, 4);
-        let b = settings.estimator_config(optimal, 0.2, 0.5, 2, 1, 4);
-        let c = settings.estimator_config(optimal, 0.1, 0.0, 2, 1, 4);
+        let bernoulli = ConsensusBackend::Bernoulli;
+        let a = settings.estimator_config(bernoulli, optimal, 0.1, 0.5, 2, 1, 4);
+        let b = settings.estimator_config(bernoulli, optimal, 0.2, 0.5, 2, 1, 4);
+        let c = settings.estimator_config(bernoulli, optimal, 0.1, 0.0, 2, 1, 4);
         assert_ne!(a.simulation.seed, b.simulation.seed);
         assert_ne!(a.simulation.seed, c.simulation.seed);
         // Same coordinates → same seed (reproducibility).
-        let again = settings.estimator_config(optimal, 0.1, 0.5, 2, 1, 4);
+        let again = settings.estimator_config(bernoulli, optimal, 0.1, 0.5, 2, 1, 4);
         assert_eq!(a.simulation.seed, again.simulation.seed);
+    }
+
+    #[test]
+    fn backend_by_scenario_streams_are_disjoint() {
+        // The full backend × scenario product at one grid point: every cell
+        // owns its own replica stream, and the Bernoulli column reproduces
+        // the historical (backend-less) seeds exactly.
+        let settings = ConformanceSettings::default();
+        let mut seeds = std::collections::HashMap::new();
+        for scenario in AttackScenario::default_family() {
+            for backend in ConsensusBackend::default_family() {
+                let config = settings.estimator_config(backend, scenario, 0.1, 0.5, 2, 1, 4);
+                if let Some(other) = seeds.insert(config.simulation.seed, (backend, scenario)) {
+                    panic!("({backend}, {scenario}) shares a replica stream with {other:?}");
+                }
+            }
+        }
+        assert_eq!(seeds.len(), 30);
     }
 
     #[test]
@@ -347,7 +384,8 @@ mod tests {
         let settings = ConformanceSettings::default();
         let mut seeds = std::collections::HashSet::new();
         for scenario in AttackScenario::default_family() {
-            let config = settings.estimator_config(scenario, 0.1, 0.5, 2, 1, 4);
+            let config =
+                settings.estimator_config(ConsensusBackend::Bernoulli, scenario, 0.1, 0.5, 2, 1, 4);
             assert!(
                 seeds.insert(config.simulation.seed),
                 "{scenario} shares a replica stream with another scenario"
@@ -390,19 +428,42 @@ mod tests {
     }
 
     #[test]
-    fn empty_source_list_is_rejected() {
+    fn empty_backend_list_is_rejected() {
         let family = ParametricModel::build(1, 1, 2).unwrap();
         let solves = attack_curve_certified(&family, 0.5, &[0.2], 1e-2, true).unwrap();
         let settings = ConformanceSettings {
-            sources: vec![],
+            backends: vec![],
             ..ConformanceSettings::default()
         };
         assert!(matches!(
             certify_point(&StrategyExport::from_family(&family), &solves[0], &settings),
             Err(ConformanceError::InvalidConfig {
-                name: "sources",
+                name: "backends",
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn certify_point_witnesses_a_proof_backed_backend_matrix() {
+        // A cheap-backend slice of the matrix: the same solved point
+        // conforms under the stake lottery and the VDF beacon too.
+        let family = ParametricModel::build(1, 1, 2).unwrap();
+        let solves = attack_curve_certified(&family, 0.5, &[0.25], 5e-3, true).unwrap();
+        let settings = ConformanceSettings {
+            steps: 20_000,
+            max_replicas: 24,
+            backends: vec![
+                ConsensusBackend::Bernoulli,
+                ConsensusBackend::PoStake,
+                ConsensusBackend::Vdf,
+            ],
+            ..ConformanceSettings::default()
+        };
+        let point =
+            certify_point(&StrategyExport::from_family(&family), &solves[0], &settings).unwrap();
+        assert_eq!(point.estimates.len(), 3);
+        assert!(point.conforms(), "backend matrix misses: {point:?}");
+        assert!(point.sources_agree(), "backends disagree: {point:?}");
     }
 }

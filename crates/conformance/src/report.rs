@@ -5,8 +5,8 @@ use crate::Estimate;
 use std::fmt::Write as _;
 
 /// One `(d, f, p, γ)` grid point of a conformance run: the solver's
-/// certified revenue bracket next to one Monte-Carlo estimate per arrival
-/// source.
+/// certified revenue bracket next to one Monte-Carlo estimate per consensus
+/// backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConformancePoint {
     /// Label of the attack scenario the point was solved and witnessed under
@@ -38,7 +38,8 @@ pub struct ConformancePoint {
     pub strategy_revenue: f64,
     /// Number of decision views the exported table covers.
     pub table_entries: usize,
-    /// One Monte-Carlo estimate per arrival source, in configuration order.
+    /// One Monte-Carlo estimate per consensus backend, in configuration
+    /// order.
     pub estimates: Vec<Estimate>,
 }
 
@@ -52,7 +53,7 @@ impl ConformancePoint {
         )
     }
 
-    /// Whether every source's confidence interval overlaps the (slack-
+    /// Whether every backend's confidence interval overlaps the (slack-
     /// widened) certificate.
     pub fn conforms(&self) -> bool {
         let (lower, upper) = self.certificate();
@@ -61,16 +62,26 @@ impl ConformancePoint {
             .all(|estimate| estimate.overlaps(lower, upper))
     }
 
-    /// Whether all pairs of source estimates overlap each other (the
-    /// Bernoulli-vs-proof-backed cross-check).
+    /// Whether every other backend's confidence interval overlaps the
+    /// first (reference) backend's — the ideal-vs-proof-backed cross-check,
+    /// with the reference conventionally the Bernoulli ideal
+    /// (`ConformanceSettings::backends` configuration order).
+    ///
+    /// This is `K − 1` comparisons against one anchor, *not* all pairs:
+    /// the backends estimate the same law, so demanding pairwise overlap of
+    /// `K(K−1)/2` independent confidence intervals fails spuriously as the
+    /// matrix grows (a multiple-comparison effect on the noisiest pair),
+    /// while anchoring each backend to the shared reference keeps the check
+    /// calibrated at any `K`. With the historical two-backend matrix the two
+    /// formulations coincide.
     pub fn sources_agree(&self) -> bool {
-        self.estimates
-            .iter()
-            .enumerate()
-            .all(|(i, a)| self.estimates.iter().skip(i + 1).all(|b| a.agrees_with(b)))
+        match self.estimates.split_first() {
+            Some((reference, rest)) => rest.iter().all(|other| reference.agrees_with(other)),
+            None => true,
+        }
     }
 
-    /// Largest distance between any source's confidence interval and the
+    /// Largest distance between any backend's confidence interval and the
     /// slack-widened certificate (0 if and only if the point conforms).
     pub fn worst_gap(&self) -> f64 {
         let (lower, upper) = self.certificate();
@@ -80,7 +91,7 @@ impl ConformancePoint {
             .fold(0.0, f64::max)
     }
 
-    /// Total unknown-view fallbacks across all sources' replicas.
+    /// Total unknown-view fallbacks across all backends' replicas.
     pub fn unknown_views(&self) -> u64 {
         self.estimates.iter().map(|e| e.unknown_views).sum()
     }
@@ -106,12 +117,13 @@ impl ConformanceReport {
         self.points.is_empty()
     }
 
-    /// Whether every point's every source conforms to its certificate.
+    /// Whether every point's every backend conforms to its certificate.
     pub fn all_conform(&self) -> bool {
         self.points.iter().all(ConformancePoint::conforms)
     }
 
-    /// Whether the arrival sources agree with each other at every point.
+    /// Whether the backends' estimates agree with each other at every
+    /// point.
     pub fn sources_agree(&self) -> bool {
         self.points.iter().all(ConformancePoint::sources_agree)
     }
@@ -139,7 +151,8 @@ impl ConformanceReport {
     }
 
     /// Renders the report as an aligned text table, one row per (point,
-    /// source).
+    /// backend). The `backend` column prints the descriptor's label, so new
+    /// backends render correctly without touching the report.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -150,7 +163,7 @@ impl ConformanceReport {
             "f",
             "p",
             "gamma",
-            "source",
+            "backend",
             "certificate",
             "simulated CI",
             "replicas",
@@ -169,7 +182,7 @@ impl ConformanceReport {
                     point.forks,
                     point.p,
                     point.gamma,
-                    estimate.source,
+                    estimate.backend.label(),
                     point.certified_lower,
                     point.certified_upper,
                     estimate.lower(),
@@ -187,10 +200,11 @@ impl ConformanceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sm_chain::ConsensusBackend;
 
-    fn estimate(source: &'static str, mean: f64, half_width: f64) -> Estimate {
+    fn estimate(backend: ConsensusBackend, mean: f64, half_width: f64) -> Estimate {
         Estimate {
-            source,
+            backend,
             mean,
             variance: 1e-6,
             half_width,
@@ -215,8 +229,8 @@ mod tests {
             strategy_revenue: 0.335,
             table_entries: 42,
             estimates: vec![
-                estimate("bernoulli", mean, 0.005),
-                estimate("pow-lottery", mean + 0.002, 0.005),
+                estimate(ConsensusBackend::Bernoulli, mean, 0.005),
+                estimate(ConsensusBackend::PowLottery, mean + 0.002, 0.005),
             ],
         }
     }
@@ -235,6 +249,7 @@ mod tests {
         assert!(!report.is_empty());
         let rendered = report.render();
         assert!(rendered.contains("scenario"));
+        assert!(rendered.contains("backend"));
         assert!(rendered.contains("optimal"));
         assert!(rendered.contains("bernoulli"));
         assert!(rendered.contains("pow-lottery"));

@@ -1,5 +1,6 @@
 //! Error type for the selfish-mining model and analysis.
 
+use sm_chain::ChainError;
 use sm_markov::MarkovError;
 use sm_mdp::MdpError;
 use std::error::Error;
@@ -99,6 +100,19 @@ impl From<MarkovError> for SelfishMiningError {
     }
 }
 
+impl From<ChainError> for SelfishMiningError {
+    /// Lifts a chain-layer parameter error into the model layer. The chain
+    /// error carries the same `(name, constraint)` shape and wording, so the
+    /// conversion is lossless.
+    fn from(err: ChainError) -> Self {
+        match err {
+            ChainError::InvalidParameter { name, constraint } => {
+                SelfishMiningError::InvalidParameter { name, constraint }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +143,22 @@ mod tests {
         assert!(Error::source(&err).is_some());
         let err: SelfishMiningError = MarkovError::EmptyChain.into();
         assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn chain_errors_lift_losslessly() {
+        let err: SelfishMiningError = ChainError::InvalidParameter {
+            name: "p",
+            constraint: "must lie in [0, 1]",
+        }
+        .into();
+        assert_eq!(
+            err,
+            SelfishMiningError::InvalidParameter {
+                name: "p",
+                constraint: "must lie in [0, 1]",
+            }
+        );
     }
 
     #[test]

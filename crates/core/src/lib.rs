@@ -68,8 +68,14 @@ pub use export::StrategyExport;
 pub use model::{SelfishMiningModel, DEFAULT_STATE_LIMIT};
 pub use parametric::{ParametricModel, RewardAtom};
 pub use params::{validate_epsilon, validate_share, AttackParams};
-pub use scenario::AttackScenario;
+pub use scenario::{AttackScenario, CertificateScope};
 pub use state::{Owner, Phase, SmState};
+
+// The consensus-backend axis, re-exported from the chain layer so crates
+// above the model (sweep, service) reach it without a direct `sm-chain`
+// dependency — the same role the `AttackScenario` re-export plays for the
+// scenario axis.
+pub use sm_chain::{ChallengeVisibility, ConsensusBackend};
 
 // Intra-solve parallelism and sweep-kernel knobs, shared across the solver
 // stack (`sm-markov` chain sweeps, `sm-mdp` value iteration, the analysis

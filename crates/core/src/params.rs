@@ -8,19 +8,17 @@ use crate::SelfishMiningError;
 /// Shared by [`AttackParams::validate`], the sweep engine's up-front grid
 /// validation and the query service's request validation, so every entry
 /// point rejects `NaN`/out-of-range shares with the same typed error before
-/// any solver work starts.
+/// any solver work starts. Delegates to `sm_chain::validate_share` — the
+/// canonical check also guarding the arrival-source constructors — so the
+/// chain and model layers reject exactly the same inputs with the same
+/// wording.
 ///
 /// # Errors
 ///
 /// Returns [`SelfishMiningError::InvalidParameter`] naming the offending
 /// parameter when the value is `NaN`, infinite or outside `[0, 1]`.
 pub fn validate_share(name: &'static str, value: f64) -> Result<(), SelfishMiningError> {
-    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
-        return Err(SelfishMiningError::InvalidParameter {
-            name,
-            constraint: "must lie in [0, 1]",
-        });
-    }
+    sm_chain::validate_share(name, value)?;
     Ok(())
 }
 

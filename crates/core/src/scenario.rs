@@ -36,7 +36,59 @@
 //! scenario matrix.
 
 use crate::{available_actions, AttackParams, Phase, SmAction, SmState};
+use sm_chain::{ChallengeVisibility, ConsensusBackend};
 use std::fmt;
+
+/// Scope of a certified `[β_low, β_up]` bracket under a given consensus
+/// backend — the model-layer consumption of the backend-declared
+/// [`ChallengeVisibility`] capability.
+///
+/// The solver optimises over *memoryless* strategies, which is exhaustive
+/// when challenges are unpredictable (the adversary learns nothing about
+/// future lotteries, so the MDP state is a sufficient statistic). Under a
+/// predictable schedule (epoch-based stake lotteries, self-advancing VDF
+/// beacons) the adversary can condition on future lottery outcomes — a
+/// strategy space the memoryless search does not cover — so the certified
+/// `β_up` is an optimum over a sub-family only. The *lower* bound and the
+/// witnessed strategy's revenue bracket remain valid under every backend:
+/// they are statements about one concrete strategy, not about a supremum.
+/// See the "Multi-backend conformance" section of EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CertificateScope {
+    /// Both certificate ends bind: `β_up` is an upper bound over the full
+    /// admissible strategy space (unpredictable challenges).
+    #[default]
+    TwoSided,
+    /// Only `β_low` (and the witnessed strategy's bracket) binds: a
+    /// predictable challenge schedule admits planning-ahead strategies the
+    /// memoryless solver does not search, so `β_up` is certified only over
+    /// memoryless adversaries.
+    LowerBoundOnly,
+}
+
+impl CertificateScope {
+    /// The scope of certificates witnessed against `backend`.
+    pub fn for_backend(backend: ConsensusBackend) -> CertificateScope {
+        match backend.challenge_visibility() {
+            ChallengeVisibility::Unpredictable => CertificateScope::TwoSided,
+            ChallengeVisibility::Predictable => CertificateScope::LowerBoundOnly,
+        }
+    }
+
+    /// A stable label used in reports and the service wire format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CertificateScope::TwoSided => "two-sided",
+            CertificateScope::LowerBoundOnly => "lower-bound-only",
+        }
+    }
+}
+
+impl fmt::Display for CertificateScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A restricted-action attack scenario of the selfish-mining MDP.
 ///
@@ -565,6 +617,24 @@ mod tests {
             unbounded.admissible_actions(&p, &state),
             available_actions(&p, &state)
         );
+    }
+
+    #[test]
+    fn certificate_scope_follows_the_backend_capability() {
+        for backend in ConsensusBackend::default_family() {
+            let scope = CertificateScope::for_backend(backend);
+            if backend.adversary_can_plan_ahead() {
+                assert_eq!(scope, CertificateScope::LowerBoundOnly, "{backend}");
+            } else {
+                assert_eq!(scope, CertificateScope::TwoSided, "{backend}");
+            }
+        }
+        assert_eq!(CertificateScope::TwoSided.label(), "two-sided");
+        assert_eq!(
+            format!("{}", CertificateScope::LowerBoundOnly),
+            "lower-bound-only"
+        );
+        assert_eq!(CertificateScope::default(), CertificateScope::TwoSided);
     }
 
     #[test]

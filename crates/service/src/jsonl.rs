@@ -9,20 +9,23 @@
 //!
 //! ```text
 //! {"p": 0.33, "gamma": 0.5}
-//! {"op": "query", "scenario": "lead-stubborn", "d": 2, "f": 2, "l": 4,
-//!  "p": 0.2, "gamma": 0.25, "epsilon": 1e-3}
+//! {"op": "query", "scenario": "lead-stubborn", "backend": "postake",
+//!  "d": 2, "f": 2, "l": 4, "p": 0.2, "gamma": 0.25, "epsilon": 1e-3}
 //! {"op": "stats"}
 //! {"op": "shutdown"}
 //! ```
 //!
-//! Query fields default to [`Query::default`] (optimal scenario, `d = 2`,
-//! `f = 1`, `l = 4`, `γ = 0.5`, `ε = 10⁻³`); only `p` is required. Every
+//! Query fields default to [`Query::default`] (optimal scenario, Bernoulli
+//! backend, `d = 2`, `f = 1`, `l = 4`, `γ = 0.5`, `ε = 10⁻³`); only `p` is
+//! required. The optional `backend` field takes a consensus-backend label
+//! (`selfish_mining::ConsensusBackend::from_label`); answers echo it
+//! together with the resulting `certificate_scope`. Every
 //! response carries `"status": "ok"` or `"status": "error"`; malformed
 //! lines produce an error response and the loop continues. `shutdown`
 //! acknowledges and ends the loop (as does end of input).
 
 use crate::{Answer, Query, Service, ServiceError, ServiceStats};
-use selfish_mining::AttackScenario;
+use selfish_mining::{AttackScenario, ConsensusBackend};
 use sm_audit::json::{parse_json, write_json, JsonValue};
 use std::io::{BufRead, Write};
 
@@ -124,8 +127,19 @@ fn parse_query(request: &JsonValue) -> Result<Query, String> {
         }
         None => defaults.scenario,
     };
+    let backend = match request.get("backend") {
+        Some(value) => {
+            let label = value
+                .as_str()
+                .ok_or("field \"backend\" must be a string label")?;
+            ConsensusBackend::from_label(label)
+                .ok_or_else(|| format!("unknown backend label {label:?}"))?
+        }
+        None => defaults.backend,
+    };
     Ok(Query {
         scenario,
+        backend,
         depth: count("d", defaults.depth)?,
         forks_per_block: count("f", defaults.forks_per_block)?,
         max_fork_length: count("l", defaults.max_fork_length)?,
@@ -142,6 +156,14 @@ fn answer_response(query: &Query, answer: &Answer) -> JsonValue {
         (
             "scenario".to_string(),
             JsonValue::String(interval.scenario.label()),
+        ),
+        (
+            "backend".to_string(),
+            JsonValue::String(interval.backend.label()),
+        ),
+        (
+            "certificate_scope".to_string(),
+            JsonValue::String(interval.certificate_scope().label().to_string()),
         ),
         ("d".to_string(), JsonValue::Number(query.depth as f64)),
         (
@@ -223,6 +245,7 @@ mod tests {
             "{\"p\": 0.1, \"d\": 1, \"f\": 1, \"epsilon\": 0.005}\n",
             "\n",
             "{\"p\": 0.1, \"d\": 1, \"f\": 1, \"epsilon\": 0.005}\n",
+            "{\"p\": 0.1, \"d\": 1, \"f\": 1, \"epsilon\": 0.005, \"backend\": \"vdf\"}\n",
             "not json\n",
             "{\"op\":\"stats\"}\n",
             "{\"op\":\"shutdown\"}\n",
@@ -235,13 +258,20 @@ mod tests {
             .lines()
             .collect();
         // Line after shutdown is never processed.
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         assert!(lines[0].contains("\"status\":\"ok\""));
         assert!(lines[0].contains("\"cached\":false"));
+        assert!(lines[0].contains("\"backend\":\"bernoulli\""));
+        assert!(lines[0].contains("\"certificate_scope\":\"two-sided\""));
         assert!(lines[1].contains("\"cached\":true"));
-        assert!(lines[2].contains("\"status\":\"error\""));
-        assert!(lines[3].contains("\"op\":\"stats\""));
-        assert!(lines[4].contains("\"op\":\"shutdown\""));
+        // Same rounded point under another backend: its own curve (cache
+        // miss), predictable schedule narrows the certificate scope.
+        assert!(lines[2].contains("\"cached\":false"));
+        assert!(lines[2].contains("\"backend\":\"vdf\""));
+        assert!(lines[2].contains("\"certificate_scope\":\"lower-bound-only\""));
+        assert!(lines[3].contains("\"status\":\"error\""));
+        assert!(lines[4].contains("\"op\":\"stats\""));
+        assert!(lines[5].contains("\"op\":\"shutdown\""));
     }
 
     #[test]
@@ -253,6 +283,9 @@ mod tests {
             ("{\"p\": 0.1, \"d\": 1.5}", "non-negative integer"),
             ("{\"p\": 0.1, \"scenario\": \"evil\"}", "unknown scenario"),
             ("{\"p\": 0.1, \"scenario\": 3}", "string label"),
+            ("{\"p\": 0.1, \"backend\": \"quantum\"}", "unknown backend"),
+            ("{\"p\": 0.1, \"backend\": 7}", "string label"),
+            ("{\"p\": 0.1, \"backend\": \"post(0)\"}", "unknown backend"),
             ("{\"op\": \"dance\"}", "unknown op"),
             ("{\"p\": 2.0, \"d\": 1, \"f\": 1}", "[0, 1]"),
         ] {

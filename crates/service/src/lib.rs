@@ -2,13 +2,17 @@
 //!
 //! The batch pipeline (`sm-sweep`) answers *grids*; this crate answers
 //! *questions*: "what is the certified `ERRev` interval for
-//! `(scenario, d, f, l, p, γ, ε)`?" — repeatedly, across the lifetime of a
-//! process, with each answer riding the caches the previous answers built:
+//! `(scenario, backend, d, f, l, p, γ, ε)`?" — repeatedly, across the
+//! lifetime of a process, with each answer riding the caches the previous
+//! answers built:
 //!
 //! * **Arena cache** — one [`ParametricModel`] per topology
 //!   `(scenario, d, f, l)`, built on first touch and shared (read-only)
-//!   by every curve over it.
-//! * **Curve cache** — per `(topology, γ, ε)` a *canonical anchor lattice*:
+//!   by every curve over it. The consensus backend is *not* part of the
+//!   topology: the MDP arena is identical for every backend, so querying a
+//!   known topology under a new backend is an arena hit.
+//! * **Curve cache** — per `(topology, backend, γ, ε)` a *canonical anchor
+//!   lattice*:
 //!   the chain of warm-started certified solves at `p = 0, Δ, 2Δ, …`
 //!   ([`ServiceConfig::anchor_step`]), advanced lazily up to each query and
 //!   snapshotted per anchor
@@ -52,7 +56,8 @@ pub mod jsonl;
 use selfish_mining::experiments::{CertifiedSolve, CurveCarry, CurveTracker};
 use selfish_mining::{
     validate_epsilon, validate_share, AnalysisConfig, AttackParams, AttackScenario,
-    ParametricModel, SelfishMiningError, SelfishMiningModel, SolverParallelism,
+    CertificateScope, ConsensusBackend, ParametricModel, SelfishMiningError, SelfishMiningModel,
+    SolverParallelism,
 };
 use sm_scheduler::{resolve_budget, run_budgeted_jobs};
 use std::collections::BTreeMap;
@@ -155,6 +160,11 @@ impl ServiceConfig {
 pub struct Query {
     /// Attack scenario to certify.
     pub scenario: AttackScenario,
+    /// Consensus backend the certificate is scoped to. The MDP arena and
+    /// the solve itself are backend-independent, but the answer's
+    /// [`CertificateScope`] and the curve/memo cache identity follow the
+    /// backend (see [`CertifiedInterval::certificate_scope`]).
+    pub backend: ConsensusBackend,
     /// Attack depth `d ≥ 1`.
     pub depth: usize,
     /// Forking number `f ≥ 1`.
@@ -171,10 +181,12 @@ pub struct Query {
 
 impl Default for Query {
     /// The smallest interesting paper configuration: optimal scenario,
-    /// `d = 2, f = 1, l = 4`, `p = 0.3`, `γ = 0.5`, `ε = 10⁻³`.
+    /// Bernoulli backend, `d = 2, f = 1, l = 4`, `p = 0.3`, `γ = 0.5`,
+    /// `ε = 10⁻³`.
     fn default() -> Self {
         Query {
             scenario: AttackScenario::Optimal,
+            backend: ConsensusBackend::Bernoulli,
             depth: 2,
             forks_per_block: 1,
             max_fork_length: 4,
@@ -192,6 +204,8 @@ impl Default for Query {
 pub struct CertifiedInterval {
     /// Scenario the interval certifies.
     pub scenario: AttackScenario,
+    /// Consensus backend the certificate is scoped to.
+    pub backend: ConsensusBackend,
     /// Rounded adversarial share the point was solved at.
     pub p: f64,
     /// Rounded switching probability.
@@ -207,9 +221,10 @@ pub struct CertifiedInterval {
 }
 
 impl CertifiedInterval {
-    fn from_solve(solve: &CertifiedSolve) -> Self {
+    fn from_solve(solve: &CertifiedSolve, backend: ConsensusBackend) -> Self {
         CertifiedInterval {
             scenario: solve.scenario,
+            backend,
             p: solve.p,
             gamma: solve.gamma,
             epsilon: solve.epsilon,
@@ -217,6 +232,13 @@ impl CertifiedInterval {
             beta_up: solve.beta_up,
             strategy_revenue: solve.strategy_revenue,
         }
+    }
+
+    /// How far the certificate reaches under this interval's backend:
+    /// two-sided under unpredictable challenge schedules, lower-bound-only
+    /// (over memoryless adversaries for `β_up`) under predictable ones.
+    pub fn certificate_scope(&self) -> CertificateScope {
+        CertificateScope::for_backend(self.backend)
     }
 }
 
@@ -346,11 +368,15 @@ impl StatsCells {
     }
 }
 
-/// Topology identity: scenario label, `d`, `f`, `l`.
+/// Topology identity: scenario label, `d`, `f`, `l`. Deliberately
+/// backend-free — every backend shares the same MDP arena.
 type TopologyKey = (String, usize, usize, usize);
 
-/// Curve identity: topology plus quantized `γ` and `ε`.
-type CurveKey = (TopologyKey, u64, u64);
+/// Curve identity: topology plus backend label plus quantized `γ` and `ε`.
+/// The backend label (not a quantized number) keeps the axis
+/// quantization-neutral: two queries hit the same curve iff their backend
+/// labels are equal.
+type CurveKey = (TopologyKey, String, u64, u64);
 
 struct ArenaSlot {
     family: Option<Arc<ParametricModel>>,
@@ -400,6 +426,7 @@ struct Registry {
 struct Resolved {
     key: CurveKey,
     scenario: AttackScenario,
+    backend: ConsensusBackend,
     depth: usize,
     forks_per_block: usize,
     max_fork_length: usize,
@@ -605,8 +632,9 @@ impl Service {
             query.max_fork_length,
         );
         Ok(Resolved {
-            key: (topology, gamma_units, epsilon_units),
+            key: (topology, query.backend.label(), gamma_units, epsilon_units),
             scenario: query.scenario,
+            backend: query.backend,
             depth: query.depth,
             forks_per_block: query.forks_per_block,
             max_fork_length: query.max_fork_length,
@@ -755,7 +783,7 @@ impl Service {
             advanced += 1;
             StatsCells::bump(&self.stats.solves);
             StatsCells::bump(&self.stats.anchor_advances);
-            let interval = CertifiedInterval::from_solve(&solve);
+            let interval = CertifiedInterval::from_solve(&solve, resolved.backend);
             self.memoize(state, index * self.anchor_quanta, interval.clone());
             state.anchors.push(AnchorRecord {
                 interval,
@@ -797,7 +825,7 @@ impl Service {
             };
             StatsCells::bump(&self.stats.solves);
             StatsCells::bump(&self.stats.probes);
-            CertifiedInterval::from_solve(&solve)
+            CertifiedInterval::from_solve(&solve, resolved.backend)
         };
         state.arena = tracker.into_arena();
         Ok((interval, advanced))
@@ -954,6 +982,49 @@ mod tests {
         assert!(nudged.cached);
         assert_eq!(first.interval, nudged.interval);
         assert_eq!(service.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn a_second_backend_shares_the_arena_but_solves_its_own_curve() {
+        let service = service();
+        let bernoulli = service.answer(&tiny_query(0.1)).expect("solves");
+        let postake = service
+            .answer(&Query {
+                backend: ConsensusBackend::PoStake,
+                ..tiny_query(0.1)
+            })
+            .expect("solves on its own curve");
+        // Separate curve: the second backend is a cache miss, not a memo hit.
+        assert!(!bernoulli.cached);
+        assert!(!postake.cached);
+        assert_eq!(service.cached_curves(), 2);
+        // Shared arena: same topology, so no second build.
+        assert_eq!(service.stats().arena_builds, 1);
+        assert!(service.stats().arena_hits >= 1);
+        assert_eq!(service.cached_arenas(), 1);
+        // The solve itself is backend-independent: identical bracket, only
+        // the backend tag (and with it the certificate scope) differs.
+        assert_eq!(bernoulli.interval.backend, ConsensusBackend::Bernoulli);
+        assert_eq!(postake.interval.backend, ConsensusBackend::PoStake);
+        assert_eq!(bernoulli.interval.beta_low, postake.interval.beta_low);
+        assert_eq!(bernoulli.interval.beta_up, postake.interval.beta_up);
+        assert_eq!(
+            bernoulli.interval.certificate_scope(),
+            CertificateScope::TwoSided
+        );
+        assert_eq!(
+            postake.interval.certificate_scope(),
+            CertificateScope::LowerBoundOnly
+        );
+        // Repeating the backend-tagged query is now a memo hit on its curve.
+        let again = service
+            .answer(&Query {
+                backend: ConsensusBackend::PoStake,
+                ..tiny_query(0.1)
+            })
+            .expect("memoized");
+        assert!(again.cached);
+        assert_eq!(again.interval, postake.interval);
     }
 
     #[test]

@@ -192,14 +192,15 @@ impl SweepConfig {
     /// ([`attack_curve_certified`], same arenas and warm starts as
     /// [`SweepConfig::run`]) on the scenario's own sub-arena, each point's
     /// ε-optimal strategy is exported into the simulator, and a batched
-    /// Monte-Carlo estimate per configured arrival source is compared
-    /// against the certified `[β_low, β_up]` revenue bracket.
+    /// Monte-Carlo estimate per configured consensus backend
+    /// (`settings.backends`) is compared against the certified
+    /// `[β_low, β_up]` revenue bracket.
     ///
     /// Curve jobs fan out over the same worker pool as the revenue sweep and
     /// the Monte-Carlo replica seeds are pure functions of
-    /// `settings.master_seed`, the point coordinates and the scenario salt,
-    /// so the report is deterministic for any worker count — of this pool
-    /// *and* of the estimator's. Points are ordered by `γ` (input order),
+    /// `settings.master_seed`, the point coordinates and the scenario and
+    /// backend salts, so the report is deterministic for any worker count —
+    /// of this pool *and* of the estimator's. Points are ordered by `γ` (input order),
     /// then `(d, f)` (grid order), then scenario
     /// ([`SweepConfig::scenarios`] order), then `p` (input order).
     ///
@@ -638,6 +639,59 @@ mod tests {
         .run_conformance(&[0.5], &[0.3], &small_conformance_settings())
         .unwrap();
         assert_eq!(report, re_run);
+    }
+
+    #[test]
+    fn mixed_backend_conformance_batch_is_bit_identical_across_worker_counts() {
+        // The backend × scenario matrix under every pool shape the CI and
+        // the acceptance criteria exercise: sweep workers 1/2/4/8 (with the
+        // estimator pool varied too) must produce byte-for-byte the same
+        // report. Cheap backends keep the matrix affordable; the space-time
+        // budget (vdfs = 1 < σ-capable depths) exercises the capped law.
+        use selfish_mining::ConsensusBackend;
+        let settings = ConformanceSettings {
+            steps: 4_000,
+            max_replicas: 8,
+            tolerance: 1e-12, // never met: every run does the full budget
+            backends: vec![
+                ConsensusBackend::Bernoulli,
+                ConsensusBackend::PoStake,
+                ConsensusBackend::Vdf,
+                ConsensusBackend::Post { vdfs: 1 },
+            ],
+            ..ConformanceSettings::default()
+        };
+        let run = |sweep_workers: usize, estimator_workers: usize| {
+            SweepConfig {
+                attack_grid: vec![(2, 1)],
+                scenarios: vec![AttackScenario::Optimal, AttackScenario::HonestMining],
+                epsilon: 1e-2,
+                workers: sweep_workers,
+                ..SweepConfig::default()
+            }
+            .run_conformance(
+                &[0.5],
+                &[0.1, 0.3],
+                &ConformanceSettings {
+                    workers: estimator_workers,
+                    ..settings.clone()
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1, 1);
+        assert_eq!(reference.len(), 4);
+        for point in &reference.points {
+            assert_eq!(point.estimates.len(), 4);
+            assert_eq!(point.estimates[1].backend, ConsensusBackend::PoStake);
+        }
+        for (sweep_workers, estimator_workers) in [(2, 2), (4, 1), (8, 4)] {
+            assert_eq!(
+                reference,
+                run(sweep_workers, estimator_workers),
+                "workers ({sweep_workers}, {estimator_workers}) changed the report"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Statistical conformance of the exact analysis and the simulator, run
 //! end to end over the coarse Figure-2 grid: every `(p, γ)` point is solved
 //! with an ε-certificate, its ε-optimal strategy is exported into the
-//! block-level simulator, and a batched Monte-Carlo estimate — under both
-//! the ideal Bernoulli lottery and the proof-backed PoW lottery — must
-//! overlap the certified `[β_low, β_up]` revenue bracket.
+//! block-level simulator, and a batched Monte-Carlo estimate — once per
+//! configured consensus backend, from the ideal Bernoulli lottery to the
+//! proof-backed `(p, k)`-mining lotteries — must overlap the certified
+//! `[β_low, β_up]` revenue bracket.
 //!
 //! ```text
 //! cargo run --release --example conformance             # coarse Figure-2 grid
@@ -12,12 +13,14 @@
 //!
 //! `--threads N` pins the sweep engine's global thread budget (outer curve
 //! jobs + intra-solve threads); the report is identical for any budget.
+//! `--backends LIST|all` picks the consensus backends each point is
+//! witnessed under (default: Bernoulli + PoW lottery).
 //!
-//! The process exits non-zero if any point fails to conform or the two
-//! arrival sources disagree, so CI can gate on it.
+//! The process exits non-zero if any point fails to conform or any two
+//! backends' estimates disagree, so CI can gate on it.
 
 use selfish_mining::experiments::coarse_p_grid;
-use selfish_mining_repro::cli::thread_budget;
+use selfish_mining_repro::cli::{backend_matrix, thread_budget};
 use selfish_mining_repro::sweep::{ConformanceSettings, SweepConfig};
 use std::process::ExitCode;
 
@@ -25,6 +28,13 @@ fn main() -> ExitCode {
     let reduced = std::env::args().any(|arg| arg == "reduced");
     let workers = match thread_budget(std::env::args().skip(1)) {
         Ok(workers) => workers.unwrap_or(0),
+        Err(message) => {
+            eprintln!("conformance: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let backends = match backend_matrix(std::env::args().skip(1)) {
+        Ok(backends) => backends,
         Err(message) => {
             eprintln!("conformance: {message}");
             return ExitCode::FAILURE;
@@ -42,13 +52,18 @@ fn main() -> ExitCode {
         ..SweepConfig::default()
     };
     // Defaults: 60k steps per replica, up to 64 replicas stopping at a
-    // 3σ half-width of 4e-3, both arrival sources, deterministic seeds.
-    let settings = ConformanceSettings::default();
+    // 3σ half-width of 4e-3, Bernoulli + PoW-lottery backends,
+    // deterministic seeds.
+    let mut settings = ConformanceSettings::default();
+    if let Some(backends) = backends {
+        settings.backends = backends;
+    }
 
     println!(
-        "conformance sweep: {} gamma panels x {} p values, grid {:?}, epsilon {}, {} steps/replica",
+        "conformance sweep: {} gamma panels x {} p values x {} backends, grid {:?}, epsilon {}, {} steps/replica",
         gammas.len(),
         ps.len(),
+        settings.backends.len(),
         config.attack_grid,
         config.epsilon,
         settings.steps,
@@ -80,12 +95,12 @@ fn main() -> ExitCode {
     }
     if !report.sources_agree() {
         failed = true;
-        eprintln!("SOURCE DISAGREEMENT: the Bernoulli and PoW-lottery estimates diverge");
+        eprintln!("BACKEND DISAGREEMENT: two consensus backends' estimates diverge");
     }
     if failed {
         ExitCode::FAILURE
     } else {
-        println!("all points conform; arrival sources agree");
+        println!("all points conform; all backends agree");
         ExitCode::SUCCESS
     }
 }

@@ -2,8 +2,8 @@
 //! (optimal, the three stubborn-mining variants, honest mining) is solved
 //! with an ε-certificate on its own sub-arena, its ε-optimal strategy is
 //! exported into the block-level simulator, and a Monte-Carlo estimate —
-//! under both the Bernoulli and the proof-backed PoW lottery — must overlap
-//! the certified `[β_low, β_up]` revenue bracket.
+//! once per configured consensus backend — must overlap the certified
+//! `[β_low, β_up]` revenue bracket.
 //!
 //! On top of per-point conformance, the run checks the two structural
 //! properties of the scenario family:
@@ -20,13 +20,15 @@
 //!
 //! `--threads N` pins the sweep engine's global thread budget (outer curve
 //! jobs + intra-solve threads); the report is identical for any budget.
+//! `--backends LIST|all` picks the consensus backends each point is
+//! witnessed under (default: Bernoulli + PoW lottery).
 //!
-//! The process exits non-zero if any point fails to conform, the arrival
-//! sources disagree, or either structural property is violated, so CI can
+//! The process exits non-zero if any point fails to conform, any two
+//! backends disagree, or either structural property is violated, so CI can
 //! gate on it.
 
 use selfish_mining::AttackScenario;
-use selfish_mining_repro::cli::thread_budget;
+use selfish_mining_repro::cli::{backend_matrix, thread_budget};
 use selfish_mining_repro::conformance::ConformancePoint;
 use selfish_mining_repro::sweep::{ConformanceSettings, SweepConfig};
 use std::process::ExitCode;
@@ -55,6 +57,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let backends = match backend_matrix(std::env::args().skip(1)) {
+        Ok(backends) => backends,
+        Err(message) => {
+            eprintln!("scenarios: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scenarios = AttackScenario::default_family();
     let config = SweepConfig {
         attack_grid,
@@ -67,17 +76,21 @@ fn main() -> ExitCode {
     // CI-vs-certificate test well conditioned (t₁₁ instead of t₃ tails): the
     // certified β_low is the witnessed strategy's exact revenue, so every
     // point is an edge case by construction.
-    let settings = ConformanceSettings {
+    let mut settings = ConformanceSettings {
         min_replicas: 12,
         batch: 12,
         ..ConformanceSettings::default()
     };
+    if let Some(backends) = backends {
+        settings.backends = backends;
+    }
 
     println!(
-        "scenario matrix: {} scenarios x {} gamma panels x {} p values, grid {:?}, epsilon {epsilon}",
+        "scenario matrix: {} scenarios x {} gamma panels x {} p values x {} backends, grid {:?}, epsilon {epsilon}",
         scenarios.len(),
         gammas.len(),
         ps.len(),
+        settings.backends.len(),
         config.attack_grid,
     );
     let report = match config.run_conformance(&gammas, &ps, &settings) {
@@ -107,7 +120,7 @@ fn main() -> ExitCode {
     }
     if !report.sources_agree() {
         failed = true;
-        eprintln!("SOURCE DISAGREEMENT: the Bernoulli and PoW-lottery estimates diverge");
+        eprintln!("BACKEND DISAGREEMENT: two consensus backends' estimates diverge");
     }
 
     // Structural property 1: restriction dominance. Every stubborn scenario

@@ -93,9 +93,66 @@ pub mod cli {
         Ok(budget)
     }
 
+    /// Extracts a `--backends LIST` / `--backends=LIST` flag from
+    /// command-line arguments: the consensus backends a conformance run
+    /// witnesses each grid point under (`sm_conformance::
+    /// ConformanceSettings::backends`). `LIST` is either the word `all`
+    /// (the full default family, `selfish_mining::ConsensusBackend::
+    /// default_family`) or a comma-separated list of backend labels:
+    ///
+    /// ```text
+    /// cargo run --release --example conformance -- reduced --backends all
+    /// cargo run --release --example scenarios -- --backends bernoulli,postake,vdf
+    /// ```
+    ///
+    /// Returns `None` when the flag is absent (callers keep the settings
+    /// default). When the flag is repeated, the last occurrence wins, as
+    /// with [`thread_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when any occurrence is missing a value or
+    /// lists an unknown (or empty) backend label.
+    pub fn backend_matrix<I>(
+        args: I,
+    ) -> Result<Option<Vec<selfish_mining::ConsensusBackend>>, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        use selfish_mining::ConsensusBackend;
+        let mut backends = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let value = if arg == "--backends" {
+                args.next().ok_or(
+                    "--backends needs a value (e.g. --backends bernoulli,vdf or --backends all)",
+                )?
+            } else if let Some(value) = arg.strip_prefix("--backends=") {
+                value.to_string()
+            } else {
+                continue;
+            };
+            if value == "all" {
+                backends = Some(ConsensusBackend::default_family());
+                continue;
+            }
+            let parsed: Result<Vec<ConsensusBackend>, String> = value
+                .split(',')
+                .map(|label| {
+                    let label = label.trim();
+                    ConsensusBackend::from_label(label)
+                        .ok_or_else(|| format!("--backends: unknown backend label {label:?}"))
+                })
+                .collect();
+            backends = Some(parsed?);
+        }
+        Ok(backends)
+    }
+
     #[cfg(test)]
     mod tests {
-        use super::thread_budget;
+        use super::{backend_matrix, thread_budget};
+        use selfish_mining::ConsensusBackend;
 
         fn strings(args: &[&str]) -> Vec<String> {
             args.iter().map(|s| s.to_string()).collect()
@@ -138,6 +195,48 @@ pub mod cli {
             // A malformed occurrence is a usage error even when a later
             // occurrence would be valid: silent recovery would hide typos.
             assert!(thread_budget(strings(&["--threads", "x", "--threads", "4"])).is_err());
+        }
+
+        #[test]
+        fn backend_matrix_parses_lists_and_the_all_family() {
+            assert_eq!(backend_matrix(strings(&[])).unwrap(), None);
+            assert_eq!(
+                backend_matrix(strings(&[
+                    "reduced",
+                    "--backends",
+                    "bernoulli,postake , vdf"
+                ]))
+                .unwrap(),
+                Some(vec![
+                    ConsensusBackend::Bernoulli,
+                    ConsensusBackend::PoStake,
+                    ConsensusBackend::Vdf,
+                ])
+            );
+            assert_eq!(
+                backend_matrix(strings(&["--backends=post(3)"])).unwrap(),
+                Some(vec![ConsensusBackend::Post { vdfs: 3 }])
+            );
+            assert_eq!(
+                backend_matrix(strings(&["--backends", "all"])).unwrap(),
+                Some(ConsensusBackend::default_family())
+            );
+            // Last occurrence wins across both spellings.
+            assert_eq!(
+                backend_matrix(strings(&["--backends", "all", "--backends=pow-lottery"])).unwrap(),
+                Some(vec![ConsensusBackend::PowLottery])
+            );
+        }
+
+        #[test]
+        fn backend_matrix_rejects_missing_unknown_and_empty_values() {
+            assert!(backend_matrix(strings(&["--backends"])).is_err());
+            assert!(backend_matrix(strings(&["--backends", "quantum"])).is_err());
+            assert!(backend_matrix(strings(&["--backends", ""])).is_err());
+            assert!(backend_matrix(strings(&["--backends", "bernoulli,,vdf"])).is_err());
+            // A malformed occurrence is a usage error even when a later
+            // occurrence would be valid.
+            assert!(backend_matrix(strings(&["--backends", "x", "--backends", "all"])).is_err());
         }
     }
 }

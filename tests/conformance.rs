@@ -4,11 +4,10 @@
 
 use selfish_mining::baselines::honest_relative_revenue;
 use selfish_mining::experiments::attack_curve_certified;
+use selfish_mining::ConsensusBackend;
 use selfish_mining::{ParametricModel, StrategyExport};
 use sm_chain::{HonestStrategy, SimulationConfig, UnknownViewPolicy};
-use sm_conformance::{
-    certify_point, estimate_revenue, ArrivalKind, ConformanceSettings, EstimatorConfig,
-};
+use sm_conformance::{certify_point, estimate_revenue, ConformanceSettings, EstimatorConfig};
 use sm_sweep::SweepConfig;
 
 fn estimator_config(p: f64, gamma: f64, steps: usize, seed: u64) -> EstimatorConfig {
@@ -27,12 +26,12 @@ fn estimator_config(p: f64, gamma: f64, steps: usize, seed: u64) -> EstimatorCon
 /// Property: the simulator running the honest strategy reproduces the
 /// analytic honest baseline `ERRev = p` within the estimator's own CLT
 /// confidence half-width, across a seeded `(p, γ)` grid and under both
-/// arrival realisations.
+/// historical consensus backends.
 #[test]
 fn honest_simulation_matches_analytic_baseline_within_ci() {
     for (i, &p) in [0.0, 0.1, 0.35].iter().enumerate() {
         for (j, &gamma) in [0.0, 1.0].iter().enumerate() {
-            for kind in [ArrivalKind::Bernoulli, ArrivalKind::PowLottery] {
+            for backend in [ConsensusBackend::Bernoulli, ConsensusBackend::PowLottery] {
                 let seed = 0xBEEF + (i * 3 + j) as u64;
                 let config = EstimatorConfig {
                     // One 12-replica round: a 4-replica variance estimate is
@@ -41,14 +40,14 @@ fn honest_simulation_matches_analytic_baseline_within_ci() {
                     batch: 12,
                     ..estimator_config(p, gamma, 16_000, seed)
                 };
-                let estimate = estimate_revenue(&config, &HonestStrategy, kind).unwrap();
+                let estimate = estimate_revenue(&config, &HonestStrategy, backend).unwrap();
                 let analytic = honest_relative_revenue(p).unwrap();
                 // The floor covers the O(1/n) ratio-estimator bias of a
                 // finite run, which the CLT interval does not model.
                 assert!(
                     (estimate.mean - analytic).abs() <= estimate.half_width.max(2e-3),
                     "p={p} gamma={gamma} {}: mean {} vs analytic {analytic} (hw {})",
-                    kind.label(),
+                    backend.label(),
                     estimate.mean,
                     estimate.half_width
                 );
@@ -59,7 +58,7 @@ fn honest_simulation_matches_analytic_baseline_within_ci() {
 }
 
 /// Determinism: the conformance estimator produces bit-identical estimates
-/// for 1, 2 and 8 workers on the same seed, for both arrival sources —
+/// for 1, 2 and 8 workers on the same seed, for both historical backends —
 /// including the unconverged path where the full replica budget runs.
 #[test]
 fn estimator_reports_are_bit_identical_for_1_2_and_8_workers() {
@@ -71,14 +70,14 @@ fn estimator_reports_are_bit_identical_for_1_2_and_8_workers() {
         batch: 5,
         ..estimator_config(0.3, 0.5, 4_000, 0xD15EA5E)
     };
-    for kind in [ArrivalKind::Bernoulli, ArrivalKind::PowLottery] {
+    for backend in [ConsensusBackend::Bernoulli, ConsensusBackend::PowLottery] {
         let reference = estimate_revenue(
             &EstimatorConfig {
                 workers: 1,
                 ..base.clone()
             },
             &HonestStrategy,
-            kind,
+            backend,
         )
         .unwrap();
         for workers in [2, 8] {
@@ -88,14 +87,14 @@ fn estimator_reports_are_bit_identical_for_1_2_and_8_workers() {
                     ..base.clone()
                 },
                 &HonestStrategy,
-                kind,
+                backend,
             )
             .unwrap();
             assert_eq!(
                 reference,
                 estimate,
                 "{}: workers = {workers} must be bit-identical",
-                kind.label()
+                backend.label()
             );
         }
         assert_eq!(reference.replicas, 12);
@@ -103,7 +102,7 @@ fn estimator_reports_are_bit_identical_for_1_2_and_8_workers() {
 }
 
 /// The full certification path — certified solve, strategy export,
-/// Monte-Carlo witness under both arrival sources — agrees with the solver's
+/// Monte-Carlo witness under every configured backend — agrees with the solver's
 /// ε-certificate, and the report is bit-identical for any worker count of
 /// both pools (sweep jobs and estimator replicas).
 #[test]

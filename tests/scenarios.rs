@@ -145,7 +145,7 @@ fn honest_mining_conforms_in_the_simulator() {
         assert!(
             (estimate.mean - 0.3).abs() <= estimate.half_width.max(5e-3),
             "{}: mean {} should be near p = 0.3",
-            estimate.source,
+            estimate.backend,
             estimate.mean
         );
     }

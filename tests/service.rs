@@ -6,6 +6,7 @@
 //! rounded query via the canonical anchor lattice); this suite is the
 //! regression net around that construction.
 
+use selfish_mining_repro::selfish_mining::ConsensusBackend;
 use selfish_mining_repro::service::{Answer, Query, Service, ServiceConfig, ServiceError};
 
 fn config(workers: usize) -> ServiceConfig {
@@ -19,8 +20,8 @@ fn service(workers: usize) -> Service {
     Service::new(config(workers)).expect("default-based config is valid")
 }
 
-/// A small mixed batch: two topologies, two γ, on- and off-lattice `p`,
-/// one duplicate pair, cheap enough for CI.
+/// A small mixed batch: two topologies, two γ, two consensus backends, on-
+/// and off-lattice `p`, one duplicate pair, cheap enough for CI.
 fn mixed_batch() -> Vec<Query> {
     let base = Query {
         depth: 1,
@@ -30,6 +31,11 @@ fn mixed_batch() -> Vec<Query> {
     };
     vec![
         Query { p: 0.1, ..base },
+        Query {
+            p: 0.1,
+            backend: ConsensusBackend::Vdf,
+            ..base
+        }, // first point again, on its own per-backend curve
         Query { p: 0.137, ..base },
         Query {
             p: 0.2,
