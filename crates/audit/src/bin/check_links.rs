@@ -1,0 +1,54 @@
+//! Relative Markdown link gate: scans every `*.md` file in the repository
+//! for inline links to paths that do not exist and exits non-zero on any
+//! finding.
+//!
+//! ```text
+//! cargo run -p sm-audit --bin check_links [-- --root DIR]
+//! ```
+
+use sm_audit::links::check_markdown_links;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    // The crate lives at <root>/crates/audit.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => {
+                    eprintln!("check_links: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("check_links: unknown argument {other:?}");
+                eprintln!("usage: check_links [--root DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let findings = match check_markdown_links(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("check_links: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("check_links: all relative Markdown links resolve");
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("{finding}");
+        }
+        eprintln!("check_links: {} dangling link(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

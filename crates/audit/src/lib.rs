@@ -28,6 +28,7 @@ pub mod artifact;
 pub mod certificate;
 pub mod fingerprint;
 pub mod json;
+pub mod links;
 pub mod lint;
 pub mod report;
 

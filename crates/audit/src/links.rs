@@ -1,0 +1,205 @@
+//! Dependency-free relative-link checker for the workspace's Markdown
+//! documentation.
+//!
+//! The docs CI job runs [`check_markdown_links`] over the repository (via
+//! the `check_links` binary) so a renamed file or section can never leave a
+//! dangling `[text](relative/path.md)` behind. The pass is deliberately
+//! lexical — inline links outside fenced code blocks — matching how the
+//! workspace's Markdown is actually written; external (`http(s)://`,
+//! `mailto:`) and same-document (`#…`) targets are out of scope.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One dangling relative link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFinding {
+    /// Markdown file containing the link, relative to the scanned root.
+    pub file: String,
+    /// 1-based line number of the link.
+    pub line: usize,
+    /// The link target as written.
+    pub target: String,
+    /// The path the target resolved to, which does not exist.
+    pub resolved: String,
+}
+
+impl std::fmt::Display for LinkFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: dangling link ({} -> {})",
+            self.file, self.line, self.target, self.resolved
+        )
+    }
+}
+
+/// Directories never descended into: build output, VCS metadata and
+/// generated artifact trees carry no hand-written documentation.
+const SKIPPED_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Checks every `*.md` file under `root` (recursively, skipping build and
+/// VCS directories) for inline relative links whose target does not exist.
+/// Findings come back in deterministic (path-sorted) order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from walking `root` or reading a file.
+pub fn check_markdown_links(root: &Path) -> io::Result<Vec<LinkFinding>> {
+    let mut files = Vec::new();
+    collect_markdown(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let contents = std::fs::read_to_string(file)?;
+        let relative = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .display()
+            .to_string();
+        let dir = file.parent().unwrap_or(root);
+        let mut in_fence = false;
+        for (index, line) in contents.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in inline_link_targets(line) {
+                let Some(path) = relative_target_path(&target) else {
+                    continue;
+                };
+                let resolved = dir.join(&path);
+                if !resolved.exists() {
+                    findings.push(LinkFinding {
+                        file: relative.clone(),
+                        line: index + 1,
+                        target: target.clone(),
+                        resolved: resolved.display().to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `*.md` files under `dir`, skipping [`SKIPPED_DIRS`]
+/// and hidden directories.
+fn collect_markdown(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|name| name.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIPPED_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_markdown(&path, files)?;
+        } else if name.ends_with(".md") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the targets of every inline Markdown link `[text](target)` on
+/// one line (images included — the leading `!` sits outside the scanned
+/// `](…)` core). Inline code spans are not parsed; a code span containing a
+/// literal `](` would need a matching existing path to stay quiet, which in
+/// practice never occurs in this repository's docs.
+fn inline_link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find("](") {
+        let Some(tail) = rest.get(open + 2..) else {
+            break;
+        };
+        let Some(close) = tail.find(')') else {
+            break;
+        };
+        if let Some(target) = tail.get(..close) {
+            targets.push(target.trim().to_string());
+        }
+        rest = tail.get(close + 1..).unwrap_or("");
+    }
+    targets
+}
+
+/// The filesystem path of a link target that is in scope for the checker:
+/// relative, non-empty, with any `#fragment` and `"title"` suffix removed.
+/// Returns `None` for external, anchor-only and empty targets.
+fn relative_target_path(target: &str) -> Option<String> {
+    let bare = target.split_whitespace().next().unwrap_or("");
+    if bare.is_empty()
+        || bare.starts_with('#')
+        || bare.starts_with("http://")
+        || bare.starts_with("https://")
+        || bare.starts_with("mailto:")
+    {
+        return None;
+    }
+    let path = bare.split('#').next().unwrap_or(bare);
+    if path.is_empty() {
+        None
+    } else {
+        Some(path.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sm-links-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn dangling_relative_links_are_found_and_valid_ones_pass() {
+        let dir = scratch("basic");
+        std::fs::write(dir.join("OTHER.md"), "# other\n").unwrap();
+        std::fs::write(
+            dir.join("README.md"),
+            "[ok](OTHER.md) [ok too](OTHER.md#section)\n\
+             [web](https://example.com/x.md) [anchor](#here)\n\
+             [broken](MISSING.md)\n",
+        )
+        .unwrap();
+        let findings = check_markdown_links(&dir).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].target, "MISSING.md");
+        assert_eq!(findings[0].line, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn code_fences_subdirectories_and_skip_dirs_are_respected() {
+        let dir = scratch("fences");
+        std::fs::create_dir_all(dir.join("docs")).unwrap();
+        std::fs::create_dir_all(dir.join("target")).unwrap();
+        // Links inside fenced blocks are ignored...
+        std::fs::write(
+            dir.join("docs/GUIDE.md"),
+            "```\n[ignored](NOPE.md)\n```\n[up](../REAL.md)\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("REAL.md"), "x\n").unwrap();
+        // ...and build-output trees are never scanned.
+        std::fs::write(dir.join("target/JUNK.md"), "[broken](GONE.md)\n").unwrap();
+        assert!(check_markdown_links(&dir).unwrap().is_empty());
+        // A dangling link in a subdirectory reports a root-relative path.
+        std::fs::write(dir.join("docs/BAD.md"), "[x](nested/none.md)\n").unwrap();
+        let findings = check_markdown_links(&dir).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "docs/BAD.md");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

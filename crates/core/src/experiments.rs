@@ -303,6 +303,37 @@ pub fn attack_curve_certified_config(
 /// `advance`d points before it — never of thread counts ([`CurveTracker::
 /// set_parallelism`]) — which is what lets a caching layer replay the same
 /// canonical sequence and answer bit-identically in any cache state.
+///
+/// ```
+/// use selfish_mining::experiments::CurveTracker;
+/// use selfish_mining::{AnalysisConfig, ParametricModel};
+///
+/// # fn main() -> Result<(), selfish_mining::SelfishMiningError> {
+/// let family = ParametricModel::build(2, 1, 4)?;
+/// let config = AnalysisConfig::with_epsilon(1e-2);
+///
+/// // Walk a curve in ascending p; each solve warm-starts from the last.
+/// let mut tracker = CurveTracker::new(&family, 0.5, true, config.clone());
+/// let mut brackets = Vec::new();
+/// for p in [0.1, 0.2, 0.3] {
+///     let solve = tracker.advance(p)?;
+///     assert!(solve.beta_low <= solve.strategy_revenue);
+///     assert!(solve.strategy_revenue <= solve.beta_up);
+///     brackets.push((solve.beta_low, solve.beta_up));
+/// }
+///
+/// // Purity: a fresh tracker replaying the same prefix reproduces the
+/// // certificate bit for bit — the contract crash/resume orchestration
+/// // (the `sm-grid` crate) is built on.
+/// let mut replay = CurveTracker::new(&family, 0.5, true, config);
+/// replay.advance(0.1)?;
+/// replay.advance(0.2)?;
+/// let again = replay.advance(0.3)?;
+/// assert_eq!(again.beta_low.to_bits(), brackets[2].0.to_bits());
+/// assert_eq!(again.beta_up.to_bits(), brackets[2].1.to_bits());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct CurveTracker<'a> {
     family: &'a ParametricModel,

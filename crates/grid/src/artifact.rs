@@ -1,0 +1,346 @@
+//! The durable per-point artifact: one conformance grid point — certified
+//! bracket, strategy revenue and the full Monte-Carlo estimate matrix — as
+//! one versioned JSON document, fingerprinted so a resume scan can tell a
+//! finished point from a torn or stale write without re-solving anything.
+//!
+//! Artifacts are **content-addressed**: the file name is an FNV-1a digest of
+//! `(config digest, curve index, p index)`, so re-running a completed shard
+//! re-derives the same name, finds the verified file and becomes a no-op —
+//! and artifacts of a *different* grid spec are invisible to the scan (their
+//! names never collide with this grid's).
+
+use sm_audit::json::{parse_json, write_json, JsonValue};
+use sm_audit::Fnv1a;
+use sm_conformance::{ConformancePoint, Estimate};
+
+use selfish_mining::ConsensusBackend;
+
+/// Schema tag of the JSON encoding.
+pub const GRID_SCHEMA: &str = "sm-grid/v1";
+
+/// Canonical artifact file name of one grid point: `point-` + 16 hex digits
+/// of an FNV-1a digest over the grid-config digest and the point's canonical
+/// `(curve, p)` indices.
+pub fn artifact_file_name(config: u64, curve: usize, p_index: usize) -> String {
+    let mut hasher = Fnv1a::new();
+    hasher.write_u64(config);
+    hasher.write_u64(curve as u64);
+    hasher.write_u64(p_index as u64);
+    format!("point-{:016x}.json", hasher.finish())
+}
+
+/// One durable grid point: the canonical key (grid-config digest + curve and
+/// `p` indices) and the full [`ConformancePoint`] payload. Serialized as one
+/// `sm-grid/v1` JSON document whose floats round-trip bit for bit and whose
+/// trailing `fingerprint` field digests the rest of the document — a
+/// truncated, torn or bit-flipped file fails verification and is treated as
+/// missing, never merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointArtifact {
+    /// [`crate::GridSpec::digest`] of the grid this point belongs to.
+    pub config: u64,
+    /// Canonical curve index (`γ` outer × family inner).
+    pub curve: usize,
+    /// Index into the grid's `p` axis.
+    pub p_index: usize,
+    /// The certified and witnessed point itself.
+    pub point: ConformancePoint,
+}
+
+impl PointArtifact {
+    /// FNV-1a digest of the canonical payload serialization (the document
+    /// *without* its `fingerprint` field).
+    pub fn fingerprint(&self) -> u64 {
+        let mut payload = String::new();
+        write_json(&JsonValue::Object(self.fields()), &mut payload);
+        let mut hasher = Fnv1a::new();
+        hasher.write_bytes(payload.as_bytes());
+        hasher.finish()
+    }
+
+    /// Serializes the artifact as one JSON document: the payload fields in
+    /// canonical order, then the payload's [`PointArtifact::fingerprint`] as
+    /// a 16-digit hex string (JSON numbers cannot carry 64 bits).
+    pub fn to_json(&self) -> String {
+        let mut fields = self.fields();
+        fields.push((
+            "fingerprint".to_string(),
+            JsonValue::String(format!("{:016x}", self.fingerprint())),
+        ));
+        let mut out = String::new();
+        write_json(&JsonValue::Object(fields), &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Parses and **verifies** an artifact: schema tag, field shapes, a
+    /// round-trippable backend label per estimate, and finally the
+    /// fingerprint — the parsed content is re-serialized canonically and
+    /// its digest must equal the stored one.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax, schema or fingerprint violation.
+    pub fn from_json(input: &str) -> Result<PointArtifact, String> {
+        let root = parse_json(input)?;
+        let schema = root
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("artifact is missing the \"schema\" field")?;
+        if schema != GRID_SCHEMA {
+            return Err(format!(
+                "unsupported artifact schema {schema:?} (expected {GRID_SCHEMA:?})"
+            ));
+        }
+        let hex_field = |key: &str| {
+            let hex = root
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("artifact is missing hex string {key:?}"))?;
+            u64::from_str_radix(hex, 16).map_err(|_| format!("malformed {key} {hex:?}"))
+        };
+        let usize_field = |value: &JsonValue, key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("artifact is missing integer {key:?}"))
+        };
+        let f64_field = |value: &JsonValue, key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("artifact is missing number {key:?}"))
+        };
+        let estimates = match root.get("estimates") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    let label = item
+                        .get("backend")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("estimate is missing string \"backend\"")?;
+                    let backend = ConsensusBackend::from_label(label)
+                        .ok_or_else(|| format!("unknown backend label {label:?}"))?;
+                    let converged = match item.get("converged") {
+                        Some(&JsonValue::Bool(converged)) => converged,
+                        _ => return Err("estimate is missing bool \"converged\"".to_string()),
+                    };
+                    let unknown_views = f64_field(item, "unknown_views")?;
+                    if !(unknown_views >= 0.0
+                        && unknown_views.fract() == 0.0
+                        && unknown_views <= 9.0e15)
+                    {
+                        return Err(format!("unknown_views {unknown_views} is not a u64"));
+                    }
+                    Ok(Estimate {
+                        backend,
+                        mean: f64_field(item, "mean")?,
+                        variance: f64_field(item, "variance")?,
+                        half_width: f64_field(item, "half_width")?,
+                        replicas: usize_field(item, "replicas")?,
+                        steps_per_replica: usize_field(item, "steps_per_replica")?,
+                        converged,
+                        unknown_views: unknown_views as u64,
+                    })
+                })
+                .collect::<Result<Vec<Estimate>, String>>()?,
+            _ => return Err("artifact is missing the \"estimates\" array".to_string()),
+        };
+        let scenario = root
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or("artifact is missing string \"scenario\"")?
+            .to_string();
+        let artifact = PointArtifact {
+            config: hex_field("config")?,
+            curve: usize_field(&root, "curve")?,
+            p_index: usize_field(&root, "p_index")?,
+            point: ConformancePoint {
+                scenario,
+                depth: usize_field(&root, "depth")?,
+                forks: usize_field(&root, "forks")?,
+                max_fork_length: usize_field(&root, "max_fork_length")?,
+                p: f64_field(&root, "p")?,
+                gamma: f64_field(&root, "gamma")?,
+                certified_lower: f64_field(&root, "certified_lower")?,
+                certified_upper: f64_field(&root, "certified_upper")?,
+                slack: f64_field(&root, "slack")?,
+                strategy_revenue: f64_field(&root, "strategy_revenue")?,
+                table_entries: usize_field(&root, "table_entries")?,
+                estimates,
+            },
+        };
+        let stored = hex_field("fingerprint")?;
+        let recomputed = artifact.fingerprint();
+        if stored != recomputed {
+            return Err(format!(
+                "fingerprint mismatch: stored {stored:016x}, payload digests to {recomputed:016x}"
+            ));
+        }
+        Ok(artifact)
+    }
+
+    /// The payload fields in canonical order (everything but the trailing
+    /// fingerprint) — the domain of [`PointArtifact::fingerprint`].
+    fn fields(&self) -> Vec<(String, JsonValue)> {
+        let num = JsonValue::Number;
+        let point = &self.point;
+        let mut fields = vec![
+            (
+                "schema".to_string(),
+                JsonValue::String(GRID_SCHEMA.to_string()),
+            ),
+            (
+                "config".to_string(),
+                JsonValue::String(format!("{:016x}", self.config)),
+            ),
+            ("curve".to_string(), num(self.curve as f64)),
+            ("p_index".to_string(), num(self.p_index as f64)),
+            (
+                "scenario".to_string(),
+                JsonValue::String(point.scenario.clone()),
+            ),
+            ("depth".to_string(), num(point.depth as f64)),
+            ("forks".to_string(), num(point.forks as f64)),
+            (
+                "max_fork_length".to_string(),
+                num(point.max_fork_length as f64),
+            ),
+            ("p".to_string(), num(point.p)),
+            ("gamma".to_string(), num(point.gamma)),
+            ("certified_lower".to_string(), num(point.certified_lower)),
+            ("certified_upper".to_string(), num(point.certified_upper)),
+            ("slack".to_string(), num(point.slack)),
+            ("strategy_revenue".to_string(), num(point.strategy_revenue)),
+            ("table_entries".to_string(), num(point.table_entries as f64)),
+        ];
+        let estimates = point
+            .estimates
+            .iter()
+            .map(|estimate| {
+                JsonValue::Object(vec![
+                    (
+                        "backend".to_string(),
+                        JsonValue::String(estimate.backend.label()),
+                    ),
+                    ("mean".to_string(), num(estimate.mean)),
+                    ("variance".to_string(), num(estimate.variance)),
+                    ("half_width".to_string(), num(estimate.half_width)),
+                    ("replicas".to_string(), num(estimate.replicas as f64)),
+                    (
+                        "steps_per_replica".to_string(),
+                        num(estimate.steps_per_replica as f64),
+                    ),
+                    ("converged".to_string(), JsonValue::Bool(estimate.converged)),
+                    (
+                        "unknown_views".to_string(),
+                        num(estimate.unknown_views as f64),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(("estimates".to_string(), JsonValue::Array(estimates)));
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointArtifact {
+        PointArtifact {
+            config: 0x1234_5678_9abc_def0,
+            curve: 3,
+            p_index: 1,
+            point: ConformancePoint {
+                scenario: "optimal".to_string(),
+                depth: 2,
+                forks: 1,
+                max_fork_length: 4,
+                p: 0.2,
+                gamma: 0.5,
+                certified_lower: 0.2071,
+                certified_upper: 0.2081,
+                slack: 2.001e-3,
+                strategy_revenue: 0.2071,
+                table_entries: 137,
+                estimates: vec![
+                    Estimate {
+                        backend: ConsensusBackend::Bernoulli,
+                        mean: 0.2073,
+                        variance: 1.9e-6,
+                        half_width: 1.2e-3,
+                        replicas: 12,
+                        steps_per_replica: 60_000,
+                        converged: true,
+                        unknown_views: 0,
+                    },
+                    Estimate {
+                        backend: ConsensusBackend::Post { vdfs: 3 },
+                        mean: 0.2069,
+                        variance: 2.2e-6,
+                        half_width: 1.4e-3,
+                        replicas: 16,
+                        steps_per_replica: 60_000,
+                        converged: false,
+                        unknown_views: 5,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn artifacts_round_trip_bit_for_bit() {
+        let artifact = sample();
+        let back = PointArtifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(back.point.p.to_bits(), artifact.point.p.to_bits());
+        assert_eq!(
+            back.point.estimates[1].mean.to_bits(),
+            artifact.point.estimates[1].mean.to_bits()
+        );
+        assert_eq!(
+            back.point.estimates[1].backend,
+            artifact.point.estimates[1].backend
+        );
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_fail_verification() {
+        let json = sample().to_json();
+        // Truncation breaks the parse.
+        assert!(PointArtifact::from_json(&json[..json.len() / 2]).is_err());
+        // A value flip keeps the parse but breaks the fingerprint.
+        let flipped = json.replace("0.2071", "0.2072");
+        assert_ne!(json, flipped, "the flip must hit");
+        let err = PointArtifact::from_json(&flipped).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        // A flipped stored fingerprint is caught the same way.
+        let restamped = json.replace(
+            &format!("{:016x}", sample().fingerprint()),
+            "0000000000000000",
+        );
+        assert!(PointArtifact::from_json(&restamped).is_err());
+    }
+
+    #[test]
+    fn schema_and_backend_labels_are_enforced() {
+        assert!(PointArtifact::from_json("{}").is_err());
+        let wrong_schema = sample().to_json().replace(GRID_SCHEMA, "sm-grid/v0");
+        assert!(PointArtifact::from_json(&wrong_schema).is_err());
+        let unknown_backend = sample().to_json().replace("bernoulli", "quantum");
+        assert!(PointArtifact::from_json(&unknown_backend).is_err());
+    }
+
+    #[test]
+    fn file_names_are_stable_and_key_sensitive() {
+        let name = artifact_file_name(7, 2, 4);
+        assert_eq!(name, artifact_file_name(7, 2, 4));
+        assert_ne!(name, artifact_file_name(7, 2, 5));
+        assert_ne!(name, artifact_file_name(7, 3, 4));
+        assert_ne!(name, artifact_file_name(8, 2, 4));
+        assert!(name.starts_with("point-") && name.ends_with(".json"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Fault-tolerant sharded orchestration of the conformance/certification
+//! grid.
+//!
+//! The single-process pass ([`SweepConfig::run_conformance`]) certifies the
+//! whole `(scenario, backend, d, f, γ, p)` grid in one go: one crash — an
+//! OOM-killed CI runner, a pre-empted shared machine — and the entire run
+//! restarts from zero. This crate cuts the same grid into **idempotent
+//! point-jobs** with durable per-point artifacts, so a run resumes from
+//! whatever its predecessor durably finished:
+//!
+//! * every grid point is serialized as one versioned `sm-grid/v1` JSON file
+//!   ([`PointArtifact`], written via the dependency-free `sm_audit::json`
+//!   machinery, floats round-tripping bit for bit), **content-addressed** by
+//!   the point's canonical key — the grid-config digest plus the curve and
+//!   `p` indices — and carrying an FNV-1a fingerprint of its own payload;
+//! * a work-queue runner ([`run_grid`]) fans **shard jobs** (contiguous runs
+//!   of one curve's missing points) over the workspace scheduler
+//!   ([`sm_scheduler::run_budgeted_jobs`]) with bounded retry + exponential
+//!   backoff ([`sm_scheduler::RetryPolicy`]) and an optional fault-injection
+//!   hook ([`GridFaultPlan`]: kill/poison/delay selected jobs — for tests
+//!   and CI smoke runs, never production);
+//! * resume is the default: every run starts by scanning the artifact
+//!   directory ([`scan_grid`]), verifying each file's fingerprint and
+//!   coordinates, and scheduling **only** the missing or corrupt points;
+//! * the merge folds completed artifacts in canonical point order into one
+//!   [`ConformanceReport`] that is `f64::to_bits`-identical to the
+//!   uninterrupted single-process report — for any worker count, shard
+//!   size, crash/resume schedule or retry history.
+//!
+//! # Why sharded jobs can be bit-identical to the warm-started pass
+//!
+//! Within a curve, the single-process engine warm-starts consecutive `p`
+//! points off each other, so a point's certificate depends on the curve's
+//! `p`-prefix. A certificate is, however, a *pure function* of the family,
+//! `γ`, the analysis config and the sequence of `advance`d points before it
+//! — never of thread counts (see [`CurveTracker`]). A shard job therefore
+//! opens a fresh tracker and replays the curve's canonical prefix
+//! (`ps[0..=last_target]`) before emitting its assigned points: replaying
+//! the prefix reproduces the warm chain's bits exactly, which is what makes
+//! the jobs idempotent *and* mergeable byte for byte.
+//!
+//! ```
+//! use sm_grid::{run_grid, GridOptions, GridSpec};
+//! use sm_sweep::{ConformanceSettings, SweepConfig};
+//!
+//! let spec = GridSpec {
+//!     sweep: SweepConfig {
+//!         attack_grid: vec![(1, 1)],
+//!         epsilon: 1e-2,
+//!         ..SweepConfig::default()
+//!     },
+//!     gammas: vec![0.5],
+//!     ps: vec![0.2],
+//!     settings: ConformanceSettings {
+//!         steps: 2_000,
+//!         max_replicas: 4,
+//!         tolerance: 5e-2,
+//!         ..ConformanceSettings::default()
+//!     },
+//! };
+//! let dir = std::env::temp_dir().join(format!("sm-grid-doc-{}", std::process::id()));
+//! let first = run_grid(&spec, &GridOptions::new(&dir)).unwrap();
+//! assert_eq!(first.report.len(), 1);
+//! assert_eq!(first.produced, 1);
+//! // Re-running over the same artifact directory is a no-op: every point is
+//! // already durable, verified by fingerprint and merged as-is.
+//! let resumed = run_grid(&spec, &GridOptions::new(&dir)).unwrap();
+//! assert_eq!(resumed.produced, 0);
+//! assert_eq!(resumed.reused, 1);
+//! assert_eq!(first.report, resumed.report);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! [`SweepConfig::run_conformance`]: sm_sweep::SweepConfig::run_conformance
+//! [`CurveTracker`]: selfish_mining::experiments::CurveTracker
+//! [`ConformanceReport`]: sm_conformance::ConformanceReport
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod fault;
+mod runner;
+mod spec;
+
+pub use artifact::{artifact_file_name, PointArtifact, GRID_SCHEMA};
+pub use fault::{FaultKind, GridFault, GridFaultPlan};
+pub use runner::{merge_grid, run_grid, scan_grid, GridOptions, GridOutcome, GridScan, PointState};
+pub use spec::{GridError, GridSpec, PointCoordinates};

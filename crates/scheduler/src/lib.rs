@@ -24,6 +24,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Resolves a configured worker count against a job count: `0` means
 /// [`std::thread::available_parallelism`], and the result is clamped to
@@ -162,6 +163,81 @@ where
         .collect()
 }
 
+/// Bounded-retry policy with exponential backoff, used by the grid
+/// orchestrator's shard runner: attempt `k` (1-based) of a failed job is
+/// retried after `backoff · 2^(k−1)`, capped at [`RetryPolicy::max_backoff`],
+/// until [`RetryPolicy::max_attempts`] attempts have been spent.
+///
+/// The policy only shapes *when* work re-runs, never *what* it computes —
+/// every job in this workspace is deterministic, so a retried job returns
+/// the same bits as an uninterrupted one and the retry history is invisible
+/// in the results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts a job may spend (first try included); clamped to at
+    /// least 1 by [`run_with_retry`].
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubled per subsequent retry.
+    pub backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 25 ms initial backoff, capped at one second — sized
+    /// for transient local failures (I/O hiccups, injected test faults), not
+    /// for waiting out a remote outage.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept before retry number `retry` (1-based):
+    /// `backoff · 2^(retry−1)`, saturating, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub fn delay_before(&self, retry: usize) -> Duration {
+        let exponent = u32::try_from(retry.saturating_sub(1)).unwrap_or(20).min(20);
+        let factor = 1_u32 << exponent;
+        self.backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// Runs `job` until it succeeds or the policy's attempt budget is spent,
+/// sleeping the policy's backoff between attempts; returns the first success
+/// or the *last* error. The closure receives the 0-based attempt number so
+/// fault-injection harnesses can fail specific attempts deterministically.
+///
+/// # Errors
+///
+/// The last attempt's error when every attempt failed.
+pub fn run_with_retry<T, E, F>(policy: &RetryPolicy, mut job: F) -> Result<T, E>
+where
+    F: FnMut(usize) -> Result<T, E>,
+{
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match job(attempt) {
+            Ok(value) => return Ok(value),
+            Err(error) => {
+                attempt += 1;
+                if attempt >= attempts {
+                    return Err(error);
+                }
+                let delay = policy.delay_before(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +301,62 @@ mod tests {
         );
         // 1 job gets everything.
         assert_eq!(run_budgeted_jobs(8, 1, |_i, a| a), vec![8]);
+    }
+
+    #[test]
+    fn retry_returns_first_success_and_reports_attempt_numbers() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let mut seen = Vec::new();
+        let outcome: Result<usize, &str> = run_with_retry(&policy, |attempt| {
+            seen.push(attempt);
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok(attempt * 10)
+            }
+        });
+        assert_eq!(outcome, Ok(20));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_exhausts_the_budget_and_returns_the_last_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let outcome: Result<(), String> =
+            run_with_retry(&policy, |attempt| Err(format!("attempt {attempt}")));
+        assert_eq!(outcome, Err("attempt 2".to_string()));
+        // A zero budget still runs the job once.
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..policy
+        };
+        let mut calls = 0;
+        let _: Result<(), &str> = run_with_retry(&zero, |_| {
+            calls += 1;
+            Err("always")
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(policy.delay_before(1), Duration::from_millis(10));
+        assert_eq!(policy.delay_before(2), Duration::from_millis(20));
+        assert_eq!(policy.delay_before(3), Duration::from_millis(35));
+        assert_eq!(policy.delay_before(60), Duration::from_millis(35));
     }
 
     #[test]

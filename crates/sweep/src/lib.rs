@@ -189,7 +189,8 @@ impl SweepConfig {
 
     /// Runs the optional statistical-conformance pass over the grid: every
     /// `(scenario, d, f) × γ` attack curve is solved with full certificates
-    /// ([`attack_curve_certified`], same arenas and warm starts as
+    /// ([`selfish_mining::experiments::attack_curve_certified`], same arenas
+    /// and warm starts as
     /// [`SweepConfig::run`]) on the scenario's own sub-arena, each point's
     /// ε-optimal strategy is exported into the simulator, and a batched
     /// Monte-Carlo estimate per configured consensus backend
@@ -254,9 +255,13 @@ impl SweepConfig {
     /// through model instantiation into the Dinkelbach iteration, where it
     /// surfaces (at best) as a confusing non-convergence error after real
     /// work was spent. The same helpers back the query service's request
-    /// validation, so batch and daemon entry points reject bad inputs
-    /// identically.
-    fn validate_grid(&self, gammas: &[f64], ps: &[f64]) -> Result<(), SelfishMiningError> {
+    /// validation and the grid orchestrator's up-front spec check, so batch,
+    /// daemon and sharded entry points reject bad inputs identically.
+    ///
+    /// # Errors
+    ///
+    /// [`SelfishMiningError::InvalidParameter`] naming the offending field.
+    pub fn validate_grid(&self, gammas: &[f64], ps: &[f64]) -> Result<(), SelfishMiningError> {
         validate_epsilon(self.epsilon)?;
         for &gamma in gammas {
             validate_share("gamma", gamma)?;
@@ -278,8 +283,16 @@ impl SweepConfig {
 
     /// Builds one parametric family per `(d, f) × scenario` of the
     /// conformance grid, in output order: `(d, f)` outer (grid order),
-    /// scenario inner ([`SweepConfig::scenarios`] order).
-    fn build_scenario_families(&self) -> Result<Vec<ParametricModel>, SelfishMiningError> {
+    /// scenario inner ([`SweepConfig::scenarios`] order). This enumeration
+    /// *is* the canonical family order of [`SweepConfig::run_conformance`]'s
+    /// report — the grid orchestrator (`sm-grid`) re-derives per-point
+    /// coordinates from the same indices, which is what lets its merged
+    /// report line up with the single-process pass byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first model-construction error.
+    pub fn build_scenario_families(&self) -> Result<Vec<ParametricModel>, SelfishMiningError> {
         self.attack_grid
             .iter()
             .flat_map(|&(depth, forks)| {

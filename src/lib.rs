@@ -21,19 +21,26 @@
 //!   the sweep engine and the query service.
 //! * [`sweep`] — the parallel `(p, γ)` sweep engine over the parametric
 //!   transition arena (worker pool + warm-started solves).
+//! * [`grid`] — the fault-tolerant sharded grid orchestrator: idempotent
+//!   point-jobs with durable `sm-grid/v1` artifacts, bounded retry +
+//!   backoff, checkpoint/resume and a deterministic merge byte-identical
+//!   to the single-process conformance pass.
 //! * [`service`] — the persistent certified-analysis query service: cached
 //!   parametric arenas, memoized certified solves and a JSONL front end.
 //! * [`audit`] — the independent static-analysis layer: certificate
 //!   re-verification, arena invariant checks and the source lint.
 //!
-//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the reproduction
-//! of every table and figure of the paper.
+//! See `README.md` for a quickstart, `ARCHITECTURE.md` for the workspace
+//! map and cross-cutting contracts, and `EXPERIMENTS.md` for the
+//! reproduction of every table and figure of the paper.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use sm_audit as audit;
 pub use sm_chain as chain;
 pub use sm_conformance as conformance;
+pub use sm_grid as grid;
 pub use sm_linalg as linalg;
 pub use sm_markov as markov;
 pub use sm_mdp as mdp;
